@@ -1,0 +1,61 @@
+//! Hash-bit generation and Hamming clustering kernel scaling — the
+//! operations behind ReSV's clustering claims (Figs. 7, 16, 19).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vrex_core::hashbit::HyperplaneSet;
+use vrex_core::hctable::HcTable;
+use vrex_tensor::rng::{gaussian_matrix, seeded_rng};
+
+fn bench_hash_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hashbit/generation");
+    let hp = HyperplaneSet::new(128, 32, 1);
+    for n_tokens in [64usize, 256, 1024] {
+        let keys = gaussian_matrix(&mut seeded_rng(2), n_tokens, 128, 1.0);
+        group.bench_with_input(BenchmarkId::from_parameter(n_tokens), &keys, |b, keys| {
+            b.iter(|| hp.hash_rows(keys))
+        });
+    }
+    group.finish();
+}
+
+fn bench_hamming_clustering(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hashbit/clustering");
+    let hp = HyperplaneSet::new(128, 32, 3);
+    for n_tokens in [128usize, 512, 2048] {
+        // Video-like keys: base set + small noise so clusters form.
+        let mut rng = seeded_rng(4);
+        let base = gaussian_matrix(&mut rng, 8, 128, 1.0);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(n_tokens),
+            &n_tokens,
+            |b, &n| {
+                b.iter(|| {
+                    let mut table = HcTable::new(7);
+                    let mut rng = seeded_rng(5);
+                    for i in 0..n {
+                        let noise = gaussian_matrix(&mut rng, 1, 128, 0.05);
+                        let key: Vec<f32> = base
+                            .row(i % 8)
+                            .iter()
+                            .zip(noise.row(0))
+                            .map(|(a, b)| a + b)
+                            .collect();
+                        table.insert_token(&key, i, &hp);
+                    }
+                    table.n_clusters()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn fast_config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group!(name = benches; config = fast_config(); targets = bench_hash_generation, bench_hamming_clustering);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Per-method selection cost on identical inputs: the "KV prediction"
+//! computation each retrieval policy performs per attention head.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vrex_core::resv::{ResvConfig, ResvPolicy};
+use vrex_model::policy::{RetrievalPolicy, SelectionRequest, Stage};
+use vrex_model::ModelConfig;
+use vrex_retrieval::{InfiniGenPPolicy, RekvPolicy};
+use vrex_tensor::rng::{gaussian_matrix, seeded_rng};
+use vrex_tensor::Matrix;
+
+fn inputs(history: usize, d: usize) -> (Matrix, Matrix) {
+    let mut rng = seeded_rng(6);
+    let q = gaussian_matrix(&mut rng, 10, d, 1.0);
+    let k = gaussian_matrix(&mut rng, history + 10, d, 1.0);
+    (q, k)
+}
+
+fn request<'a>(queries: &'a Matrix, keys: &'a Matrix) -> SelectionRequest<'a> {
+    SelectionRequest {
+        layer: 0,
+        query_head: 0,
+        kv_head: 0,
+        queries,
+        keys,
+        stage: Stage::Prefill,
+    }
+}
+
+fn bench_selection(c: &mut Criterion) {
+    let cfg = ModelConfig::small();
+    let d = cfg.head_dim;
+    let mut group = c.benchmark_group("retrieval/select");
+    for history in [512usize, 2048] {
+        let (q, k) = inputs(history, d);
+        group.bench_with_input(BenchmarkId::new("infinigenp", history), &history, |b, _| {
+            let mut p = InfiniGenPPolicy::paper_defaults();
+            b.iter(|| p.select(&request(&q, &k)))
+        });
+        group.bench_with_input(BenchmarkId::new("rekv", history), &history, |b, _| {
+            let mut p = RekvPolicy::paper_defaults(cfg.tokens_per_frame);
+            b.iter(|| p.select(&request(&q, &k)))
+        });
+        group.bench_with_input(BenchmarkId::new("resv", history), &history, |b, _| {
+            // ReSV amortises clustering over stream arrival; here the
+            // table is pre-built and only selection is timed.
+            let mut p = ResvPolicy::new(&cfg, ResvConfig::paper_defaults());
+            p.on_keys_appended(0, 0, &k, 0);
+            b.iter(|| p.select(&request(&q, &k)))
+        });
+    }
+    group.finish();
+}
+
+fn fast_config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group!(name = benches; config = fast_config(); targets = bench_selection);
+criterion_main!(benches);

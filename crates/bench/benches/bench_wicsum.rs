@@ -1,0 +1,43 @@
+//! WiCSum selection: full-sort reference vs the WTU's early-exit bucket
+//! dataflow (the hardware claim of Fig. 11).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::Rng;
+use vrex_core::earlyexit::early_exit_select_row;
+use vrex_core::wicsum::wicsum_select_row;
+use vrex_tensor::rng::seeded_rng;
+
+fn concentrated_scores(n: usize) -> (Vec<f32>, Vec<usize>) {
+    // Power-law scores: a few large values carry most of the mass — the
+    // regime where early exit wins (paper: top ~16% per row).
+    let mut rng = seeded_rng(9);
+    let scores: Vec<f32> = (0..n)
+        .map(|i| 100.0 / (1.0 + i as f32) + rng.gen_range(0.0..0.5))
+        .collect();
+    let counts: Vec<usize> = (0..n).map(|_| rng.gen_range(1..64)).collect();
+    (scores, counts)
+}
+
+fn bench_wicsum(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wicsum");
+    for n in [256usize, 1024, 4096] {
+        let (scores, counts) = concentrated_scores(n);
+        group.bench_with_input(BenchmarkId::new("full_sort", n), &n, |b, _| {
+            b.iter(|| wicsum_select_row(&scores, &counts, 0.3))
+        });
+        group.bench_with_input(BenchmarkId::new("early_exit", n), &n, |b, _| {
+            b.iter(|| early_exit_select_row(&scores, &counts, 0.3, 32))
+        });
+    }
+    group.finish();
+}
+
+fn fast_config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group!(name = benches; config = fast_config(); targets = bench_wicsum);
+criterion_main!(benches);

@@ -1,0 +1,132 @@
+//! Fig. 13: per-frame latency, TPOT, and energy efficiency versus the
+//! KV-cache length sweep (1K–40K), on the edge (AGX Orin vs V-Rex8) and
+//! the server (A100 vs V-Rex48).
+
+use vrex_bench::report::{banner, f, Table};
+use vrex_model::ModelConfig;
+use vrex_system::{Method, PlatformSpec, SystemModel};
+
+const SWEEP: [usize; 5] = [1_000, 5_000, 10_000, 20_000, 40_000];
+
+fn edge_systems() -> Vec<SystemModel> {
+    vec![
+        SystemModel::new(PlatformSpec::agx_orin(), Method::FlexGen),
+        SystemModel::new(PlatformSpec::agx_orin(), Method::InfiniGen),
+        SystemModel::new(PlatformSpec::agx_orin(), Method::InfiniGenP),
+        SystemModel::new(PlatformSpec::agx_orin(), Method::ReKV),
+        SystemModel::new(PlatformSpec::vrex8(), Method::ReSV),
+    ]
+}
+
+fn server_systems() -> Vec<SystemModel> {
+    vec![
+        SystemModel::new(PlatformSpec::a100(), Method::FlexGen),
+        SystemModel::new(PlatformSpec::a100(), Method::InfiniGen),
+        SystemModel::new(PlatformSpec::a100(), Method::InfiniGenP),
+        SystemModel::new(PlatformSpec::a100(), Method::ReKV),
+        SystemModel::new(PlatformSpec::vrex48(), Method::ReSV),
+    ]
+}
+
+fn latency_table(systems: &[SystemModel], model: &ModelConfig, batch: usize, generation: bool) {
+    let mut header = vec!["KV len".to_string()];
+    header.extend(systems.iter().map(|s| s.label()));
+    header.push("V-Rex speedup vs col-1".to_string());
+    let mut t = Table::new(header);
+    for s in SWEEP {
+        let mut cells = vec![format!("{}K", s / 1000)];
+        let mut first = 0.0;
+        let mut last = 0.0;
+        for (i, sys) in systems.iter().enumerate() {
+            let r = if generation {
+                sys.decode_step(model, s, batch)
+            } else {
+                sys.frame_step(model, s, batch)
+            };
+            let ms = r.latency_ms();
+            if i == 0 {
+                first = ms;
+            }
+            last = ms;
+            cells.push(f(ms, 1));
+        }
+        cells.push(format!("{:.1}x", first / last));
+        t.row(cells);
+    }
+    t.print();
+}
+
+fn energy_table(systems: &[SystemModel], model: &ModelConfig, batch: usize, generation: bool) {
+    let mut header = vec!["KV len".to_string()];
+    header.extend(systems.iter().map(|s| format!("{} (GOPS/W)", s.label())));
+    header.push("V-Rex gain vs col-1".to_string());
+    let mut t = Table::new(header);
+    for s in SWEEP {
+        let mut cells = vec![format!("{}K", s / 1000)];
+        let mut first = 0.0;
+        let mut last = 0.0;
+        for (i, sys) in systems.iter().enumerate() {
+            let r = if generation {
+                sys.decode_step(model, s, batch)
+            } else {
+                sys.frame_step(model, s, batch)
+            };
+            let g = r.gops_per_watt();
+            if i == 0 {
+                first = g;
+            }
+            last = g;
+            cells.push(f(g, 1));
+        }
+        cells.push(format!("{:.1}x", last / first));
+        t.row(cells);
+    }
+    t.print();
+}
+
+fn main() {
+    let model = ModelConfig::llama3_8b();
+
+    banner("Fig. 13(a) EDGE: per-frame latency (ms), batch 1");
+    latency_table(&edge_systems(), &model, 1, false);
+    println!("Paper: V-Rex8 121/123/198/200/254 ms -> 3.9-8.3 FPS; 2.2-7.3x over AGX+FlexGen.");
+
+    banner("Fig. 13(a) EDGE: per-frame latency (ms), batch 4");
+    latency_table(&edge_systems(), &model, 4, false);
+    println!("Paper: speedups rise to 2.1-13.8x at batch 4.");
+
+    banner("Fig. 13(a) EDGE: TPOT (ms), batch 1");
+    latency_table(&edge_systems(), &model, 1, true);
+    println!("Paper: V-Rex8 TPOT 89-97 ms; 1.9-15.1x speedups.");
+
+    banner("Fig. 13(a) EDGE: energy efficiency @ frame, batch 1");
+    energy_table(&edge_systems(), &model, 1, false);
+    println!("Paper: 5.5-10.2x over AGX+FlexGen (frame, batch 1).");
+
+    banner("Fig. 13(a) EDGE: energy efficiency @ frame, batch 4");
+    energy_table(&edge_systems(), &model, 4, false);
+
+    banner("Fig. 13(a) EDGE: energy efficiency @ text, batch 1");
+    energy_table(&edge_systems(), &model, 1, true);
+    println!("Paper: 4.3-18.5x (text generation).");
+
+    banner("Fig. 13(b) SERVER: per-frame latency (ms), batch 1");
+    latency_table(&server_systems(), &model, 1, false);
+    println!("Paper: V-Rex48 20-48 ms per frame; 2.6-7.3x at batch 1.");
+
+    banner("Fig. 13(b) SERVER: per-frame latency (ms), batch 8");
+    latency_table(&server_systems(), &model, 8, false);
+    println!("Paper: 3.4-19.7x at batch 8.");
+
+    banner("Fig. 13(b) SERVER: TPOT (ms), batch 1");
+    latency_table(&server_systems(), &model, 1, true);
+    println!("Paper: V-Rex48 TPOT 14-15 ms; 2.8-16.8x.");
+
+    banner("Fig. 13(b) SERVER: energy efficiency @ frame, batch 1");
+    energy_table(&server_systems(), &model, 1, false);
+    println!("Paper: 9.0-29.7x over A100+FlexGen (frame, batch 1).");
+
+    banner("Fig. 13(b) SERVER: energy efficiency @ frame, batch 8");
+    energy_table(&server_systems(), &model, 8, false);
+    println!("Paper: 5.9-52.2x; V-Rex48 reaches 1.1-1.4 TOPS/W.");
+}

@@ -1,0 +1,60 @@
+//! Fig. 14: normalized end-to-end latency breakdown, AGX baselines vs
+//! V-Rex8, over the 1K–40K sweep (average COIN interaction).
+
+use vrex_bench::report::{banner, f, Table};
+use vrex_model::ModelConfig;
+use vrex_system::{Method, PlatformSpec, SystemModel};
+use vrex_workload::CoinScenario;
+
+fn main() {
+    let model = ModelConfig::llama3_8b();
+    let sc = CoinScenario::paper_average();
+    let systems = [
+        SystemModel::new(PlatformSpec::agx_orin(), Method::FlexGen),
+        SystemModel::new(PlatformSpec::agx_orin(), Method::InfiniGenP),
+        SystemModel::new(PlatformSpec::agx_orin(), Method::ReKV),
+        SystemModel::new(PlatformSpec::vrex8(), Method::ReSV),
+    ];
+
+    banner("Fig. 14: E2E latency breakdown (normalized to V-Rex8), avg COIN interaction");
+    let mut t = Table::new([
+        "KV len",
+        "System",
+        "Vision+MLP %",
+        "Prefill %",
+        "Generation %",
+        "E2E (s)",
+        "vs V-Rex8",
+    ]);
+    for s in [1_000usize, 5_000, 10_000, 20_000, 40_000] {
+        let vrex_total = systems[3]
+            .interaction(&model, s, 1, sc.frames_per_query, sc.question_tokens, sc.answer_tokens)
+            .total_ps() as f64;
+        for sys in &systems {
+            let b = sys.interaction(
+                &model,
+                s,
+                1,
+                sc.frames_per_query,
+                sc.question_tokens,
+                sc.answer_tokens,
+            );
+            let total = b.total_ps() as f64;
+            t.row([
+                format!("{}K", s / 1000),
+                sys.label(),
+                f(b.vision_ps as f64 / total * 100.0, 1),
+                f(b.prefill_ps as f64 / total * 100.0, 1),
+                f(b.generation_ps as f64 / total * 100.0, 1),
+                f(total / 1e12, 2),
+                format!("{:.1}x", total / vrex_total),
+            ]);
+        }
+    }
+    t.print();
+    println!(
+        "\nPaper: V-Rex8 reduces E2E latency 2x/2x/2.6x/3.9x/5.4x over the best AGX \
+         configuration at 1K/5K/10K/20K/40K; InfiniGenP and ReKV are slower than \
+         FlexGen between 1K and 20K due to KV-prediction overhead."
+    );
+}

@@ -1,0 +1,62 @@
+//! Fig. 16: ablation study and latency breakdown — AGX+FlexGen →
+//! AGX+ReSV → V-Rex8 KVPU → V-Rex8 All, at 40K cache, batch 1.
+
+use vrex_bench::report::{banner, f, Table};
+use vrex_model::ModelConfig;
+use vrex_system::ablation::fig16_ladder;
+
+fn main() {
+    let model = ModelConfig::llama3_8b();
+    let ladder = fig16_ladder(&model, 40_000, 1);
+    let base_latency = ladder[0].result.latency_ps as f64;
+    let base_energy = ladder[0].result.energy.total_j();
+
+    banner("Fig. 16: cumulative ablation @ 40K cache, batch 1 (frame processing)");
+    let mut t = Table::new([
+        "Config",
+        "Latency (ms)",
+        "Speedup",
+        "Energy (J)",
+        "Energy gain",
+        "Pred share %",
+        "Fetch (ms)",
+    ]);
+    for p in &ladder {
+        let r = &p.result;
+        t.row([
+            p.label.to_string(),
+            f(r.latency_ms(), 0),
+            format!("{:.1}x", base_latency / r.latency_ps as f64),
+            f(r.energy.total_j(), 1),
+            format!("{:.1}x", base_energy / r.energy.total_j()),
+            f(r.prediction_ps as f64 / r.latency_ps as f64 * 100.0, 1),
+            f(r.fetch_ps as f64 / 1e9, 0),
+        ]);
+    }
+    t.print();
+    println!(
+        "\nPaper: AGX+ReSV 2.8x (KV prediction still 48% of latency); \
+         V-Rex8 KVPU 6.0x / 9.2x energy (prediction down to 0.5%); \
+         V-Rex8 All 8.1x / 10.2x energy."
+    );
+
+    banner("Fig. 16 latency breakdown per config");
+    let mut t = Table::new([
+        "Config",
+        "Vision+MLP (ms)",
+        "LLM compute (ms)",
+        "KV prediction (ms)",
+        "Retrieval/fetch (ms)",
+    ]);
+    for p in &ladder {
+        let r = &p.result;
+        t.row([
+            p.label.to_string(),
+            f(r.vision_ps as f64 / 1e9, 0),
+            f((r.dense_ps + r.attention_ps) as f64 / 1e9, 0),
+            f(r.prediction_ps as f64 / 1e9, 0),
+            f(r.fetch_ps as f64 / 1e9, 0),
+        ]);
+    }
+    t.print();
+}

@@ -1,0 +1,61 @@
+//! Fig. 18: roofline analysis of the frame-processing stage at 40K
+//! cache, batch 4, for AGX+FlexGen, AGX+ReKV and V-Rex8.
+
+use vrex_bench::report::{banner, f, Table};
+use vrex_hwsim::roofline::{Roof, RooflinePoint};
+use vrex_model::ModelConfig;
+use vrex_system::{Method, PlatformSpec, SystemModel};
+
+fn main() {
+    let model = ModelConfig::llama3_8b();
+    let systems = [
+        SystemModel::new(PlatformSpec::agx_orin(), Method::FlexGen),
+        SystemModel::new(PlatformSpec::agx_orin(), Method::ReKV),
+        SystemModel::new(PlatformSpec::vrex8(), Method::ReSV),
+    ];
+
+    banner("Fig. 18: roofline @ 40K cache, batch 4 (frame processing)");
+    let mut t = Table::new([
+        "System",
+        "OI (Op/B)",
+        "Attainable (TFLOPS)",
+        "Achieved (TFLOPS)",
+        "% of attainable",
+    ]);
+    // Workload-normalised accounting (as the paper's single 15.2 Op/B
+    // point implies): every system is credited with the FLOPs and bytes
+    // the *full* frame-processing workload logically requires, so a
+    // system that finishes it faster — by retrieving less — achieves a
+    // larger fraction of its roof.
+    let batch = 4u64;
+    let workload_flops = batch * model.total_flops(model.tokens_per_frame, 40_000)
+        + batch * PlatformSpec::vrex8().vision_flops;
+    let workload_bytes = model.param_bytes() as u64
+        + batch * 40_000 * model.kv_bytes_per_token() as u64;
+    for sys in &systems {
+        let r = sys.frame_step(&model, 40_000, 4);
+        let roof = Roof {
+            peak_flops: sys.platform.compute.peak_flops(),
+            mem_bytes_per_s: sys.platform.dram.peak_bytes_per_s(),
+        };
+        let p = RooflinePoint::from_measurement(
+            &sys.label(),
+            roof,
+            workload_flops,
+            workload_bytes + r.fetch_bytes,
+            r.latency_ps as f64 / 1e12,
+        );
+        t.row([
+            p.name.clone(),
+            f(p.oi, 1),
+            f(roof.attainable(p.oi) / 1e12, 2),
+            f(p.achieved_flops / 1e12, 2),
+            f(p.fraction_of_attainable * 100.0, 1),
+        ]);
+    }
+    t.print();
+    println!(
+        "\nPaper: at OI 15.2 Op/B, AGX+FlexGen reaches 6.6% of attainable, \
+         AGX+ReKV ~15%, V-Rex8 71.5% (10.8x over AGX+FlexGen)."
+    );
+}

@@ -1,0 +1,66 @@
+//! Fig. 20: retrieval ratio per layer and per attention head — ReSV's
+//! dynamic selection versus the fixed ratios of InfiniGenP / ReKV.
+//!
+//! Functional: a real (small) model streams COIN-like video under the
+//! real ReSV policy; per-layer and per-head ratios come from the
+//! measured selections.
+
+use vrex_bench::report::{banner, f, Table};
+use vrex_core::resv::{ResvConfig, ResvPolicy};
+use vrex_model::{ModelConfig, RunStats, StreamingVideoLlm, VideoStream};
+use vrex_workload::CoinTask;
+
+fn main() {
+    let cfg = ModelConfig::small();
+    let mut llm = StreamingVideoLlm::new(cfg.clone(), 3);
+    let mut policy = ResvPolicy::new(&cfg, ResvConfig::paper_defaults());
+    let mut stats = RunStats::new(&cfg, false);
+    let mut video = VideoStream::new(CoinTask::Step.video_config(
+        cfg.tokens_per_frame,
+        cfg.hidden_dim,
+        11,
+    ));
+    for _ in 0..20 {
+        let frame = video.next_frame();
+        llm.process_frame(&frame, &mut policy, &mut stats);
+    }
+
+    banner("Fig. 20: retrieval ratio per layer (ReSV vs fixed baselines)");
+    let mut t = Table::new(["Layer", "ReSV %", "InfiniGenP %", "ReKV %"]);
+    for l in 0..cfg.n_layers {
+        t.row([
+            l.to_string(),
+            f(stats.layer_ratio(l) * 100.0, 1),
+            "50.8".to_string(),
+            "58.4".to_string(),
+        ]);
+    }
+    t.print();
+
+    banner("Fig. 20: retrieval ratio per head");
+    let mut t = Table::new(["Head", "ReSV %", "InfiniGenP %", "ReKV %"]);
+    for h in 0..cfg.n_heads {
+        t.row([
+            h.to_string(),
+            f(stats.head_ratio(h) * 100.0, 1),
+            "50.8".to_string(),
+            "58.4".to_string(),
+        ]);
+    }
+    t.print();
+
+    let ratios: Vec<f64> = (0..cfg.n_layers).map(|l| stats.layer_ratio(l)).collect();
+    let min = ratios.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = ratios.iter().cloned().fold(0.0, f64::max);
+    println!(
+        "\nReSV layer-ratio spread: {:.1}%..{:.1}% (overall {:.1}%).",
+        min * 100.0,
+        max * 100.0,
+        stats.overall_ratio() * 100.0
+    );
+    println!(
+        "Paper: per-layer selection rates vary from 4.2% to ~44% while fixed \
+         top-k methods are flat; ReSV retrieves ~3x fewer tokens than ReKV on \
+         average."
+    );
+}

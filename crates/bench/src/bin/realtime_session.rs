@@ -1,0 +1,48 @@
+//! Transient real-time behaviour: queue depth and frame lag over a
+//! live session (the user-visible meaning of Fig. 13's "real-time
+//! processing" line).
+
+use vrex_bench::report::{banner, f, Table};
+use vrex_model::ModelConfig;
+use vrex_system::realtime::simulate_session;
+use vrex_system::{Method, PlatformSpec, SystemModel};
+
+fn main() {
+    let model = ModelConfig::llama3_8b();
+    let systems = [
+        SystemModel::new(PlatformSpec::agx_orin(), Method::FlexGen),
+        SystemModel::new(PlatformSpec::agx_orin(), Method::ReKV),
+        SystemModel::new(PlatformSpec::vrex8(), Method::ReSV),
+    ];
+
+    banner("Live session: 2 FPS camera, 60 s, growing cache");
+    let mut t = Table::new([
+        "System",
+        "Start cache",
+        "Processed/offered",
+        "Max queue",
+        "Mean lag (s)",
+        "Max lag (s)",
+        "Real-time?",
+    ]);
+    for sys in &systems {
+        for start in [1_000usize, 20_000, 40_000] {
+            let r = simulate_session(sys, &model, start, 2.0, 60.0, 1);
+            t.row([
+                sys.label(),
+                format!("{}K", start / 1000),
+                format!("{}/{}", r.frames_processed, r.frames_offered),
+                r.max_queue_depth.to_string(),
+                f(r.mean_lag_s, 2),
+                f(r.max_lag_s, 2),
+                if r.real_time { "yes" } else { "NO" }.to_string(),
+            ]);
+        }
+    }
+    t.print();
+    println!(
+        "\nGPU baselines fall behind as the cache grows — the queue (and the \
+         user-visible narration lag) diverges; V-Rex8 stays bounded across the \
+         sweep (paper: 3.9-8.3 FPS sustained)."
+    );
+}

@@ -1,0 +1,44 @@
+//! Table I: hardware specifications of the evaluated platforms.
+
+use vrex_bench::report::{banner, f, Table};
+use vrex_system::PlatformSpec;
+
+fn main() {
+    banner("Table I: Hardware Specifications of GPUs and V-Rex");
+    let platforms = [
+        PlatformSpec::agx_orin(),
+        PlatformSpec::a100(),
+        PlatformSpec::vrex8(),
+        PlatformSpec::vrex48(),
+    ];
+    let mut t = Table::new([
+        "Platform",
+        "Peak TFLOPS",
+        "Mem BW (GB/s)",
+        "Mem Cap (GB)",
+        "PCIe (GB/s)",
+        "Power (W)",
+        "Offload target",
+    ]);
+    for p in &platforms {
+        t.row([
+            p.name.to_string(),
+            f(p.compute.peak_flops() / 1e12, 1),
+            f(p.dram.peak_bytes_per_s() / 1e9, 1),
+            f(p.mem_capacity as f64 / (1u64 << 30) as f64, 0),
+            f(p.pcie.raw_bytes_per_s() / 1e9, 0),
+            f(p.power_w, 2),
+            if p.storage.is_some() {
+                "M.2 NVMe SSD".to_string()
+            } else {
+                "DDR4 CPU memory".to_string()
+            },
+        ]);
+    }
+    t.print();
+    println!(
+        "\nPaper Table I: AGX 54 TFLOPS/204.8 GB/s/32 GB/4 GB/s/40 W; \
+         A100 312/1935/80/32/300; V-Rex8 53.3/204.8/32/4/35; \
+         V-Rex48 319.5/1935/80/32/203.68."
+    );
+}

@@ -1,0 +1,41 @@
+//! Table III: area and power breakdown of one V-Rex core.
+
+use vrex_bench::report::{banner, f, Table};
+use vrex_hwsim::area_power::{
+    chip_area_mm2, dre_area_fraction, dre_power_fraction, vrex_core_breakdown, vrex_core_total,
+};
+
+fn main() {
+    banner("Table III: Breakdown of Area and Power (one V-Rex core, 14 nm, 0.8 V, 800 MHz)");
+    let mut t = Table::new(["Component", "Group", "Area [mm^2]", "Area %", "Power [mW]", "Power %"]);
+    let total = vrex_core_total();
+    for e in vrex_core_breakdown() {
+        t.row([
+            e.name.to_string(),
+            e.group.to_string(),
+            f(e.budget.area_mm2, 2),
+            f(e.budget.area_mm2 / total.area_mm2 * 100.0, 2),
+            f(e.budget.power_mw, 2),
+            f(e.budget.power_mw / total.power_mw * 100.0, 2),
+        ]);
+    }
+    t.row([
+        "Total".to_string(),
+        "".to_string(),
+        f(total.area_mm2, 2),
+        "100".to_string(),
+        f(total.power_mw, 2),
+        "100".to_string(),
+    ]);
+    t.print();
+    println!(
+        "\nDRE share: {:.1}% of area, {:.1}% of power (paper: ~2.0% / ~2.4%).",
+        dre_area_fraction() * 100.0,
+        dre_power_fraction() * 100.0
+    );
+    println!(
+        "Chip areas: V-Rex8 = {:.2} mm^2 (AGX Orin ~200 mm^2), V-Rex48 = {:.2} mm^2 (A100 ~826 mm^2).",
+        chip_area_mm2(8),
+        chip_area_mm2(48)
+    );
+}

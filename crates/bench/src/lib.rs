@@ -1,0 +1,20 @@
+//! # vrex-bench
+//!
+//! The experiment harness: one binary per table/figure of the paper's
+//! evaluation (see `DESIGN.md` §3 for the index and `EXPERIMENTS.md`
+//! for paper-vs-measured records), plus Criterion benches over the
+//! timing-critical kernels.
+//!
+//! Run everything with:
+//!
+//! ```text
+//! for bin in fig04_motivation fig07_similarity fig13_latency_energy \
+//!            fig14_e2e_breakdown fig15_oaken fig16_ablation \
+//!            fig17_bandwidth fig18_roofline fig19_resv_ablation \
+//!            fig20_ratio_distribution tab1_specs tab2_accuracy \
+//!            tab3_area_power; do
+//!     cargo run --release -p vrex-bench --bin $bin
+//! done
+//! ```
+
+pub mod report;

@@ -1,0 +1,102 @@
+//! Plain-text table rendering for experiment binaries.
+//!
+//! All experiment output is aligned text (no plotting dependencies);
+//! each binary prints the same rows/series the paper's figure or table
+//! reports, so results can be eyeballed against the paper directly.
+
+/// A simple aligned-column table printer.
+#[derive(Debug, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(header: I) -> Self {
+        Self {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (stringified cells).
+    pub fn row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, cells: I) -> &mut Self {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(row.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(row);
+        self
+    }
+
+    /// Renders the table to a string.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let line = |cells: &[String], widths: &[usize]| -> String {
+            let mut s = String::new();
+            for (cell, w) in cells.iter().zip(widths) {
+                s.push_str(&format!("{cell:<w$}  "));
+            }
+            s.trim_end().to_string()
+        };
+        out.push_str(&line(&self.header, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&line(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints the table to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Prints a section banner.
+pub fn banner(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+/// Formats a f64 with the given number of decimals.
+pub fn f(v: f64, decimals: usize) -> String {
+    format!("{v:.decimals$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned_columns() {
+        let mut t = Table::new(["a", "long-header"]);
+        t.row(["1", "2"]);
+        t.row(["333", "4"]);
+        let s = t.render();
+        assert!(s.contains("long-header"));
+        assert_eq!(s.lines().count(), 4);
+        // Header and row columns align.
+        let lines: Vec<&str> = s.lines().collect();
+        let col = lines[0].find("long-header").unwrap();
+        assert_eq!(&lines[2][col..col + 1], "2");
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn arity_is_checked() {
+        Table::new(["a", "b"]).row(["only-one"]);
+    }
+
+    #[test]
+    fn format_helper() {
+        assert_eq!(f(3.14159, 2), "3.14");
+    }
+}

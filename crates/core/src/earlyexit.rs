@@ -1,0 +1,226 @@
+//! Early-exit bucket-sort selection — the WTU's hardware dataflow.
+//!
+//! A full descending sort is the dominant cost of WiCSum thresholding
+//! on a GPU. The paper's WTU replaces it with a bucketed scan (Fig. 11):
+//! after a preprocess pass (weighted sum, min/max, threshold), buckets
+//! are visited from the highest score range downward; members of each
+//! bucket are selected and their weighted mass accumulated; the scan
+//! *exits early* once the threshold is crossed — typically after the
+//! top ~16% of the mass-carrying elements, so most buckets are never
+//! sorted at all.
+//!
+//! The selection produced is **identical** to the full-sort reference
+//! in [`crate::wicsum`] (property-tested), only the work differs; the
+//! recorded [`EarlyExitStats`] feed the WTU cycle model in
+//! `vrex-hwsim`.
+
+use crate::wicsum::wicsum_select_row;
+
+/// Work counters of one early-exit selection, consumed by the WTU
+/// cycle model.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EarlyExitStats {
+    /// Buckets actually visited before exit.
+    pub buckets_visited: usize,
+    /// Total buckets the range was divided into.
+    pub buckets_total: usize,
+    /// Elements membership-tested across visited buckets (one
+    /// comparator pass per element per visited bucket).
+    pub elements_scanned: usize,
+    /// Elements that entered the (small) within-bucket sort.
+    pub elements_sorted: usize,
+}
+
+/// Runs WiCSum selection with the early-exit bucket dataflow.
+///
+/// Semantics match [`wicsum_select_row`] exactly; see there for the
+/// contract. `n_buckets` controls the score-range granularity (the
+/// paper's WTU uses a fixed small bucket count; 16–64 is typical).
+///
+/// # Panics
+///
+/// Panics on the same inputs as [`wicsum_select_row`], or if
+/// `n_buckets == 0`.
+pub fn early_exit_select_row(
+    scores: &[f32],
+    counts: &[usize],
+    th_ratio: f32,
+    n_buckets: usize,
+) -> (Vec<usize>, EarlyExitStats) {
+    assert!(n_buckets > 0, "need at least one bucket");
+    assert_eq!(scores.len(), counts.len(), "scores/counts length mismatch");
+    assert!(
+        (0.0..=1.0).contains(&th_ratio),
+        "th_ratio {th_ratio} outside [0,1]"
+    );
+
+    let mut stats = EarlyExitStats {
+        buckets_total: n_buckets,
+        ..EarlyExitStats::default()
+    };
+
+    // Preprocess step: weighted sum, min/max (one pass — the WTU's
+    // multiplier + adder-tree + min/max units).
+    let mut total = 0.0f64;
+    let mut min = f32::INFINITY;
+    let mut max = f32::NEG_INFINITY;
+    for (&s, &c) in scores.iter().zip(counts) {
+        assert!(s >= 0.0, "WiCSum requires non-negative scores, got {s}");
+        total += s as f64 * c as f64;
+        min = min.min(s);
+        max = max.max(s);
+    }
+    if total <= 0.0 || scores.is_empty() {
+        return (Vec::new(), stats);
+    }
+    let threshold = total * th_ratio as f64;
+
+    let width = (max - min) / n_buckets as f32;
+    let bucket_of = |s: f32| -> usize {
+        if width <= 0.0 {
+            0
+        } else {
+            (((s - min) / width) as usize).min(n_buckets - 1)
+        }
+    };
+
+    let mut selected = Vec::new();
+    let mut acc = 0.0f64;
+    // Token-selection step: highest bucket first.
+    for b in (0..n_buckets).rev() {
+        stats.buckets_visited += 1;
+        stats.elements_scanned += scores.len();
+        // Membership bitmask for this score range.
+        let mut members: Vec<usize> = (0..scores.len())
+            .filter(|&i| bucket_of(scores[i]) == b)
+            .collect();
+        if members.is_empty() {
+            if width <= 0.0 && b != 0 {
+                continue;
+            }
+            if width <= 0.0 {
+                break;
+            }
+            continue;
+        }
+        // Small within-bucket sort keeps the visit order globally
+        // descending (exact equivalence with the full sort).
+        members.sort_by(|&a, &bb| {
+            scores[bb]
+                .partial_cmp(&scores[a])
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&bb))
+        });
+        stats.elements_sorted += members.len();
+        for idx in members {
+            selected.push(idx);
+            acc += scores[idx] as f64 * counts[idx] as f64;
+            if acc > threshold {
+                return (selected, stats); // early exit!
+            }
+        }
+    }
+    (selected, stats)
+}
+
+/// Convenience wrapper asserting bit-exact agreement with the
+/// full-sort reference; used in tests and debug builds.
+pub fn select_row_checked(
+    scores: &[f32],
+    counts: &[usize],
+    th_ratio: f32,
+    n_buckets: usize,
+) -> Vec<usize> {
+    let (fast, _) = early_exit_select_row(scores, counts, th_ratio, n_buckets);
+    let reference = wicsum_select_row(scores, counts, th_ratio);
+    assert_eq!(fast, reference, "early-exit selection diverged from reference");
+    fast
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn matches_reference_on_fig9_example() {
+        let scores = [9.0, 8.0, 2.0, 1.0, 1.0];
+        let counts = [1, 3, 2, 2, 3];
+        let sel = select_row_checked(&scores, &counts, 0.8, 16);
+        assert_eq!(sel, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn early_exit_skips_low_buckets_on_concentrated_scores() {
+        // One dominant score: the top bucket alone crosses the
+        // threshold, so only 1 bucket is visited out of 32.
+        let mut scores = vec![0.01f32; 256];
+        scores[17] = 1000.0;
+        let counts = vec![1usize; 256];
+        let (sel, stats) = early_exit_select_row(&scores, &counts, 0.8, 32);
+        assert_eq!(sel, vec![17]);
+        assert_eq!(stats.buckets_visited, 1);
+        assert_eq!(stats.elements_sorted, 1);
+    }
+
+    #[test]
+    fn flat_scores_visit_everything() {
+        let scores = vec![1.0f32; 16];
+        let counts = vec![1usize; 16];
+        let (sel, stats) = early_exit_select_row(&scores, &counts, 0.9, 8);
+        assert_eq!(sel.len(), 15); // > 90% of 16 equal masses
+        assert!(stats.buckets_visited >= 1);
+    }
+
+    #[test]
+    fn zero_mass_selects_nothing() {
+        let (sel, _) = early_exit_select_row(&[0.0, 0.0], &[1, 1], 0.5, 8);
+        assert!(sel.is_empty());
+    }
+
+    #[test]
+    fn single_element_is_selected() {
+        let (sel, _) = early_exit_select_row(&[3.0], &[4], 0.5, 8);
+        assert_eq!(sel, vec![0]);
+    }
+
+    #[test]
+    fn equal_scores_tie_break_matches_reference() {
+        let scores = [2.0, 2.0, 2.0, 2.0];
+        let counts = [1, 2, 3, 4];
+        select_row_checked(&scores, &counts, 0.55, 4);
+    }
+
+    proptest! {
+        /// The hardware dataflow must reproduce the reference selection
+        /// exactly for arbitrary score/count rows, thresholds, and
+        /// bucket counts.
+        #[test]
+        fn early_exit_equals_full_sort(
+            pairs in proptest::collection::vec((0.0f32..100.0, 1usize..50), 0..64),
+            ratio in 0.0f32..1.0,
+            n_buckets in 1usize..64,
+        ) {
+            let scores: Vec<f32> = pairs.iter().map(|p| p.0).collect();
+            let counts: Vec<usize> = pairs.iter().map(|p| p.1).collect();
+            let (fast, stats) = early_exit_select_row(&scores, &counts, ratio, n_buckets);
+            let reference = wicsum_select_row(&scores, &counts, ratio);
+            prop_assert_eq!(fast, reference);
+            prop_assert!(stats.buckets_visited <= n_buckets);
+            prop_assert!(stats.elements_sorted <= scores.len() * 1);
+        }
+
+        /// Early exit must never *increase* work beyond one full pass
+        /// of bucketing plus one sort of every element.
+        #[test]
+        fn work_is_bounded(
+            scores in proptest::collection::vec(0.0f32..10.0, 1..128),
+            ratio in 0.0f32..1.0,
+        ) {
+            let counts = vec![1usize; scores.len()];
+            let (_, stats) = early_exit_select_row(&scores, &counts, ratio, 32);
+            prop_assert!(stats.elements_scanned <= scores.len() * 32);
+            prop_assert!(stats.elements_sorted <= scores.len());
+        }
+    }
+}

@@ -1,0 +1,323 @@
+//! The hash-cluster (HC) table: spatio-temporal token clusters.
+//!
+//! One HC table exists per (layer, KV head). Each entry groups cached
+//! tokens whose hash-bit signatures are within `Th_hd` of the cluster's
+//! representative signature. The representative key is the running
+//! mean of member keys (the paper's `Key_cluster`), and its hash bits
+//! are re-derived from that mean whenever the cluster absorbs a token,
+//! matching the "Update" arrow of Fig. 8.
+
+use vrex_tensor::Matrix;
+
+use crate::hashbit::{HashBitVector, HyperplaneSet};
+
+/// One cluster of similar tokens.
+#[derive(Debug, Clone)]
+pub struct Cluster {
+    /// Running mean of member keys (`Key_cluster`).
+    rep_key: Vec<f32>,
+    /// Hash bits of the representative key.
+    rep_bits: HashBitVector,
+    /// Cache-token indices of the members, ascending.
+    token_indices: Vec<usize>,
+}
+
+impl Cluster {
+    /// The representative (mean) key.
+    pub fn rep_key(&self) -> &[f32] {
+        &self.rep_key
+    }
+
+    /// The representative's hash-bit signature.
+    pub fn rep_bits(&self) -> &HashBitVector {
+        &self.rep_bits
+    }
+
+    /// Member token indices (ascending).
+    pub fn token_indices(&self) -> &[usize] {
+        &self.token_indices
+    }
+
+    /// Number of member tokens (`TC` in the paper's equations).
+    pub fn token_count(&self) -> usize {
+        self.token_indices.len()
+    }
+}
+
+/// Statistics of the clustering work done, used by the hardware cost
+/// model (HCU cycles scale with Hamming comparisons).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClusteringStats {
+    /// Total tokens inserted.
+    pub tokens_inserted: u64,
+    /// Total token-vs-cluster Hamming comparisons performed.
+    pub hamming_comparisons: u64,
+    /// Clusters created (tokens that matched nothing).
+    pub clusters_created: u64,
+}
+
+/// The hash-cluster table for one (layer, KV head).
+#[derive(Debug, Clone)]
+pub struct HcTable {
+    clusters: Vec<Cluster>,
+    hamming_threshold: u32,
+    n_tokens: usize,
+    stats: ClusteringStats,
+    reps_cache: Option<Matrix>,
+}
+
+impl HcTable {
+    /// Creates an empty table with clustering threshold `Th_hd`.
+    pub fn new(hamming_threshold: u32) -> Self {
+        Self {
+            clusters: Vec::new(),
+            hamming_threshold,
+            n_tokens: 0,
+            stats: ClusteringStats::default(),
+            reps_cache: None,
+        }
+    }
+
+    /// Number of clusters.
+    pub fn n_clusters(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// Number of clustered tokens.
+    pub fn n_tokens(&self) -> usize {
+        self.n_tokens
+    }
+
+    /// Mean tokens per cluster (`0.0` when empty). The paper reports an
+    /// average of 32 tokens per cluster on COIN.
+    pub fn mean_tokens_per_cluster(&self) -> f64 {
+        if self.clusters.is_empty() {
+            0.0
+        } else {
+            self.n_tokens as f64 / self.clusters.len() as f64
+        }
+    }
+
+    /// The clusters.
+    pub fn clusters(&self) -> &[Cluster] {
+        &self.clusters
+    }
+
+    /// Clustering-work statistics.
+    pub fn stats(&self) -> ClusteringStats {
+        self.stats
+    }
+
+    /// Inserts one token (key row + its absolute cache index).
+    ///
+    /// The token joins the first existing cluster whose representative
+    /// signature is within the Hamming threshold (updating the running
+    /// mean and re-hashing the representative); otherwise it founds a
+    /// new cluster.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key.len() != hyperplanes.dim()`.
+    pub fn insert_token(
+        &mut self,
+        key: &[f32],
+        token_index: usize,
+        hyperplanes: &HyperplaneSet,
+    ) {
+        assert_eq!(key.len(), hyperplanes.dim(), "key dimension mismatch");
+        let bits = hyperplanes.hash(key);
+        self.stats.tokens_inserted += 1;
+        self.reps_cache = None;
+        for cluster in &mut self.clusters {
+            self.stats.hamming_comparisons += 1;
+            if bits.hamming_distance(&cluster.rep_bits) < self.hamming_threshold {
+                // Running-mean update of the representative key.
+                let n = cluster.token_indices.len() as f32;
+                for (r, &k) in cluster.rep_key.iter_mut().zip(key) {
+                    *r = (*r * n + k) / (n + 1.0);
+                }
+                cluster.rep_bits = hyperplanes.hash(&cluster.rep_key);
+                cluster.token_indices.push(token_index);
+                self.n_tokens += 1;
+                return;
+            }
+        }
+        self.clusters.push(Cluster {
+            rep_key: key.to_vec(),
+            rep_bits: bits,
+            token_indices: vec![token_index],
+        });
+        self.stats.clusters_created += 1;
+        self.n_tokens += 1;
+    }
+
+    /// Inserts every row of `keys`, with row `i` having cache index
+    /// `start_index + i`.
+    pub fn insert_block(&mut self, keys: &Matrix, start_index: usize, hp: &HyperplaneSet) {
+        for i in 0..keys.rows() {
+            self.insert_token(keys.row(i), start_index + i, hp);
+        }
+    }
+
+    /// Representative keys as an `(n_clusters × dim)` matrix (cached
+    /// between mutations) — the `Key_cluster` operand of the
+    /// `Q × Key_clusterᵀ` score computation.
+    pub fn representatives(&mut self) -> &Matrix {
+        if self.reps_cache.is_none() {
+            let rows: Vec<&[f32]> = self.clusters.iter().map(|c| c.rep_key.as_slice()).collect();
+            self.reps_cache = Some(if rows.is_empty() {
+                Matrix::default()
+            } else {
+                Matrix::from_rows(&rows)
+            });
+        }
+        self.reps_cache.as_ref().unwrap()
+    }
+
+    /// Token counts per cluster, aligned with [`Self::representatives`].
+    pub fn token_counts(&self) -> Vec<usize> {
+        self.clusters.iter().map(Cluster::token_count).collect()
+    }
+
+    /// Maps selected cluster indices back to the union of their member
+    /// token indices, ascending and de-duplicated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a cluster index is out of range.
+    pub fn tokens_of_clusters(&self, cluster_indices: &[usize]) -> Vec<usize> {
+        let mut out: Vec<usize> = cluster_indices
+            .iter()
+            .flat_map(|&c| self.clusters[c].token_indices.iter().copied())
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Verifies the partition invariants (each inserted token index in
+    /// exactly one cluster; counts consistent). Panics on violation.
+    /// Intended for tests and property checks.
+    pub fn assert_partition(&self) {
+        let mut seen = std::collections::BTreeSet::new();
+        let mut total = 0;
+        for c in &self.clusters {
+            for &t in &c.token_indices {
+                assert!(seen.insert(t), "token {t} appears in two clusters");
+                total += 1;
+            }
+        }
+        assert_eq!(total, self.n_tokens, "token count mismatch");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vrex_tensor::rng::{gaussian_matrix, seeded_rng};
+
+    fn hp(dim: usize) -> HyperplaneSet {
+        HyperplaneSet::new(dim, 32, 99)
+    }
+
+    #[test]
+    fn identical_tokens_form_one_cluster() {
+        let hp = hp(16);
+        let mut t = HcTable::new(7);
+        let key: Vec<f32> = (0..16).map(|i| (i as f32).cos()).collect();
+        for i in 0..5 {
+            t.insert_token(&key, i, &hp);
+        }
+        assert_eq!(t.n_clusters(), 1);
+        assert_eq!(t.n_tokens(), 5);
+        assert_eq!(t.clusters()[0].token_count(), 5);
+        t.assert_partition();
+    }
+
+    #[test]
+    fn orthogonal_tokens_form_separate_clusters() {
+        let hp = hp(16);
+        let mut t = HcTable::new(7);
+        let mut rng = seeded_rng(3);
+        let keys = gaussian_matrix(&mut rng, 6, 16, 1.0);
+        t.insert_block(&keys, 0, &hp);
+        // Random Gaussian keys are near-orthogonal: expect ~1 cluster/token.
+        assert!(t.n_clusters() >= 4, "got only {} clusters", t.n_clusters());
+        t.assert_partition();
+    }
+
+    #[test]
+    fn representative_is_mean_of_members() {
+        let hp = hp(8);
+        let mut t = HcTable::new(33); // threshold > n_bits: everything clusters
+        t.insert_token(&[2.0; 8], 0, &hp);
+        t.insert_token(&[4.0; 8], 1, &hp);
+        assert_eq!(t.n_clusters(), 1);
+        for &v in t.clusters()[0].rep_key() {
+            assert!((v - 3.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn tokens_of_clusters_unions_and_sorts() {
+        let hp = hp(8);
+        let mut t = HcTable::new(33);
+        t.insert_token(&[1.0; 8], 5, &hp);
+        t.insert_token(&[1.0; 8], 2, &hp);
+        let toks = t.tokens_of_clusters(&[0]);
+        assert_eq!(toks, vec![2, 5]);
+    }
+
+    #[test]
+    fn stats_count_comparisons_and_creations() {
+        let hp = hp(8);
+        let mut t = HcTable::new(0); // nothing ever clusters (distance < 0 impossible)
+        t.insert_token(&[1.0; 8], 0, &hp);
+        t.insert_token(&[1.0; 8], 1, &hp);
+        t.insert_token(&[1.0; 8], 2, &hp);
+        let s = t.stats();
+        assert_eq!(s.tokens_inserted, 3);
+        assert_eq!(s.clusters_created, 3);
+        // token 1 compared against 1 cluster, token 2 against 2.
+        assert_eq!(s.hamming_comparisons, 3);
+    }
+
+    #[test]
+    fn representatives_matrix_tracks_clusters() {
+        let hp = hp(8);
+        let mut t = HcTable::new(0);
+        t.insert_token(&[1.0; 8], 0, &hp);
+        t.insert_token(&[2.0; 8], 1, &hp);
+        let reps = t.representatives().clone();
+        assert_eq!(reps.rows(), 2);
+        assert_eq!(reps.row(1), &[2.0; 8]);
+        assert_eq!(t.token_counts(), vec![1, 1]);
+    }
+
+    #[test]
+    fn video_like_keys_compress_well() {
+        // Slowly drifting keys should yield far fewer clusters than
+        // tokens — the property Fig. 8's "clustering overhead" argument
+        // relies on.
+        let dim = 32;
+        let hp = HyperplaneSet::new(dim, 32, 42);
+        let mut t = HcTable::new(7);
+        let mut rng = seeded_rng(8);
+        let base = gaussian_matrix(&mut rng, 4, dim, 1.0);
+        let mut idx = 0;
+        for _frame in 0..20 {
+            let noise = gaussian_matrix(&mut rng, 4, dim, 0.03);
+            let keys = &base + &noise;
+            t.insert_block(&keys, idx, &hp);
+            idx += 4;
+        }
+        assert_eq!(t.n_tokens(), 80);
+        assert!(
+            t.n_clusters() <= 16,
+            "80 near-duplicate tokens produced {} clusters",
+            t.n_clusters()
+        );
+        assert!(t.mean_tokens_per_cluster() >= 5.0);
+        t.assert_partition();
+    }
+}

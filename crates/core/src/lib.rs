@@ -1,0 +1,55 @@
+//! # vrex-core
+//!
+//! **ReSV** — the paper's primary contribution: a training-free dynamic
+//! KV-cache retrieval algorithm for streaming video LLMs.
+//!
+//! ReSV replaces the fixed top-k selection of GPU-oriented retrieval
+//! systems with two cooperating mechanisms:
+//!
+//! 1. **Hash-bit key clustering** ([`hashbit`], [`hctable`]): keys are
+//!    projected onto a handful of random hyperplanes and sign-binarised
+//!    into short bit vectors; tokens whose bit vectors are within a
+//!    Hamming-distance threshold are grouped into clusters whose
+//!    representative key is the running mean. Because adjacent video
+//!    frames are highly similar, a few clusters cover many tokens,
+//!    shrinking the score computation from `O(tokens)` to
+//!    `O(clusters)`.
+//! 2. **WiCSum thresholding** ([`wicsum`], [`earlyexit`]): instead of a
+//!    fixed k, each layer/head accumulates cluster scores weighted by
+//!    cluster token count until a fraction `Th_r-wics` of the total
+//!    weighted mass is covered — selecting few tokens where attention
+//!    is concentrated and many where it is flat. The hardware WTU
+//!    evaluates the same rule with an early-exit bucket sort
+//!    ([`earlyexit`]), which this crate implements bit-exactly and
+//!    property-tests against the full-sort reference.
+//!
+//! [`resv::ResvPolicy`] packages both into a
+//! [`vrex_model::RetrievalPolicy`] that plugs into the streaming LLM.
+//!
+//! ```
+//! use vrex_core::resv::{ResvConfig, ResvPolicy};
+//! use vrex_model::{ModelConfig, RunStats, StreamingVideoLlm, VideoStream, VideoStreamConfig};
+//!
+//! let cfg = ModelConfig::tiny();
+//! let mut llm = StreamingVideoLlm::new(cfg.clone(), 1);
+//! let mut policy = ResvPolicy::new(&cfg, ResvConfig::paper_defaults());
+//! let mut video = VideoStream::new(VideoStreamConfig::coin_like(
+//!     cfg.tokens_per_frame, cfg.hidden_dim, 2));
+//! let mut stats = RunStats::new(&cfg, false);
+//! for _ in 0..4 {
+//!     let frame = video.next_frame();
+//!     llm.process_frame(&frame, &mut policy, &mut stats);
+//! }
+//! // Dynamic selection touched strictly less than the full cache.
+//! assert!(stats.overall_ratio() < 1.0);
+//! ```
+
+pub mod earlyexit;
+pub mod hashbit;
+pub mod hctable;
+pub mod resv;
+pub mod wicsum;
+
+pub use hashbit::{HashBitVector, HyperplaneSet};
+pub use hctable::HcTable;
+pub use resv::{ResvConfig, ResvPolicy};

@@ -1,0 +1,204 @@
+//! Area and power model (Table III).
+//!
+//! Per-unit constants are calibrated to the paper's 14 nm synthesis
+//! results (Table III) and compose under the same rules the paper
+//! applies: per-core breakdown, chip = cores × core, system power adds
+//! DRAM/PCIe/storage budgets (Table I's V-Rex8 ≈ 35 W, V-Rex48 ≈
+//! 203.68 W).
+
+/// Area (mm²) and power (mW) of one hardware unit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UnitBudget {
+    /// Silicon area in mm².
+    pub area_mm2: f64,
+    /// Power in mW at 0.8 V / 800 MHz.
+    pub power_mw: f64,
+}
+
+/// Named budget entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BudgetEntry {
+    /// Component name as in Table III.
+    pub name: &'static str,
+    /// Which engine the component belongs to (`LXE` or `DRE`).
+    pub group: &'static str,
+    /// The budget.
+    pub budget: UnitBudget,
+}
+
+/// Table III per-core breakdown.
+pub fn vrex_core_breakdown() -> Vec<BudgetEntry> {
+    vec![
+        BudgetEntry {
+            name: "DPE",
+            group: "LXE",
+            budget: UnitBudget {
+                area_mm2: 1.37,
+                power_mw: 2311.39,
+            },
+        },
+        BudgetEntry {
+            name: "VPE",
+            group: "LXE",
+            budget: UnitBudget {
+                area_mm2: 0.14,
+                power_mw: 122.06,
+            },
+        },
+        BudgetEntry {
+            name: "On-chip Memory",
+            group: "LXE",
+            budget: UnitBudget {
+                area_mm2: 0.34,
+                power_mw: 118.94,
+            },
+        },
+        BudgetEntry {
+            name: "KVPU - WTU",
+            group: "DRE",
+            budget: UnitBudget {
+                area_mm2: 0.02,
+                power_mw: 39.04,
+            },
+        },
+        BudgetEntry {
+            name: "KVPU - HCU",
+            group: "DRE",
+            budget: UnitBudget {
+                area_mm2: 0.01,
+                power_mw: 2.99,
+            },
+        },
+        BudgetEntry {
+            name: "KVMU",
+            group: "DRE",
+            budget: UnitBudget {
+                area_mm2: 0.01,
+                power_mw: 15.01,
+            },
+        },
+    ]
+}
+
+/// Total budget of one V-Rex core.
+pub fn vrex_core_total() -> UnitBudget {
+    let (mut a, mut p) = (0.0, 0.0);
+    for e in vrex_core_breakdown() {
+        a += e.budget.area_mm2;
+        p += e.budget.power_mw;
+    }
+    UnitBudget {
+        area_mm2: a,
+        power_mw: p,
+    }
+}
+
+/// Fraction of core power consumed by the DRE (paper: ~2.4%).
+pub fn dre_power_fraction() -> f64 {
+    let total = vrex_core_total().power_mw;
+    let dre: f64 = vrex_core_breakdown()
+        .iter()
+        .filter(|e| e.group == "DRE")
+        .map(|e| e.budget.power_mw)
+        .sum();
+    dre / total
+}
+
+/// Fraction of core area consumed by the DRE (paper: ~2.0%).
+pub fn dre_area_fraction() -> f64 {
+    let total = vrex_core_total().area_mm2;
+    let dre: f64 = vrex_core_breakdown()
+        .iter()
+        .filter(|e| e.group == "DRE")
+        .map(|e| e.budget.area_mm2)
+        .sum();
+    dre / total
+}
+
+/// Chip area for `n_cores` cores (mm²).
+pub fn chip_area_mm2(n_cores: usize) -> f64 {
+    vrex_core_total().area_mm2 * n_cores as f64
+}
+
+/// System power (W) including cores, DRAM, PCIe, and storage — the
+/// Table I budgets.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SystemPower {
+    /// Compute cores (W).
+    pub cores_w: f64,
+    /// DRAM subsystem (W).
+    pub dram_w: f64,
+    /// PCIe link (W).
+    pub pcie_w: f64,
+    /// Storage device (W).
+    pub storage_w: f64,
+}
+
+impl SystemPower {
+    /// V-Rex8 edge system: 8 cores + LPDDR5 + PCIe3.0×4 + NVMe ≈ 35 W.
+    pub fn vrex8() -> Self {
+        Self {
+            cores_w: vrex_core_total().power_mw * 8.0 / 1000.0,
+            dram_w: 6.0,
+            pcie_w: 4.0, // ×4 lanes at partial duty
+            storage_w: 4.1,
+        }
+    }
+
+    /// V-Rex48 server system: 48 cores + HBM2e + PCIe4.0×16 + CPU DRAM
+    /// ≈ 203.68 W.
+    pub fn vrex48() -> Self {
+        Self {
+            cores_w: vrex_core_total().power_mw * 48.0 / 1000.0,
+            dram_w: 55.0,
+            pcie_w: 15.4,
+            storage_w: 8.0,
+        }
+    }
+
+    /// Total system power (W).
+    pub fn total_w(&self) -> f64 {
+        self.cores_w + self.dram_w + self.pcie_w + self.storage_w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn core_totals_match_table3() {
+        let t = vrex_core_total();
+        assert!((t.area_mm2 - 1.89).abs() < 0.001, "area {}", t.area_mm2);
+        assert!((t.power_mw - 2609.43).abs() < 0.01, "power {}", t.power_mw);
+    }
+
+    #[test]
+    fn dre_fractions_match_paper_claims() {
+        // Paper: DRE ≈ 2.4% power (abstract says 2.2%), 2.0–2.1% area.
+        let p = dre_power_fraction();
+        let a = dre_area_fraction();
+        assert!((0.018..=0.026).contains(&p), "DRE power fraction {p}");
+        assert!((0.015..=0.025).contains(&a), "DRE area fraction {a}");
+    }
+
+    #[test]
+    fn chip_areas_match_paper() {
+        // V-Rex8 = 15.12 mm² (vs AGX 200), V-Rex48 = 90.57 mm² (vs A100 826).
+        assert!((chip_area_mm2(8) - 15.12).abs() < 0.01);
+        assert!((chip_area_mm2(48) - 90.72).abs() < 0.5);
+        assert!(chip_area_mm2(8) < 200.0);
+        assert!(chip_area_mm2(48) < 826.0);
+    }
+
+    #[test]
+    fn system_power_matches_table1() {
+        let edge = SystemPower::vrex8().total_w();
+        let server = SystemPower::vrex48().total_w();
+        assert!((edge - 35.0).abs() < 1.0, "edge {edge}");
+        assert!((server - 203.68).abs() < 2.0, "server {server}");
+        // Below the GPU boards they replace.
+        assert!(edge < 40.0);
+        assert!(server < 300.0);
+    }
+}

@@ -1,0 +1,298 @@
+//! DRAM timing and energy model (DRAMSim3 substitute).
+//!
+//! Models channels × banks with open-row state: a request is split into
+//! bursts, bursts are interleaved across channels, and each access pays
+//! row-activation latency on a row miss (`tRP + tRCD + tCL`) or just
+//! CAS latency on a row hit. Streaming reads therefore approach the
+//! configured peak bandwidth while random accesses degrade — the two
+//! regimes the paper's evaluation exercises (weight streaming vs.
+//! scattered KV gathers).
+//!
+//! Presets follow the paper's Table I platforms: LPDDR5 (204.8 GB/s,
+//! 256-bit), HBM2e (1935 GB/s, 5120-bit), and DDR4 CPU memory behind
+//! the server PCIe link. Energy per bit comes from the vendor reports
+//! the paper cites.
+
+use crate::time::{seconds_to_ps, transfer_ps};
+
+/// Static DRAM configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DramConfig {
+    /// Human-readable name.
+    pub name: &'static str,
+    /// Independent channels.
+    pub channels: usize,
+    /// Banks per channel.
+    pub banks_per_channel: usize,
+    /// Row-buffer (page) size per bank in bytes.
+    pub row_bytes: u64,
+    /// Peak per-channel bandwidth in bytes/s.
+    pub channel_bytes_per_s: f64,
+    /// Row-precharge + activate + CAS latency on a row miss (ps).
+    pub row_miss_ps: u64,
+    /// Minimum interval between row activations on one channel (tRRD,
+    /// ps) — bank-level parallelism lets activations pipeline at this
+    /// rate rather than serialising full row-miss latencies.
+    pub act_interval_ps: u64,
+    /// CAS-only latency on a row hit (ps).
+    pub row_hit_ps: u64,
+    /// Access granularity (burst) in bytes.
+    pub burst_bytes: u64,
+    /// Access energy in picojoules per bit (read).
+    pub pj_per_bit: f64,
+    /// Background (static + refresh) power in watts.
+    pub background_w: f64,
+}
+
+impl DramConfig {
+    /// LPDDR5, 256-bit bus, 204.8 GB/s — the AGX Orin / V-Rex8 memory.
+    pub fn lpddr5_204gb() -> Self {
+        Self {
+            name: "LPDDR5-204.8GB/s",
+            channels: 8,
+            banks_per_channel: 16,
+            row_bytes: 2048,
+            channel_bytes_per_s: 204.8e9 / 8.0,
+            row_miss_ps: 45_000,
+            act_interval_ps: 7_500,
+            row_hit_ps: 15_000,
+            burst_bytes: 64,
+            pj_per_bit: 4.0,
+            background_w: 0.5,
+        }
+    }
+
+    /// HBM2e, 5120-bit bus, 1935 GB/s — the A100 / V-Rex48 memory.
+    pub fn hbm2e_1935gb() -> Self {
+        Self {
+            name: "HBM2e-1935GB/s",
+            channels: 40,
+            banks_per_channel: 16,
+            row_bytes: 1024,
+            channel_bytes_per_s: 1935.0e9 / 40.0,
+            row_miss_ps: 40_000,
+            act_interval_ps: 5_000,
+            row_hit_ps: 14_000,
+            burst_bytes: 64,
+            pj_per_bit: 3.9,
+            background_w: 4.0,
+        }
+    }
+
+    /// DDR4 CPU memory (server offload target behind PCIe 4.0 ×16).
+    pub fn ddr4_cpu() -> Self {
+        Self {
+            name: "DDR4-CPU",
+            channels: 4,
+            banks_per_channel: 16,
+            row_bytes: 8192,
+            channel_bytes_per_s: 25.6e9,
+            row_miss_ps: 60_000,
+            act_interval_ps: 6_000,
+            row_hit_ps: 20_000,
+            burst_bytes: 64,
+            pj_per_bit: 15.0,
+            background_w: 2.0,
+        }
+    }
+
+    /// Aggregate peak bandwidth (bytes/s).
+    pub fn peak_bytes_per_s(&self) -> f64 {
+        self.channel_bytes_per_s * self.channels as f64
+    }
+}
+
+/// Stateful DRAM model (open-row tracking per bank).
+#[derive(Debug, Clone)]
+pub struct Dram {
+    cfg: DramConfig,
+    /// Open row id per (channel, bank); `u64::MAX` = closed.
+    open_rows: Vec<u64>,
+    /// Total bytes read/written (for energy accounting).
+    bytes_accessed: u64,
+    row_hits: u64,
+    row_misses: u64,
+}
+
+impl Dram {
+    /// Creates a DRAM with all rows closed.
+    pub fn new(cfg: DramConfig) -> Self {
+        let n = cfg.channels * cfg.banks_per_channel;
+        Self {
+            cfg,
+            open_rows: vec![u64::MAX; n],
+            bytes_accessed: 0,
+            row_hits: 0,
+            row_misses: 0,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &DramConfig {
+        &self.cfg
+    }
+
+    /// Row hits observed so far.
+    pub fn row_hits(&self) -> u64 {
+        self.row_hits
+    }
+
+    /// Row misses observed so far.
+    pub fn row_misses(&self) -> u64 {
+        self.row_misses
+    }
+
+    /// Simulates reading `bytes` starting at `addr`; returns the
+    /// duration in picoseconds. Bursts interleave across channels, so
+    /// the reported duration is the per-channel maximum.
+    pub fn access(&mut self, addr: u64, bytes: u64) -> u64 {
+        if bytes == 0 {
+            return 0;
+        }
+        self.bytes_accessed += bytes;
+        let n_bursts = bytes.div_ceil(self.cfg.burst_bytes);
+        // Per channel: data-transfer time accumulates serially on the
+        // bus; row activations proceed on *other banks* in parallel and
+        // only bound the channel when activation work exceeds transfer
+        // work (bank-level parallelism pipelines them).
+        let mut transfer_time = vec![0u64; self.cfg.channels];
+        let mut activate_time = vec![0u64; self.cfg.channels];
+        let burst_transfer = transfer_ps(self.cfg.burst_bytes, self.cfg.channel_bytes_per_s);
+        for i in 0..n_bursts {
+            let burst_addr = addr + i * self.cfg.burst_bytes;
+            // Address mapping: row-interleaved across channels.
+            let row_global = burst_addr / self.cfg.row_bytes;
+            let channel = (row_global % self.cfg.channels as u64) as usize;
+            let bank = ((row_global / self.cfg.channels as u64)
+                % self.cfg.banks_per_channel as u64) as usize;
+            let row = row_global / (self.cfg.channels * self.cfg.banks_per_channel) as u64;
+            let slot = channel * self.cfg.banks_per_channel + bank;
+            if self.open_rows[slot] == row {
+                self.row_hits += 1;
+            } else {
+                self.row_misses += 1;
+                self.open_rows[slot] = row;
+                activate_time[channel] += self.cfg.act_interval_ps;
+            }
+            transfer_time[channel] += burst_transfer;
+        }
+        let per_channel = transfer_time
+            .iter()
+            .zip(&activate_time)
+            .map(|(&t, &a)| t.max(a))
+            .max()
+            .unwrap_or(0);
+        // One activation latency to fill the pipeline.
+        per_channel + self.cfg.row_miss_ps
+    }
+
+    /// Convenience: a fully sequential streaming read of `bytes`,
+    /// starting at a fresh region.
+    pub fn stream_read(&mut self, bytes: u64) -> u64 {
+        // Start each stream at a distinct region so rows are cold once.
+        let base = self.bytes_accessed.wrapping_mul(7919) % (1 << 40);
+        self.access(base, bytes)
+    }
+
+    /// Energy (joules) for the bytes accessed so far plus background
+    /// power over `busy_seconds`.
+    pub fn energy_joules(&self, busy_seconds: f64) -> f64 {
+        self.bytes_accessed as f64 * 8.0 * self.cfg.pj_per_bit * 1e-12
+            + self.cfg.background_w * busy_seconds
+    }
+
+    /// Effective bandwidth achieved by a hypothetical streaming read of
+    /// `bytes` (fresh model), bytes/s.
+    pub fn streaming_bandwidth(cfg: &DramConfig, bytes: u64) -> f64 {
+        let mut d = Dram::new(cfg.clone());
+        let ps = d.access(0, bytes);
+        bytes as f64 / (ps as f64 / 1e12)
+    }
+
+    /// Duration of scattered reads: `n` independent reads of
+    /// `bytes_each` at pseudo-random addresses (every read lands on a
+    /// cold row with high probability).
+    pub fn scattered_read(&mut self, n: u64, bytes_each: u64) -> u64 {
+        let mut total = 0u64;
+        let mut addr = 0x5DEE_CE66u64;
+        for _ in 0..n {
+            addr = addr.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            total += self.access(addr % (1 << 40), bytes_each);
+        }
+        total
+    }
+}
+
+/// Time for an idealised transfer at a DRAM's peak bandwidth — used
+/// where only sustained bandwidth matters (weight streaming).
+pub fn peak_transfer_ps(cfg: &DramConfig, bytes: u64) -> u64 {
+    seconds_to_ps(bytes as f64 / cfg.peak_bytes_per_s())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streaming_approaches_peak_bandwidth() {
+        for cfg in [DramConfig::lpddr5_204gb(), DramConfig::hbm2e_1935gb()] {
+            let bw = Dram::streaming_bandwidth(&cfg, 64 << 20);
+            let peak = cfg.peak_bytes_per_s();
+            assert!(
+                bw > 0.8 * peak,
+                "{}: streaming {bw:.2e} below 80% of peak {peak:.2e}",
+                cfg.name
+            );
+            assert!(bw <= peak * 1.01, "{}: exceeded peak", cfg.name);
+        }
+    }
+
+    #[test]
+    fn scattered_reads_are_slower_than_streaming() {
+        let cfg = DramConfig::lpddr5_204gb();
+        let bytes = 4u64 << 20;
+        let mut d1 = Dram::new(cfg.clone());
+        let t_stream = d1.access(0, bytes);
+        let mut d2 = Dram::new(cfg);
+        let t_scatter = d2.scattered_read(bytes / 256, 256);
+        assert!(
+            t_scatter > 2 * t_stream,
+            "scatter {t_scatter} not clearly slower than stream {t_stream}"
+        );
+    }
+
+    #[test]
+    fn row_hits_dominate_sequential_access() {
+        let cfg = DramConfig::lpddr5_204gb();
+        let mut d = Dram::new(cfg);
+        d.access(0, 1 << 20);
+        assert!(d.row_hits() > 10 * d.row_misses());
+    }
+
+    #[test]
+    fn zero_byte_access_is_free() {
+        let mut d = Dram::new(DramConfig::lpddr5_204gb());
+        assert_eq!(d.access(0, 0), 0);
+    }
+
+    #[test]
+    fn energy_scales_with_bytes() {
+        let cfg = DramConfig::lpddr5_204gb();
+        let mut d = Dram::new(cfg);
+        d.access(0, 1 << 20);
+        let e1 = d.energy_joules(0.0);
+        d.access(1 << 30, 1 << 20);
+        let e2 = d.energy_joules(0.0);
+        assert!((e2 / e1 - 2.0).abs() < 0.01);
+        // 1 MiB at 4 pJ/bit ≈ 33.6 µJ.
+        assert!((e1 - 1048576.0 * 8.0 * 4.0e-12).abs() / e1 < 1e-9);
+    }
+
+    #[test]
+    fn hbm_is_faster_than_lpddr() {
+        let bytes = 16u64 << 20;
+        let t_lp = Dram::new(DramConfig::lpddr5_204gb()).access(0, bytes);
+        let t_hbm = Dram::new(DramConfig::hbm2e_1935gb()).access(0, bytes);
+        assert!(t_hbm * 5 < t_lp, "HBM2e should be ~9.4x faster");
+    }
+}

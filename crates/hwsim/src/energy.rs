@@ -1,0 +1,113 @@
+//! Per-component energy accounting.
+//!
+//! Energy numbers in the evaluation are composed bottom-up: each
+//! component (cores, DRAM, PCIe, SSD, GPU board) contributes
+//! `power × busy time` or per-bit transfer energy. The meter keeps the
+//! breakdown so ablation figures (Fig. 16) can attribute savings.
+
+use std::collections::BTreeMap;
+
+/// Accumulates energy per named component.
+#[derive(Debug, Clone, Default)]
+pub struct EnergyMeter {
+    joules: BTreeMap<String, f64>,
+}
+
+impl EnergyMeter {
+    /// Creates an empty meter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `joules` to `component`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `joules` is negative or non-finite.
+    pub fn add(&mut self, component: &str, joules: f64) {
+        assert!(
+            joules.is_finite() && joules >= 0.0,
+            "invalid energy {joules} for {component}"
+        );
+        *self.joules.entry(component.to_string()).or_insert(0.0) += joules;
+    }
+
+    /// Adds `power_w × seconds` to `component`.
+    pub fn add_power(&mut self, component: &str, power_w: f64, seconds: f64) {
+        self.add(component, power_w * seconds);
+    }
+
+    /// Energy of one component (0.0 if unknown).
+    pub fn component(&self, name: &str) -> f64 {
+        self.joules.get(name).copied().unwrap_or(0.0)
+    }
+
+    /// Total energy (J).
+    pub fn total(&self) -> f64 {
+        self.joules.values().sum()
+    }
+
+    /// Iterates `(component, joules)` in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.joules.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Energy efficiency in GOPS/W ≡ G-operations per joule.
+    ///
+    /// Returns 0.0 when no energy has been recorded.
+    pub fn gops_per_watt(&self, useful_ops: u64) -> f64 {
+        let e = self.total();
+        if e <= 0.0 {
+            0.0
+        } else {
+            useful_ops as f64 / e / 1e9
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_per_component() {
+        let mut m = EnergyMeter::new();
+        m.add("dram", 1.0);
+        m.add("dram", 0.5);
+        m.add("pcie", 2.0);
+        assert_eq!(m.component("dram"), 1.5);
+        assert_eq!(m.component("ssd"), 0.0);
+        assert!((m.total() - 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn add_power_multiplies() {
+        let mut m = EnergyMeter::new();
+        m.add_power("gpu", 40.0, 0.25);
+        assert!((m.component("gpu") - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gops_per_watt() {
+        let mut m = EnergyMeter::new();
+        m.add("x", 2.0);
+        // 4e9 ops / 2 J = 2 GOPS/W.
+        assert!((m.gops_per_watt(4_000_000_000) - 2.0).abs() < 1e-12);
+        assert_eq!(EnergyMeter::new().gops_per_watt(10), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid energy")]
+    fn negative_energy_rejected() {
+        EnergyMeter::new().add("x", -1.0);
+    }
+
+    #[test]
+    fn iter_is_sorted_by_name() {
+        let mut m = EnergyMeter::new();
+        m.add("z", 1.0);
+        m.add("a", 1.0);
+        let names: Vec<&str> = m.iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["a", "z"]);
+    }
+}

@@ -1,0 +1,43 @@
+//! # vrex-hwsim
+//!
+//! Cycle-approximate hardware substrates for the V-Rex evaluation.
+//!
+//! The paper evaluates with a custom cycle-level simulator integrating
+//! DRAMSim3 (DRAM), MQSim (SSD), measured PCIe bandwidths, and an RTL
+//! implementation of the V-Rex core. This crate rebuilds each substrate
+//! at the fidelity the evaluation actually exercises (DESIGN.md §1):
+//!
+//! * [`time`] — picosecond simulation time and cycle conversions;
+//! * [`engine`] — a dependency-graph resource scheduler producing end
+//!   times and busy-interval traces (Fig. 17's bandwidth timeline);
+//! * [`dram`] — bank/row-state DRAM model with LPDDR5 / HBM2e / DDR4
+//!   presets (bandwidth, row locality, pJ/bit energy);
+//! * [`ssd`] — multi-channel NVMe flash model (page reads, channel
+//!   striping, scattered-vs-contiguous efficiency);
+//! * [`pcie`] — PCIe link with per-TLP overhead, so transfer efficiency
+//!   depends on chunk size (the KVMU's cluster-contiguous win);
+//! * [`gpu`] — roofline GPU model with kernel-launch and
+//!   irregular-operation penalties (AGX Orin / A100 presets);
+//! * [`vrexunits`] — cycle models of the V-Rex core's DPE, VPE, HCU and
+//!   WTU, matching the paper's per-core 6.66 TFLOPS;
+//! * [`kvmu`] — the functional KV-cache management unit (hierarchical
+//!   residency + cluster-contiguous mapping + transaction coalescing);
+//! * [`area_power`] — Table III area/power constants and composition;
+//! * [`energy`] — per-component energy accounting;
+//! * [`roofline`] — roofline-analysis helpers (Fig. 18).
+
+pub mod area_power;
+pub mod dram;
+pub mod energy;
+pub mod engine;
+pub mod gpu;
+pub mod kvmu;
+pub mod pcie;
+pub mod roofline;
+pub mod ssd;
+pub mod time;
+pub mod vrexunits;
+
+pub use energy::EnergyMeter;
+pub use engine::{Engine, ResourceId, TaskId};
+pub use time::{cycles_to_ps, ps_to_seconds, seconds_to_ps, PS_PER_SECOND};

@@ -1,0 +1,162 @@
+//! PCIe link model with transaction-size-dependent efficiency.
+//!
+//! KV retrieval is bottlenecked by PCIe (paper §I: 4–32 GB/s vs.
+//! 1–2 TB/s device memory). Crucially, *how* bytes are packed matters:
+//! every TLP carries ~24 bytes of header/framing per ≤256-byte payload
+//! and every DMA descriptor costs setup time, so thousands of scattered
+//! per-token reads waste a large fraction of the link — the
+//! inefficiency the KVMU's cluster-contiguous mapping removes
+//! (paper §V-C).
+
+use crate::time::seconds_to_ps;
+
+/// Static PCIe link configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PcieConfig {
+    /// Human-readable name.
+    pub name: &'static str,
+    /// Lane count.
+    pub lanes: usize,
+    /// Effective per-lane data bandwidth (bytes/s) after encoding.
+    pub lane_bytes_per_s: f64,
+    /// Maximum TLP payload (bytes).
+    pub max_payload: u64,
+    /// TLP header + framing overhead (bytes).
+    pub tlp_overhead: u64,
+    /// Per-DMA-descriptor setup latency (ps).
+    pub dma_setup_ps: u64,
+    /// Power per lane while active (W) — the paper budgets 3 W/lane.
+    pub w_per_lane: f64,
+}
+
+impl PcieConfig {
+    /// PCIe 3.0 ×4 — the edge platform's 4 GB/s storage link.
+    pub fn gen3_x4() -> Self {
+        Self {
+            name: "PCIe3.0x4",
+            lanes: 4,
+            lane_bytes_per_s: 1.0e9,
+            max_payload: 256,
+            tlp_overhead: 24,
+            dma_setup_ps: 400_000, // 0.4 µs per descriptor
+            w_per_lane: 3.0,
+        }
+    }
+
+    /// PCIe 4.0 ×16 — the server platform's 32 GB/s CPU-memory link.
+    pub fn gen4_x16() -> Self {
+        Self {
+            name: "PCIe4.0x16",
+            lanes: 16,
+            lane_bytes_per_s: 2.0e9,
+            max_payload: 256,
+            tlp_overhead: 24,
+            dma_setup_ps: 400_000,
+            w_per_lane: 3.0,
+        }
+    }
+
+    /// Raw link bandwidth (bytes/s).
+    pub fn raw_bytes_per_s(&self) -> f64 {
+        self.lane_bytes_per_s * self.lanes as f64
+    }
+
+    /// Payload efficiency for a given transfer chunk size: useful bytes
+    /// over wire bytes (TLP headers included).
+    pub fn payload_efficiency(&self, chunk_bytes: u64) -> f64 {
+        if chunk_bytes == 0 {
+            return 0.0;
+        }
+        let tlps = chunk_bytes.div_ceil(self.max_payload);
+        chunk_bytes as f64 / (chunk_bytes + tlps * self.tlp_overhead) as f64
+    }
+
+    /// Duration (ps) of transferring `total_bytes` split into DMA
+    /// chunks of `chunk_bytes` (last chunk may be short).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_bytes == 0` while `total_bytes > 0`.
+    pub fn transfer_ps(&self, total_bytes: u64, chunk_bytes: u64) -> u64 {
+        if total_bytes == 0 {
+            return 0;
+        }
+        assert!(chunk_bytes > 0, "chunk size must be positive");
+        let n_chunks = total_bytes.div_ceil(chunk_bytes);
+        let tlps = total_bytes.div_ceil(self.max_payload) + n_chunks; // +1 partial per chunk boundary
+        let wire_bytes = total_bytes + tlps * self.tlp_overhead;
+        let wire_ps = seconds_to_ps(wire_bytes as f64 / self.raw_bytes_per_s());
+        wire_ps + n_chunks * self.dma_setup_ps
+    }
+
+    /// Effective bandwidth (bytes/s) at a chunk size.
+    pub fn effective_bandwidth(&self, chunk_bytes: u64) -> f64 {
+        let total = 64u64 << 20;
+        let ps = self.transfer_ps(total, chunk_bytes);
+        total as f64 / (ps as f64 / 1e12)
+    }
+
+    /// Link power while active (W).
+    pub fn active_power_w(&self) -> f64 {
+        self.w_per_lane * self.lanes as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn raw_bandwidths_match_table1() {
+        assert!((PcieConfig::gen3_x4().raw_bytes_per_s() - 4.0e9).abs() < 1.0);
+        assert!((PcieConfig::gen4_x16().raw_bytes_per_s() - 32.0e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn large_chunks_approach_line_rate() {
+        let cfg = PcieConfig::gen3_x4();
+        let bw = cfg.effective_bandwidth(1 << 20);
+        assert!(
+            bw > 0.85 * cfg.raw_bytes_per_s(),
+            "1 MiB chunks should be efficient, got {bw:.2e}"
+        );
+    }
+
+    #[test]
+    fn tiny_chunks_collapse_bandwidth() {
+        let cfg = PcieConfig::gen3_x4();
+        let bw_small = cfg.effective_bandwidth(512);
+        let bw_big = cfg.effective_bandwidth(1 << 20);
+        assert!(
+            bw_small < 0.6 * bw_big,
+            "512 B chunks {bw_small:.2e} should clearly underperform {bw_big:.2e}"
+        );
+    }
+
+    #[test]
+    fn payload_efficiency_bounds() {
+        let cfg = PcieConfig::gen4_x16();
+        assert!(cfg.payload_efficiency(256) > 0.9);
+        assert!(cfg.payload_efficiency(64) < 0.75);
+        assert_eq!(cfg.payload_efficiency(0), 0.0);
+    }
+
+    #[test]
+    fn zero_transfer_is_free() {
+        assert_eq!(PcieConfig::gen3_x4().transfer_ps(0, 4096), 0);
+    }
+
+    #[test]
+    fn power_is_3w_per_lane() {
+        assert!((PcieConfig::gen3_x4().active_power_w() - 12.0).abs() < 1e-9);
+        assert!((PcieConfig::gen4_x16().active_power_w() - 48.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn transfer_time_monotone_in_bytes() {
+        let cfg = PcieConfig::gen3_x4();
+        let t1 = cfg.transfer_ps(1 << 20, 64 << 10);
+        let t2 = cfg.transfer_ps(2 << 20, 64 << 10);
+        assert!(t2 > t1);
+    }
+}

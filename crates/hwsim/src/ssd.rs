@@ -1,0 +1,220 @@
+//! Multi-queue NVMe SSD model (MQSim substitute).
+//!
+//! The edge platform offloads its KV cache to an M.2 NVMe SSD (Kioxia
+//! BG6-class in the paper). What the evaluation needs from MQSim is the
+//! behaviour gap between *contiguous* reads (pages stripe across
+//! channels and dies, pipelining flash-array reads with channel
+//! transfers) and *scattered* small reads (every request pays a full
+//! page read for a fraction of a page of useful data). That gap is why
+//! the KVMU's cluster-contiguous memory mapping matters.
+
+use crate::time::transfer_ps;
+
+/// Static SSD configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SsdConfig {
+    /// Human-readable name.
+    pub name: &'static str,
+    /// Flash channels.
+    pub channels: usize,
+    /// Dies per channel.
+    pub dies_per_channel: usize,
+    /// Flash page size in bytes.
+    pub page_bytes: u64,
+    /// Flash-array page read time (ps).
+    pub page_read_ps: u64,
+    /// Per-channel transfer bandwidth (bytes/s).
+    pub channel_bytes_per_s: f64,
+    /// Active power (W) while serving I/O.
+    pub active_w: f64,
+    /// Idle power (W).
+    pub idle_w: f64,
+}
+
+impl SsdConfig {
+    /// Kioxia BG6-class M.2 NVMe (PCIe 4.0 ×4 device; behind the AGX's
+    /// PCIe 3.0 ×4 the link, not the drive, limits at ~3.5 GB/s).
+    pub fn bg6_class() -> Self {
+        Self {
+            name: "BG6-class NVMe",
+            channels: 4,
+            dies_per_channel: 4,
+            page_bytes: 16 * 1024,
+            page_read_ps: 50_000_000, // 50 µs tR
+            channel_bytes_per_s: 1.2e9,
+            active_w: 4.1,
+            idle_w: 0.3,
+        }
+    }
+
+    /// Peak sequential read bandwidth (bytes/s), channel-transfer
+    /// limited.
+    pub fn peak_bytes_per_s(&self) -> f64 {
+        self.channel_bytes_per_s * self.channels as f64
+    }
+}
+
+/// Stateless timing model (queueing is computed per request batch).
+#[derive(Debug, Clone)]
+pub struct Ssd {
+    cfg: SsdConfig,
+    bytes_read: u64,
+    busy_ps: u64,
+}
+
+impl Ssd {
+    /// Creates the model.
+    pub fn new(cfg: SsdConfig) -> Self {
+        Self {
+            cfg,
+            bytes_read: 0,
+            busy_ps: 0,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &SsdConfig {
+        &self.cfg
+    }
+
+    /// Duration (ps) of a contiguous read of `bytes`.
+    ///
+    /// Pages stripe round-robin over all channels and dies; die reads
+    /// pipeline with channel transfers, so large reads are limited by
+    /// the slower of aggregate flash-array throughput and channel
+    /// bandwidth, plus one page-read latency to fill the pipeline.
+    pub fn read_contiguous(&mut self, bytes: u64) -> u64 {
+        if bytes == 0 {
+            return 0;
+        }
+        self.bytes_read += bytes;
+        let pages = bytes.div_ceil(self.cfg.page_bytes);
+        let n_dies = (self.cfg.channels * self.cfg.dies_per_channel) as u64;
+        // Flash array: each die reads its share of pages serially.
+        let pages_per_die = pages.div_ceil(n_dies);
+        let array_ps = pages_per_die * self.cfg.page_read_ps;
+        // Channel transfer: per-channel share of the bytes.
+        let pages_per_channel = pages.div_ceil(self.cfg.channels as u64);
+        let transfer = transfer_ps(
+            pages_per_channel * self.cfg.page_bytes,
+            self.cfg.channel_bytes_per_s,
+        );
+        // Pipelined: max of the two stages + one page latency fill.
+        let t = array_ps.max(transfer) + self.cfg.page_read_ps;
+        self.busy_ps += t;
+        t
+    }
+
+    /// Duration (ps) of `n_requests` scattered reads of `bytes_each`.
+    ///
+    /// Each request touches distinct random pages: a request smaller
+    /// than a page still occupies a die for a full page read and the
+    /// channel for a full page transfer. Requests queue across dies
+    /// (multi-queue parallelism), so the duration is the per-die serial
+    /// time of its share of requests.
+    pub fn read_scattered(&mut self, n_requests: u64, bytes_each: u64) -> u64 {
+        if n_requests == 0 || bytes_each == 0 {
+            return 0;
+        }
+        self.bytes_read += n_requests * bytes_each;
+        let pages_per_req = bytes_each.div_ceil(self.cfg.page_bytes);
+        let total_pages = n_requests * pages_per_req;
+        let n_dies = (self.cfg.channels * self.cfg.dies_per_channel) as u64;
+        let pages_per_die = total_pages.div_ceil(n_dies);
+        let array_ps = pages_per_die * self.cfg.page_read_ps;
+        let pages_per_channel = total_pages.div_ceil(self.cfg.channels as u64);
+        let transfer = transfer_ps(
+            pages_per_channel * self.cfg.page_bytes,
+            self.cfg.channel_bytes_per_s,
+        );
+        let t = array_ps.max(transfer) + self.cfg.page_read_ps;
+        self.busy_ps += t;
+        t
+    }
+
+    /// Useful-byte efficiency of scattered reads of `bytes_each`
+    /// (1.0 when requests are page-aligned multiples).
+    pub fn scattered_efficiency(&self, bytes_each: u64) -> f64 {
+        let pages = bytes_each.div_ceil(self.cfg.page_bytes);
+        bytes_each as f64 / (pages * self.cfg.page_bytes) as f64
+    }
+
+    /// Energy (joules) given total elapsed wall time (s): active power
+    /// over busy time, idle power over the rest.
+    pub fn energy_joules(&self, wall_seconds: f64) -> f64 {
+        let busy_s = self.busy_ps as f64 / 1e12;
+        let idle_s = (wall_seconds - busy_s).max(0.0);
+        self.cfg.active_w * busy_s + self.cfg.idle_w * idle_s
+    }
+
+    /// Total bytes read so far.
+    pub fn bytes_read(&self) -> u64 {
+        self.bytes_read
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn large_contiguous_read_achieves_near_peak() {
+        let cfg = SsdConfig::bg6_class();
+        let mut ssd = Ssd::new(cfg.clone());
+        let bytes = 1u64 << 30;
+        let t = ssd.read_contiguous(bytes);
+        let bw = bytes as f64 / (t as f64 / 1e12);
+        assert!(
+            bw > 0.6 * cfg.peak_bytes_per_s(),
+            "sequential bw {bw:.2e} too far below peak"
+        );
+    }
+
+    #[test]
+    fn scattered_small_reads_waste_bandwidth() {
+        let cfg = SsdConfig::bg6_class();
+        let useful = 4u64 << 20;
+        let mut a = Ssd::new(cfg.clone());
+        let t_seq = a.read_contiguous(useful);
+        let mut b = Ssd::new(cfg);
+        // 512-byte scattered requests: 1/32 page efficiency.
+        let t_scat = b.read_scattered(useful / 512, 512);
+        assert!(
+            t_scat > 10 * t_seq,
+            "scattered {t_scat} should be far slower than contiguous {t_seq}"
+        );
+    }
+
+    #[test]
+    fn scattered_efficiency_formula() {
+        let ssd = Ssd::new(SsdConfig::bg6_class());
+        assert!((ssd.scattered_efficiency(16 * 1024) - 1.0).abs() < 1e-12);
+        assert!((ssd.scattered_efficiency(512) - 512.0 / 16384.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_reads_are_free() {
+        let mut ssd = Ssd::new(SsdConfig::bg6_class());
+        assert_eq!(ssd.read_contiguous(0), 0);
+        assert_eq!(ssd.read_scattered(0, 4096), 0);
+    }
+
+    #[test]
+    fn energy_accounts_busy_and_idle() {
+        let cfg = SsdConfig::bg6_class();
+        let mut ssd = Ssd::new(cfg.clone());
+        ssd.read_contiguous(256 << 20);
+        let busy_s = ssd.busy_ps as f64 / 1e12;
+        let e = ssd.energy_joules(busy_s + 1.0);
+        let expected = cfg.active_w * busy_s + cfg.idle_w * 1.0;
+        assert!((e - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn small_read_pays_page_latency() {
+        let cfg = SsdConfig::bg6_class();
+        let mut ssd = Ssd::new(cfg.clone());
+        let t = ssd.read_contiguous(512);
+        assert!(t >= cfg.page_read_ps, "must pay at least one tR");
+    }
+}

@@ -1,0 +1,159 @@
+//! The KV-cache retrieval policy interface.
+//!
+//! A retrieval policy decides, per layer and attention head, which
+//! cached tokens participate in attention. The streaming LLM calls the
+//! policy at every prefill/generation step; ReSV (`vrex-core`) and the
+//! baselines (`vrex-retrieval`) implement it.
+
+use vrex_tensor::Matrix;
+
+/// Which inference stage a selection is being made for. The paper's
+/// central observation is that streaming video LLMs are dominated by
+/// the *iterative prefill* stage, while prior retrieval work only
+/// optimised generation — so policies get to behave differently per
+/// stage (e.g. InfiniGen retrieves only during [`Stage::Generation`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Stage {
+    /// Frame-processing (iterative prefill over video/question tokens).
+    Prefill,
+    /// Autoregressive text generation.
+    Generation,
+}
+
+/// The outcome of a selection: either attend to everything (no
+/// retrieval filtering) or to an explicit ascending list of cached
+/// token indices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Selection {
+    /// Attend to the whole cache.
+    All,
+    /// Attend only to these cached token indices (ascending, unique).
+    Indices(Vec<usize>),
+}
+
+impl Selection {
+    /// Number of tokens selected out of a cache of `cache_len`.
+    pub fn selected_count(&self, cache_len: usize) -> usize {
+        match self {
+            Selection::All => cache_len,
+            Selection::Indices(v) => v.len(),
+        }
+    }
+
+    /// Selected fraction of the cache in `[0, 1]`; `1.0` for an empty
+    /// cache (nothing needed fetching).
+    pub fn ratio(&self, cache_len: usize) -> f64 {
+        if cache_len == 0 {
+            return 1.0;
+        }
+        self.selected_count(cache_len) as f64 / cache_len as f64
+    }
+}
+
+/// Context handed to a policy when selecting tokens for one attention
+/// head of one layer.
+#[derive(Debug)]
+pub struct SelectionRequest<'a> {
+    /// Decoder layer index.
+    pub layer: usize,
+    /// Query head index (KV head = `query_head / gqa_group`).
+    pub query_head: usize,
+    /// KV head index that owns the cache being selected from.
+    pub kv_head: usize,
+    /// Query block `(new_tokens × head_dim)` after RoPE.
+    pub queries: &'a Matrix,
+    /// All cached keys of the KV head `(cached_tokens × head_dim)`,
+    /// after RoPE. Policies that predict importance may read this; the
+    /// hardware-cost model separately charges them for doing so.
+    pub keys: &'a Matrix,
+    /// Stage the selection is for.
+    pub stage: Stage,
+}
+
+/// A KV-cache retrieval policy.
+///
+/// Implementations must be deterministic for reproducibility. Methods
+/// receive `&mut self` because realistic policies keep state (hash
+/// cluster tables, running statistics).
+pub trait RetrievalPolicy {
+    /// Human-readable policy name used in reports (e.g. `"ReSV"`).
+    fn name(&self) -> &str;
+
+    /// Notifies the policy that `new_keys` (post-RoPE) were appended to
+    /// the cache of (`layer`, `kv_head`) starting at token index
+    /// `start_token`. ReSV updates its hash-cluster table here.
+    fn on_keys_appended(
+        &mut self,
+        layer: usize,
+        kv_head: usize,
+        new_keys: &Matrix,
+        start_token: usize,
+    );
+
+    /// Selects the cached tokens that the query block should attend to.
+    fn select(&mut self, request: &SelectionRequest<'_>) -> Selection;
+}
+
+/// The trivial policy: attend to the entire cache (the vanilla
+/// VideoLLM-Online configuration and the FlexGen compute behaviour).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SelectAll;
+
+impl SelectAll {
+    /// Creates a new pass-through policy.
+    pub fn new() -> Self {
+        SelectAll
+    }
+}
+
+impl RetrievalPolicy for SelectAll {
+    fn name(&self) -> &str {
+        "SelectAll"
+    }
+
+    fn on_keys_appended(&mut self, _: usize, _: usize, _: &Matrix, _: usize) {}
+
+    fn select(&mut self, _: &SelectionRequest<'_>) -> Selection {
+        Selection::All
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn selection_ratio_all_is_one() {
+        assert_eq!(Selection::All.ratio(100), 1.0);
+        assert_eq!(Selection::All.selected_count(42), 42);
+    }
+
+    #[test]
+    fn selection_ratio_of_indices() {
+        let s = Selection::Indices(vec![0, 5, 9]);
+        assert_eq!(s.selected_count(10), 3);
+        assert!((s.ratio(10) - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_cache_ratio_is_one() {
+        assert_eq!(Selection::Indices(vec![]).ratio(0), 1.0);
+    }
+
+    #[test]
+    fn select_all_policy_selects_all() {
+        let mut p = SelectAll::new();
+        let q = Matrix::zeros(1, 4);
+        let k = Matrix::zeros(8, 4);
+        let req = SelectionRequest {
+            layer: 0,
+            query_head: 0,
+            kv_head: 0,
+            queries: &q,
+            keys: &k,
+            stage: Stage::Prefill,
+        };
+        assert_eq!(p.select(&req), Selection::All);
+        assert_eq!(p.name(), "SelectAll");
+    }
+}

@@ -1,0 +1,56 @@
+//! FlexGen-style baseline: full offload, full fetch, no selection.
+
+use vrex_model::policy::{RetrievalPolicy, Selection, SelectionRequest};
+use vrex_tensor::Matrix;
+
+/// The FlexGen baseline of the paper's evaluation: the KV cache lives
+/// in CPU memory (server) or storage (edge) and **every** cached token
+/// is fetched for every attention step. Functionally identical to
+/// vanilla attention; the cost difference (PCIe/SSD traffic) is
+/// modelled by `vrex-system`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FlexGenPolicy;
+
+impl FlexGenPolicy {
+    /// Creates the policy.
+    pub fn new() -> Self {
+        FlexGenPolicy
+    }
+}
+
+impl RetrievalPolicy for FlexGenPolicy {
+    fn name(&self) -> &str {
+        "FlexGen"
+    }
+
+    fn on_keys_appended(&mut self, _: usize, _: usize, _: &Matrix, _: usize) {}
+
+    fn select(&mut self, _: &SelectionRequest<'_>) -> Selection {
+        Selection::All
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vrex_model::policy::Stage;
+
+    #[test]
+    fn always_selects_all() {
+        let mut p = FlexGenPolicy::new();
+        let q = Matrix::zeros(2, 4);
+        let k = Matrix::zeros(10, 4);
+        for stage in [Stage::Prefill, Stage::Generation] {
+            let req = SelectionRequest {
+                layer: 0,
+                query_head: 0,
+                kv_head: 0,
+                queries: &q,
+                keys: &k,
+                stage,
+            };
+            assert_eq!(p.select(&req), Selection::All);
+        }
+        assert_eq!(p.name(), "FlexGen");
+    }
+}

@@ -1,0 +1,29 @@
+//! # vrex-retrieval
+//!
+//! The baseline KV-cache retrieval methods the paper compares ReSV
+//! against, implemented from scratch over the same
+//! [`vrex_model::RetrievalPolicy`] interface:
+//!
+//! | Policy | Paper role | Behaviour |
+//! |---|---|---|
+//! | [`FlexGenPolicy`] | offload baseline | offloads everything, fetches **all** tokens every step, no prediction |
+//! | [`InfiniGenPolicy`] | generation-only retrieval | top-k during generation, full fetch during prefill |
+//! | [`InfiniGenPPolicy`] | prefill-extended InfiniGen | fixed top-k in *both* stages |
+//! | [`RekvPolicy`] | frame-level retrieval | selects whole frames by centroid score until a token budget |
+//! | [`oaken::OakenModel`] | quantized-cache accelerator | 4-bit online KV quantization (capacity model + functional round trip) |
+//!
+//! All baselines use **fixed top-k** selection — the rigidity ReSV's
+//! WiCSum thresholding removes (paper §III-C). Their selection ratios
+//! are configurable because the paper calibrates each method's ratio to
+//! match baseline accuracy (§VI-B).
+
+pub mod flexgen;
+pub mod infinigen;
+pub mod oaken;
+pub mod rekv;
+pub mod scoring;
+
+pub use flexgen::FlexGenPolicy;
+pub use infinigen::{InfiniGenPPolicy, InfiniGenPolicy};
+pub use oaken::OakenModel;
+pub use rekv::RekvPolicy;

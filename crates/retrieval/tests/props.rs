@@ -1,0 +1,112 @@
+//! Property tests for the baseline retrieval policies.
+
+use proptest::prelude::*;
+use vrex_model::policy::{RetrievalPolicy, Selection, SelectionRequest, Stage};
+use vrex_retrieval::{InfiniGenPPolicy, InfiniGenPolicy, OakenModel, RekvPolicy};
+use vrex_tensor::rng::{gaussian_matrix, seeded_rng};
+use vrex_tensor::Matrix;
+
+fn request<'a>(q: &'a Matrix, k: &'a Matrix, stage: Stage) -> SelectionRequest<'a> {
+    SelectionRequest {
+        layer: 0,
+        query_head: 0,
+        kv_head: 0,
+        queries: q,
+        keys: k,
+        stage,
+    }
+}
+
+fn check_selection(sel: &Selection, history: usize) {
+    if let Selection::Indices(idx) = sel {
+        assert!(idx.windows(2).all(|w| w[0] < w[1]), "not strictly ascending");
+        assert!(idx.iter().all(|&i| i < history), "index beyond history");
+    }
+}
+
+proptest! {
+    /// Top-k baselines honour their ratio to within one token, return
+    /// sorted unique in-range indices, and are deterministic.
+    #[test]
+    fn infinigenp_selection_size_matches_ratio(
+        history in 1usize..200,
+        new in 1usize..8,
+        ratio_pct in 1u32..100,
+        seed in 0u64..300,
+    ) {
+        let ratio = ratio_pct as f64 / 100.0;
+        let mut rng = seeded_rng(seed);
+        let q = gaussian_matrix(&mut rng, new, 8, 1.0);
+        let k = gaussian_matrix(&mut rng, history + new, 8, 1.0);
+        let mut p = InfiniGenPPolicy::new(ratio, ratio);
+        let sel = p.select(&request(&q, &k, Stage::Prefill));
+        check_selection(&sel, history);
+        let expected = ((history as f64 * ratio).ceil() as usize).min(history);
+        prop_assert_eq!(sel.selected_count(history), expected);
+        // Determinism.
+        let sel2 = p.select(&request(&q, &k, Stage::Prefill));
+        prop_assert_eq!(sel, sel2);
+    }
+
+    /// InfiniGen never filters during prefill, always filters during
+    /// generation (when the ratio would remove something).
+    #[test]
+    fn infinigen_is_generation_only(
+        history in 20usize..200,
+        seed in 0u64..300,
+    ) {
+        let mut rng = seeded_rng(seed);
+        let q = gaussian_matrix(&mut rng, 1, 8, 1.0);
+        let k = gaussian_matrix(&mut rng, history + 1, 8, 1.0);
+        let mut p = InfiniGenPolicy::new(0.1);
+        prop_assert_eq!(p.select(&request(&q, &k, Stage::Prefill)), Selection::All);
+        match p.select(&request(&q, &k, Stage::Generation)) {
+            Selection::All => prop_assert!(false, "generation must filter"),
+            Selection::Indices(idx) => prop_assert!(idx.len() < history),
+        }
+    }
+
+    /// ReKV selections consist of whole frames except possibly the last
+    /// partial frame of the history.
+    #[test]
+    fn rekv_selects_frame_aligned_runs(
+        frames in 2usize..20,
+        tpf in 1usize..8,
+        ratio_pct in 10u32..90,
+        seed in 0u64..300,
+    ) {
+        let history = frames * tpf;
+        let mut rng = seeded_rng(seed);
+        let q = gaussian_matrix(&mut rng, 2, 8, 1.0);
+        let k = gaussian_matrix(&mut rng, history + 2, 8, 1.0);
+        let mut p = RekvPolicy::new(tpf, ratio_pct as f64 / 100.0, 0.5);
+        let sel = p.select(&request(&q, &k, Stage::Prefill));
+        check_selection(&sel, history);
+        if let Selection::Indices(idx) = &sel {
+            // Group indices by frame: every touched frame is complete.
+            let mut per_frame = vec![0usize; frames];
+            for &i in idx {
+                per_frame[i / tpf] += 1;
+            }
+            for (f, &count) in per_frame.iter().enumerate() {
+                prop_assert!(
+                    count == 0 || count == tpf,
+                    "frame {f} partially selected ({count}/{tpf})"
+                );
+            }
+        }
+    }
+
+    /// Oaken's quantized round trip preserves sign structure and its
+    /// storage size beats BF16 by design.
+    #[test]
+    fn oaken_round_trip_and_capacity(rows in 1usize..8, seed in 0u64..300) {
+        let m = OakenModel::paper_defaults();
+        let kv = gaussian_matrix(&mut seeded_rng(seed), rows, 128, 1.0);
+        let rt = m.round_trip(&kv);
+        let rel = (&kv - &rt).frobenius_norm() / kv.frobenius_norm().max(1e-6);
+        prop_assert!(rel < 0.2, "relative error {rel}");
+        let gain = m.capacity_gain(&vrex_model::ModelConfig::llama3_8b());
+        prop_assert!(gain > 3.0 && gain < 4.5);
+    }
+}

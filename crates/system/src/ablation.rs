@@ -1,0 +1,124 @@
+//! Ablation configurations (paper Fig. 16).
+//!
+//! The paper enables V-Rex's optimisations incrementally on a 40K-token
+//! cache at batch 1:
+//!
+//! 1. **AGX + ReSV** — the algorithm alone on the edge GPU (software
+//!    co-design only): retrieval volume shrinks, but clustering and
+//!    thresholding run as serial data-dependent GPU work (~48% of
+//!    latency).
+//! 2. **V-Rex8 KVPU** — the DRE's compute units absorb prediction
+//!    (latency share → ~0.5%), but fetches stay token-scattered.
+//! 3. **V-Rex8 All** — adding the KVMU: hierarchical residency and
+//!    cluster-contiguous transfers lift PCIe utilisation.
+
+use vrex_model::ModelConfig;
+
+use crate::e2e::{StepResult, SystemModel};
+use crate::method::Method;
+use crate::platform::PlatformSpec;
+
+/// One ablation rung.
+#[derive(Debug, Clone)]
+pub struct AblationPoint {
+    /// Configuration label as in Fig. 16.
+    pub label: &'static str,
+    /// Frame-step result at the ablation workload.
+    pub result: StepResult,
+}
+
+/// Runs the Fig. 16 ladder: baseline, +ReSV (SW), +KVPU, +All.
+pub fn fig16_ladder(model: &ModelConfig, cache_tokens: usize, batch: usize) -> Vec<AblationPoint> {
+    let configs: Vec<(&'static str, SystemModel)> = vec![
+        (
+            "AGX+FlexGen",
+            SystemModel::new(PlatformSpec::agx_orin(), Method::FlexGen),
+        ),
+        (
+            "AGX+ReSV",
+            SystemModel::new(PlatformSpec::agx_orin(), Method::ReSV),
+        ),
+        (
+            "V-Rex8 KVPU",
+            SystemModel::new(PlatformSpec::vrex8(), Method::ReSVKvpuOnly),
+        ),
+        (
+            "V-Rex8 All",
+            SystemModel::new(PlatformSpec::vrex8(), Method::ReSV),
+        ),
+    ];
+    configs
+        .into_iter()
+        .map(|(label, sys)| AblationPoint {
+            label,
+            result: sys.frame_step(model, cache_tokens, batch),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_improves_monotonically() {
+        let ladder = fig16_ladder(&ModelConfig::llama3_8b(), 40_000, 1);
+        assert_eq!(ladder.len(), 4);
+        for w in ladder.windows(2) {
+            assert!(
+                w[1].result.latency_ps < w[0].result.latency_ps,
+                "{} ({} ms) should beat {} ({} ms)",
+                w[1].label,
+                w[1].result.latency_ms(),
+                w[0].label,
+                w[0].result.latency_ms()
+            );
+        }
+    }
+
+    #[test]
+    fn agx_resv_speedup_over_flexgen_is_paperlike() {
+        // Paper: AGX+ReSV reduces latency 2.8x over AGX+FlexGen.
+        let ladder = fig16_ladder(&ModelConfig::llama3_8b(), 40_000, 1);
+        let speedup =
+            ladder[0].result.latency_ps as f64 / ladder[1].result.latency_ps as f64;
+        assert!(
+            (1.5..6.0).contains(&speedup),
+            "AGX+ReSV speedup {speedup:.2} outside plausible band"
+        );
+    }
+
+    #[test]
+    fn full_system_speedup_is_paperlike() {
+        // Paper: V-Rex8 All reaches 8.1x over AGX+FlexGen.
+        let ladder = fig16_ladder(&ModelConfig::llama3_8b(), 40_000, 1);
+        let speedup =
+            ladder[0].result.latency_ps as f64 / ladder[3].result.latency_ps as f64;
+        assert!(
+            (4.0..16.0).contains(&speedup),
+            "full-system speedup {speedup:.2} outside plausible band"
+        );
+    }
+
+    #[test]
+    fn kvpu_kills_prediction_share() {
+        let ladder = fig16_ladder(&ModelConfig::llama3_8b(), 40_000, 1);
+        let gpu_share = ladder[1].result.prediction_ps as f64
+            / (ladder[1].result.latency_ps as f64);
+        let dre_share = ladder[2].result.prediction_ps as f64
+            / (ladder[2].result.latency_ps as f64);
+        assert!(gpu_share > 0.2, "GPU prediction share {gpu_share:.2} too small");
+        assert!(dre_share < 0.05, "DRE prediction share {dre_share:.3} too large");
+    }
+
+    #[test]
+    fn energy_improves_down_the_ladder() {
+        let ladder = fig16_ladder(&ModelConfig::llama3_8b(), 40_000, 1);
+        let first = ladder[0].result.energy.total_j();
+        let last = ladder[3].result.energy.total_j();
+        assert!(
+            last * 4.0 < first,
+            "energy should drop ≥4x: {first:.2} J -> {last:.2} J"
+        );
+    }
+}

@@ -1,0 +1,30 @@
+//! # vrex-system
+//!
+//! Full-system models: the four evaluation platforms of Table I
+//! (AGX Orin, A100, V-Rex8, V-Rex48), the retrieval-method cost
+//! profiles, and the per-layer pipeline composition (Fig. 5) that turns
+//! workload parameters (KV length, batch, stage) into per-frame
+//! latency, TPOT, FPS, energy, and OOM outcomes — every number behind
+//! Figs. 13–18 and Table I.
+//!
+//! The split of responsibilities:
+//!
+//! * `vrex-core` / `vrex-retrieval` decide *which tokens* are selected
+//!   (functional behaviour, measured ratios);
+//! * `vrex-hwsim` prices individual hardware operations;
+//! * this crate composes them into end-to-end executions with the
+//!   paper's overlap rules: baselines predict/prefetch during the
+//!   previous layer on the *same* GPU (prediction steals compute),
+//!   while V-Rex's DRE runs prediction concurrently and its KVMU
+//!   fetches cluster-contiguous chunks (higher link efficiency).
+
+pub mod ablation;
+pub mod e2e;
+pub mod method;
+pub mod pipeline;
+pub mod platform;
+pub mod realtime;
+
+pub use e2e::{EnergyBreakdown, StepResult, SystemModel};
+pub use method::{Method, MethodProfile};
+pub use platform::{ComputeSpec, PlatformSpec};

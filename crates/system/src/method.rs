@@ -1,0 +1,247 @@
+//! Retrieval-method cost profiles for the system-level evaluation.
+//!
+//! The latency/energy sweeps (Figs. 13–16) characterise each method by
+//! its selection ratio per stage (measured in Table II and calibrated
+//! by the paper to iso-accuracy), its prediction computation, and its
+//! fetch granularity. The functional selection quality is measured in
+//! `vrex-workload`; here only the *costs* matter.
+
+/// How a method computes token importance ("KV prediction").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PredictionKind {
+    /// No prediction (fetch everything).
+    None,
+    /// Token-granular query·key scoring plus top-k sort (InfiniGen*).
+    TokenTopK,
+    /// Frame-granular centroid scoring plus top-k (ReKV).
+    FrameTopK,
+    /// ReSV: hash-bit clustering + cluster scoring + WiCSum.
+    Resv,
+}
+
+/// The system-level methods of the evaluation figures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Method {
+    /// No offloading at all (in-memory vanilla; OOMs when the cache
+    /// outgrows device memory — Fig. 15's AGX baseline).
+    VanillaInMemory,
+    /// Full offload + full fetch.
+    FlexGen,
+    /// Top-k during generation only.
+    InfiniGen,
+    /// Top-k in both stages.
+    InfiniGenP,
+    /// Frame-level top-k.
+    ReKV,
+    /// ReSV (the paper's algorithm).
+    ReSV,
+    /// ReSV without hash-bit clustering (Fig. 19 ablation).
+    ReSVNoClustering,
+    /// ReSV with the KVPU but without the KVMU (Fig. 16 ablation):
+    /// prediction is accelerated but fetches stay token-scattered and
+    /// nothing is resident.
+    ReSVKvpuOnly,
+    /// Oaken: 4-bit quantized in-memory cache, no offload (Fig. 15).
+    Oaken,
+}
+
+/// Cost profile of a method.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MethodProfile {
+    /// Display name.
+    pub name: &'static str,
+    /// Selected fraction of the cached history, frame stage.
+    pub frame_ratio: f64,
+    /// Selected fraction, generation stage.
+    pub text_ratio: f64,
+    /// Prediction computation kind.
+    pub prediction: PredictionKind,
+    /// Offload DMA chunk size (bytes): per-token scatters for
+    /// token-granular methods, frame-sized for ReKV, cluster-contiguous
+    /// for ReSV under the KVMU.
+    pub fetch_chunk_bytes: u64,
+    /// Whether the cache is offloaded at all.
+    pub offloads: bool,
+    /// Effective KV bytes per token multiplier (Oaken's 4-bit cache).
+    pub kv_bytes_scale: f64,
+    /// Whether the method runs with the KVMU's hierarchical memory
+    /// (hot-window residency + cluster-contiguous mapping). Only
+    /// meaningful on a V-Rex platform.
+    pub uses_kvmu: bool,
+}
+
+impl Method {
+    /// The paper's calibrated profile for this method (Table II average
+    /// ratios; fetch granularity per §V-C).
+    pub fn profile(&self) -> MethodProfile {
+        // Per-token-per-layer KV record (Llama-3 8B): 4 KiB.
+        const TOKEN_CHUNK: u64 = 4096;
+        // ReKV fetches whole frames (10 tokens).
+        const FRAME_CHUNK: u64 = 10 * TOKEN_CHUNK;
+        // KVMU groups clusters contiguously (avg 32 tokens/cluster).
+        const CLUSTER_CHUNK: u64 = 32 * TOKEN_CHUNK;
+        match self {
+            Method::VanillaInMemory => MethodProfile {
+                name: "Vanilla (in-memory)",
+                frame_ratio: 1.0,
+                text_ratio: 1.0,
+                prediction: PredictionKind::None,
+                fetch_chunk_bytes: CLUSTER_CHUNK,
+                offloads: false,
+                kv_bytes_scale: 1.0,
+                uses_kvmu: false,
+            },
+            Method::FlexGen => MethodProfile {
+                name: "FlexGen",
+                frame_ratio: 1.0,
+                text_ratio: 1.0,
+                prediction: PredictionKind::None,
+                // Full-cache fetches stream contiguously.
+                fetch_chunk_bytes: 256 * 1024,
+                offloads: true,
+                kv_bytes_scale: 1.0,
+                uses_kvmu: false,
+            },
+            Method::InfiniGen => MethodProfile {
+                name: "InfiniGen",
+                frame_ratio: 1.0,
+                text_ratio: 0.068,
+                prediction: PredictionKind::TokenTopK,
+                fetch_chunk_bytes: TOKEN_CHUNK,
+                offloads: true,
+                kv_bytes_scale: 1.0,
+                uses_kvmu: false,
+            },
+            Method::InfiniGenP => MethodProfile {
+                name: "InfiniGenP",
+                frame_ratio: 0.508,
+                text_ratio: 0.068,
+                prediction: PredictionKind::TokenTopK,
+                fetch_chunk_bytes: TOKEN_CHUNK,
+                offloads: true,
+                kv_bytes_scale: 1.0,
+                uses_kvmu: false,
+            },
+            Method::ReKV => MethodProfile {
+                name: "ReKV",
+                frame_ratio: 0.584,
+                text_ratio: 0.312,
+                prediction: PredictionKind::FrameTopK,
+                fetch_chunk_bytes: FRAME_CHUNK,
+                offloads: true,
+                kv_bytes_scale: 1.0,
+                uses_kvmu: false,
+            },
+            Method::ReSV => MethodProfile {
+                name: "ReSV",
+                frame_ratio: 0.327,
+                text_ratio: 0.025,
+                prediction: PredictionKind::Resv,
+                fetch_chunk_bytes: CLUSTER_CHUNK,
+                offloads: true,
+                kv_bytes_scale: 1.0,
+                uses_kvmu: true,
+            },
+            Method::ReSVNoClustering => MethodProfile {
+                name: "ReSV w/o clustering",
+                frame_ratio: 0.327,
+                text_ratio: 0.025,
+                prediction: PredictionKind::TokenTopK,
+                fetch_chunk_bytes: TOKEN_CHUNK,
+                offloads: true,
+                kv_bytes_scale: 1.0,
+                uses_kvmu: false,
+            },
+            Method::ReSVKvpuOnly => MethodProfile {
+                name: "ReSV+KVPU",
+                frame_ratio: 0.327,
+                text_ratio: 0.025,
+                prediction: PredictionKind::Resv,
+                // Without the KVMU's cluster mapping, contiguous runs
+                // in the raw streaming layout are short (~2 tokens).
+                fetch_chunk_bytes: 2 * TOKEN_CHUNK,
+                offloads: true,
+                kv_bytes_scale: 1.0,
+                uses_kvmu: false,
+            },
+            Method::Oaken => MethodProfile {
+                name: "Oaken",
+                frame_ratio: 1.0,
+                text_ratio: 1.0,
+                prediction: PredictionKind::None,
+                fetch_chunk_bytes: CLUSTER_CHUNK,
+                offloads: false,
+                kv_bytes_scale: 0.266, // 4-bit codes + scales vs BF16
+                uses_kvmu: false,
+            },
+        }
+    }
+
+    /// The ratio for a stage (`true` = generation).
+    pub fn ratio(&self, generation: bool) -> f64 {
+        let p = self.profile();
+        if generation {
+            p.text_ratio
+        } else {
+            p.frame_ratio
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_average_ratios() {
+        assert_eq!(Method::InfiniGen.profile().frame_ratio, 1.0);
+        assert!((Method::InfiniGenP.profile().frame_ratio - 0.508).abs() < 1e-9);
+        assert!((Method::ReKV.profile().frame_ratio - 0.584).abs() < 1e-9);
+        assert!((Method::ReSV.profile().frame_ratio - 0.327).abs() < 1e-9);
+        assert!((Method::ReSV.profile().text_ratio - 0.025).abs() < 1e-9);
+    }
+
+    #[test]
+    fn resv_has_lowest_ratios() {
+        let resv = Method::ReSV.profile();
+        for m in [Method::FlexGen, Method::InfiniGen, Method::InfiniGenP, Method::ReKV] {
+            let p = m.profile();
+            assert!(resv.frame_ratio < p.frame_ratio || m == Method::InfiniGenP);
+            assert!(resv.frame_ratio <= p.frame_ratio);
+            assert!(resv.text_ratio <= p.text_ratio);
+        }
+    }
+
+    #[test]
+    fn only_in_memory_methods_skip_offload() {
+        assert!(!Method::VanillaInMemory.profile().offloads);
+        assert!(!Method::Oaken.profile().offloads);
+        for m in [
+            Method::FlexGen,
+            Method::InfiniGen,
+            Method::InfiniGenP,
+            Method::ReKV,
+            Method::ReSV,
+        ] {
+            assert!(m.profile().offloads);
+        }
+    }
+
+    #[test]
+    fn oaken_shrinks_kv_bytes() {
+        let s = Method::Oaken.profile().kv_bytes_scale;
+        assert!(s < 0.3 && s > 0.2, "4-bit scale {s}");
+    }
+
+    #[test]
+    fn fetch_granularity_ordering() {
+        // ReSV (cluster) > ReKV (frame) > InfiniGen (token).
+        assert!(
+            Method::ReSV.profile().fetch_chunk_bytes > Method::ReKV.profile().fetch_chunk_bytes
+        );
+        assert!(
+            Method::ReKV.profile().fetch_chunk_bytes
+                > Method::InfiniGenP.profile().fetch_chunk_bytes
+        );
+    }
+}

@@ -1,0 +1,205 @@
+//! The four evaluation platforms (paper Table I).
+
+use vrex_hwsim::dram::DramConfig;
+use vrex_hwsim::gpu::GpuConfig;
+use vrex_hwsim::pcie::PcieConfig;
+use vrex_hwsim::ssd::SsdConfig;
+use vrex_hwsim::vrexunits::VRexChipConfig;
+use vrex_hwsim::area_power::SystemPower;
+
+/// The compute engine of a platform.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ComputeSpec {
+    /// A baseline GPU.
+    Gpu(GpuConfig),
+    /// A V-Rex chip (LXE + DRE per core).
+    VRex(VRexChipConfig),
+}
+
+impl ComputeSpec {
+    /// Peak dense throughput (FLOP/s).
+    pub fn peak_flops(&self) -> f64 {
+        match self {
+            ComputeSpec::Gpu(g) => g.peak_flops,
+            ComputeSpec::VRex(v) => v.peak_flops(),
+        }
+    }
+}
+
+/// A complete platform: compute + memory + offload path + power.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlatformSpec {
+    /// Platform name as used in the figures.
+    pub name: &'static str,
+    /// Compute engine.
+    pub compute: ComputeSpec,
+    /// Device memory.
+    pub dram: DramConfig,
+    /// Device memory capacity (bytes).
+    pub mem_capacity: u64,
+    /// Offload link.
+    pub pcie: PcieConfig,
+    /// Storage offload target (edge platforms).
+    pub storage: Option<SsdConfig>,
+    /// CPU-memory offload target (server platforms).
+    pub offload_dram: Option<DramConfig>,
+    /// Hot-window: recent KV tokens kept resident in device memory per
+    /// stream (the hierarchical KVMU residency; GPUs run the same
+    /// recent-window policy under FlexGen-style offloading).
+    pub hot_window_tokens: usize,
+    /// Fixed per-frame ingest overhead (sampling, decode, patchify) in
+    /// picoseconds.
+    pub frame_overhead_ps: u64,
+    /// Vision tower (SigLIP-ViT-L-384) FLOPs per frame.
+    pub vision_flops: u64,
+    /// Vision tower weight bytes (streamed per frame batch).
+    pub vision_bytes: u64,
+    /// Board/system power under load (W) for energy accounting.
+    pub power_w: f64,
+}
+
+/// SigLIP-ViT-L/384 forward cost: ~729 patches through ~300 M params.
+const VISION_FLOPS: u64 = 450_000_000_000;
+const VISION_BYTES: u64 = 640 << 20;
+
+impl PlatformSpec {
+    /// NVIDIA Jetson AGX Orin, KV offload to M.2 NVMe over PCIe 3.0 ×4.
+    pub fn agx_orin() -> Self {
+        Self {
+            name: "AGX Orin",
+            compute: ComputeSpec::Gpu(GpuConfig::agx_orin()),
+            dram: DramConfig::lpddr5_204gb(),
+            mem_capacity: 32u64 << 30,
+            pcie: PcieConfig::gen3_x4(),
+            storage: Some(SsdConfig::bg6_class()),
+            offload_dram: None,
+            hot_window_tokens: 8192,
+            frame_overhead_ps: 20_000_000_000, // 20 ms decode+preproc
+            vision_flops: VISION_FLOPS,
+            vision_bytes: VISION_BYTES,
+            power_w: 40.0,
+        }
+    }
+
+    /// NVIDIA A100, KV offload to DDR4 CPU memory over PCIe 4.0 ×16.
+    pub fn a100() -> Self {
+        Self {
+            name: "A100",
+            compute: ComputeSpec::Gpu(GpuConfig::a100()),
+            dram: DramConfig::hbm2e_1935gb(),
+            mem_capacity: 80u64 << 30,
+            pcie: PcieConfig::gen4_x16(),
+            storage: None,
+            offload_dram: Some(DramConfig::ddr4_cpu()),
+            hot_window_tokens: 8192,
+            frame_overhead_ps: 4_000_000_000, // 4 ms
+            vision_flops: VISION_FLOPS,
+            vision_bytes: VISION_BYTES,
+            power_w: 300.0,
+        }
+    }
+
+    /// V-Rex8: 8 cores, LPDDR5, NVMe over PCIe 3.0 ×4 (Table I edge).
+    pub fn vrex8() -> Self {
+        Self {
+            name: "V-Rex8",
+            compute: ComputeSpec::VRex(VRexChipConfig::edge8()),
+            dram: DramConfig::lpddr5_204gb(),
+            mem_capacity: 32u64 << 30,
+            pcie: PcieConfig::gen3_x4(),
+            storage: Some(SsdConfig::bg6_class()),
+            offload_dram: None,
+            hot_window_tokens: 8192,
+            frame_overhead_ps: 20_000_000_000,
+            vision_flops: VISION_FLOPS,
+            vision_bytes: VISION_BYTES,
+            power_w: SystemPower::vrex8().total_w(),
+        }
+    }
+
+    /// V-Rex48: 48 cores, HBM2e, DDR4 CPU memory over PCIe 4.0 ×16
+    /// (Table I server).
+    pub fn vrex48() -> Self {
+        Self {
+            name: "V-Rex48",
+            compute: ComputeSpec::VRex(VRexChipConfig::server48()),
+            dram: DramConfig::hbm2e_1935gb(),
+            mem_capacity: 80u64 << 30,
+            pcie: PcieConfig::gen4_x16(),
+            storage: None,
+            offload_dram: Some(DramConfig::ddr4_cpu()),
+            hot_window_tokens: 8192,
+            frame_overhead_ps: 4_000_000_000,
+            vision_flops: VISION_FLOPS,
+            vision_bytes: VISION_BYTES,
+            power_w: SystemPower::vrex48().total_w(),
+        }
+    }
+
+    /// Whether this platform carries a DRE (dynamic retrieval engine).
+    pub fn has_dre(&self) -> bool {
+        matches!(self.compute, ComputeSpec::VRex(_))
+    }
+
+    /// Offload-path sustained source bandwidth (bytes/s): SSD peak for
+    /// storage offload, DDR4 peak for CPU-memory offload. The PCIe link
+    /// is modelled separately.
+    pub fn offload_source_bytes_per_s(&self) -> f64 {
+        if let Some(s) = &self.storage {
+            s.peak_bytes_per_s()
+        } else if let Some(d) = &self.offload_dram {
+            d.peak_bytes_per_s()
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_peaks() {
+        assert!((PlatformSpec::agx_orin().compute.peak_flops() / 1e12 - 54.0).abs() < 0.1);
+        assert!((PlatformSpec::a100().compute.peak_flops() / 1e12 - 312.0).abs() < 0.1);
+        assert!((PlatformSpec::vrex8().compute.peak_flops() / 1e12 - 53.3).abs() < 0.1);
+        assert!((PlatformSpec::vrex48().compute.peak_flops() / 1e12 - 319.5).abs() < 0.5);
+    }
+
+    #[test]
+    fn table1_memory_and_links() {
+        let agx = PlatformSpec::agx_orin();
+        assert!((agx.dram.peak_bytes_per_s() - 204.8e9).abs() < 1.0);
+        assert!((agx.pcie.raw_bytes_per_s() - 4.0e9).abs() < 1.0);
+        assert_eq!(agx.mem_capacity, 32u64 << 30);
+        let a100 = PlatformSpec::a100();
+        assert!((a100.dram.peak_bytes_per_s() - 1935.0e9).abs() < 1.0);
+        assert!((a100.pcie.raw_bytes_per_s() - 32.0e9).abs() < 1.0);
+        assert_eq!(a100.mem_capacity, 80u64 << 30);
+    }
+
+    #[test]
+    fn table1_power() {
+        assert_eq!(PlatformSpec::agx_orin().power_w, 40.0);
+        assert_eq!(PlatformSpec::a100().power_w, 300.0);
+        assert!((PlatformSpec::vrex8().power_w - 35.0).abs() < 1.0);
+        assert!((PlatformSpec::vrex48().power_w - 203.68).abs() < 2.0);
+    }
+
+    #[test]
+    fn edge_offloads_to_storage_server_to_cpu_memory() {
+        assert!(PlatformSpec::agx_orin().storage.is_some());
+        assert!(PlatformSpec::vrex8().storage.is_some());
+        assert!(PlatformSpec::a100().offload_dram.is_some());
+        assert!(PlatformSpec::vrex48().offload_dram.is_some());
+    }
+
+    #[test]
+    fn only_vrex_has_dre() {
+        assert!(!PlatformSpec::agx_orin().has_dre());
+        assert!(!PlatformSpec::a100().has_dre());
+        assert!(PlatformSpec::vrex8().has_dre());
+        assert!(PlatformSpec::vrex48().has_dre());
+    }
+}

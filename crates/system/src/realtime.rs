@@ -1,0 +1,141 @@
+//! Real-time streaming session simulation (queueing view).
+//!
+//! The paper's "real-time processing" line (Figs. 13, 15) is a
+//! steady-state threshold: a system is real-time at a given cache
+//! length if it processes frames at least as fast as they arrive.
+//! This module simulates the transient too: frames arrive at a fixed
+//! FPS while per-frame service time *grows with the cache*, so a
+//! system can start real-time and later fall behind. The simulation
+//! tracks queue depth and end-to-end frame lag over a session — the
+//! user-visible consequence of the prefill bottleneck.
+
+use vrex_model::ModelConfig;
+
+use crate::e2e::SystemModel;
+
+/// Result of a simulated streaming session.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionResult {
+    /// Frames offered to the system.
+    pub frames_offered: usize,
+    /// Frames fully processed before the session ended.
+    pub frames_processed: usize,
+    /// Maximum queue depth reached (frames waiting).
+    pub max_queue_depth: usize,
+    /// Mean per-frame lag (completion − arrival), seconds.
+    pub mean_lag_s: f64,
+    /// Worst per-frame lag, seconds.
+    pub max_lag_s: f64,
+    /// Whether the system kept up (bounded queue, lag below `2/fps`).
+    pub real_time: bool,
+    /// Cache length (tokens) at the end of the session.
+    pub final_cache_tokens: usize,
+}
+
+/// Simulates `seconds` of video arriving at `fps` into a system that
+/// starts with `initial_cache_tokens` of context, with service times
+/// taken from the system's frame-latency model as the cache grows.
+///
+/// Frames queue FIFO; the camera never drops frames (the paper's
+/// setting — dropped frames would lose visual context).
+pub fn simulate_session(
+    sys: &SystemModel,
+    model: &ModelConfig,
+    initial_cache_tokens: usize,
+    fps: f64,
+    seconds: f64,
+    batch: usize,
+) -> SessionResult {
+    assert!(fps > 0.0 && seconds > 0.0, "fps and duration must be positive");
+    let frames_offered = (fps * seconds).floor() as usize;
+    let interarrival = 1.0 / fps;
+
+    let mut cache = initial_cache_tokens;
+    let mut server_free_at = 0.0f64;
+    let mut lags = Vec::with_capacity(frames_offered);
+    let mut max_queue = 0usize;
+    let mut completions: Vec<f64> = Vec::with_capacity(frames_offered);
+
+    for i in 0..frames_offered {
+        let arrival = i as f64 * interarrival;
+        // Queue depth: arrived but not yet completed at this instant.
+        let depth = completions.iter().filter(|&&c| c > arrival).count();
+        max_queue = max_queue.max(depth);
+        let start = server_free_at.max(arrival);
+        let service = sys.frame_step(model, cache, batch).latency_ps as f64 / 1e12;
+        let completion = start + service;
+        server_free_at = completion;
+        lags.push(completion - arrival);
+        completions.push(completion);
+        cache += model.tokens_per_frame;
+    }
+
+    let processed = completions.iter().filter(|&&c| c <= seconds).count();
+    let mean_lag = lags.iter().sum::<f64>() / lags.len().max(1) as f64;
+    let max_lag = lags.iter().cloned().fold(0.0, f64::max);
+    SessionResult {
+        frames_offered,
+        frames_processed: processed,
+        max_queue_depth: max_queue,
+        mean_lag_s: mean_lag,
+        max_lag_s: max_lag,
+        real_time: max_lag <= 2.0 * interarrival,
+        final_cache_tokens: cache,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::method::Method;
+    use crate::platform::PlatformSpec;
+
+    fn llama() -> ModelConfig {
+        ModelConfig::llama3_8b()
+    }
+
+    #[test]
+    fn vrex8_keeps_up_at_2fps_short_cache() {
+        let sys = SystemModel::new(PlatformSpec::vrex8(), Method::ReSV);
+        let r = simulate_session(&sys, &llama(), 1_000, 2.0, 30.0, 1);
+        assert!(r.real_time, "V-Rex8 should sustain 2 FPS: {r:?}");
+        assert_eq!(r.frames_offered, 60);
+        assert!(r.max_queue_depth <= 1);
+    }
+
+    #[test]
+    fn agx_flexgen_falls_behind_at_long_cache() {
+        let sys = SystemModel::new(PlatformSpec::agx_orin(), Method::FlexGen);
+        let r = simulate_session(&sys, &llama(), 40_000, 2.0, 30.0, 1);
+        assert!(!r.real_time, "AGX+FlexGen cannot sustain 2 FPS at 40K: {r:?}");
+        assert!(r.max_queue_depth > 5, "queue should build: {r:?}");
+        assert!(r.max_lag_s > r.mean_lag_s);
+    }
+
+    #[test]
+    fn lag_grows_monotonically_when_overloaded() {
+        let sys = SystemModel::new(PlatformSpec::agx_orin(), Method::FlexGen);
+        let r = simulate_session(&sys, &llama(), 20_000, 4.0, 10.0, 1);
+        // Overloaded server: later frames lag more than earlier ones.
+        assert!(r.max_lag_s >= r.mean_lag_s);
+        assert!(r.frames_processed < r.frames_offered);
+    }
+
+    #[test]
+    fn cache_grows_by_tokens_per_frame() {
+        let sys = SystemModel::new(PlatformSpec::vrex8(), Method::ReSV);
+        let model = llama();
+        let r = simulate_session(&sys, &model, 500, 2.0, 5.0, 1);
+        assert_eq!(
+            r.final_cache_tokens,
+            500 + r.frames_offered * model.tokens_per_frame
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn rejects_zero_fps() {
+        let sys = SystemModel::new(PlatformSpec::vrex8(), Method::ReSV);
+        let _ = simulate_session(&sys, &llama(), 0, 0.0, 10.0, 1);
+    }
+}

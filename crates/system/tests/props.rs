@@ -1,0 +1,148 @@
+//! Property tests for the system cost model: monotonicity and
+//! conservation laws the figures depend on.
+
+use proptest::prelude::*;
+use vrex_model::ModelConfig;
+use vrex_system::pipeline::{cold_selected_tokens, layer_costs, selected_tokens, Workload};
+use vrex_system::{Method, PlatformSpec, SystemModel};
+
+const METHODS: [Method; 6] = [
+    Method::FlexGen,
+    Method::InfiniGen,
+    Method::InfiniGenP,
+    Method::ReKV,
+    Method::ReSV,
+    Method::Oaken,
+];
+
+fn platforms() -> Vec<PlatformSpec> {
+    vec![
+        PlatformSpec::agx_orin(),
+        PlatformSpec::a100(),
+        PlatformSpec::vrex8(),
+        PlatformSpec::vrex48(),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Selection counts are conserved: cold ≤ selected ≤ cache, and the
+    /// ratio honoured to within rounding.
+    #[test]
+    fn selection_conservation(
+        cache in 1usize..100_000,
+        batch in 1usize..16,
+        method_idx in 0usize..6,
+        platform_idx in 0usize..4,
+        generation in any::<bool>(),
+    ) {
+        let method = METHODS[method_idx];
+        let platform = &platforms()[platform_idx];
+        let model = ModelConfig::llama3_8b();
+        let w = Workload {
+            model: model.clone(),
+            cache_tokens: cache,
+            batch,
+            new_tokens: if generation { 1 } else { model.tokens_per_frame },
+            generation,
+        };
+        let sel = selected_tokens(method, &w);
+        let cold = cold_selected_tokens(platform, method, &w);
+        prop_assert!(sel <= cache);
+        prop_assert!(cold <= sel);
+        let expected = (cache as f64 * method.ratio(generation)).ceil() as usize;
+        prop_assert_eq!(sel, expected.min(cache));
+    }
+
+    /// Layer latency is the overlap composition: never below the
+    /// slowest component, never above the serial sum.
+    #[test]
+    fn layer_latency_bounded_by_components(
+        cache in 1usize..80_000,
+        batch in 1usize..8,
+        method_idx in 0usize..6,
+        platform_idx in 0usize..4,
+    ) {
+        let method = METHODS[method_idx];
+        let platform = &platforms()[platform_idx];
+        let w = Workload::frame(&ModelConfig::llama3_8b(), cache, batch);
+        let c = layer_costs(platform, method, &w);
+        let serial = c.dense_ps + c.attention_ps + c.prediction_ps + c.fetch_ps;
+        let slowest = c.dense_ps.max(c.attention_ps).max(c.prediction_ps).max(c.fetch_ps);
+        prop_assert!(c.layer_ps >= slowest, "layer {} < slowest {}", c.layer_ps, slowest);
+        prop_assert!(c.layer_ps <= serial, "layer {} > serial {}", c.layer_ps, serial);
+    }
+
+    /// Frame latency is weakly monotone in cache length for every
+    /// platform+method pair.
+    #[test]
+    fn latency_monotone_in_cache_length(
+        base in 1_000usize..20_000,
+        growth in 1usize..4,
+        method_idx in 0usize..6,
+        platform_idx in 0usize..4,
+    ) {
+        let method = METHODS[method_idx];
+        let platform = platforms()[platform_idx].clone();
+        let sys = SystemModel::new(platform, method);
+        let model = ModelConfig::llama3_8b();
+        let t1 = sys.frame_step(&model, base, 1).latency_ps;
+        let t2 = sys.frame_step(&model, base * (1 + growth), 1).latency_ps;
+        prop_assert!(t2 >= t1, "latency fell: {t1} -> {t2}");
+    }
+
+    /// Energy is positive and increases with batch size.
+    #[test]
+    fn energy_positive_and_monotone_in_batch(
+        cache in 1_000usize..40_000,
+        method_idx in 0usize..6,
+        platform_idx in 0usize..4,
+    ) {
+        let method = METHODS[method_idx];
+        let platform = platforms()[platform_idx].clone();
+        let sys = SystemModel::new(platform, method);
+        let model = ModelConfig::llama3_8b();
+        let e1 = sys.frame_step(&model, cache, 1).energy.total_j();
+        let e4 = sys.frame_step(&model, cache, 4).energy.total_j();
+        prop_assert!(e1 > 0.0);
+        prop_assert!(e4 >= e1 * 0.99, "batch 4 energy {e4} below batch 1 {e1}");
+    }
+
+    /// OOM is monotone: once a configuration OOMs at some cache length
+    /// it also OOMs at every longer length (same batch).
+    #[test]
+    fn oom_is_monotone(
+        batch in 1usize..32,
+        method_idx in 0usize..6,
+    ) {
+        let method = METHODS[method_idx];
+        let sys = SystemModel::new(PlatformSpec::agx_orin(), method);
+        let model = ModelConfig::llama3_8b();
+        let mut seen_oom = false;
+        for cache in [1_000usize, 5_000, 10_000, 20_000, 40_000, 80_000] {
+            let oom = sys.is_oom(&model, cache, batch);
+            if seen_oom {
+                prop_assert!(oom, "OOM not monotone at {cache} batch {batch}");
+            }
+            seen_oom |= oom;
+        }
+    }
+
+    /// TPOT never exceeds the same cache length's frame latency (a
+    /// generation step does strictly less work).
+    #[test]
+    fn tpot_leq_frame_latency(
+        cache in 1_000usize..40_000,
+        method_idx in 0usize..6,
+        platform_idx in 0usize..4,
+    ) {
+        let method = METHODS[method_idx];
+        let platform = platforms()[platform_idx].clone();
+        let sys = SystemModel::new(platform, method);
+        let model = ModelConfig::llama3_8b();
+        let frame = sys.frame_step(&model, cache, 1).latency_ps;
+        let tpot = sys.decode_step(&model, cache, 1).latency_ps;
+        prop_assert!(tpot <= frame, "TPOT {tpot} above frame {frame}");
+    }
+}

@@ -1,0 +1,246 @@
+//! Row-wise and element-wise neural-network operations.
+//!
+//! These are the handful of kernels the streaming video LLM pipeline
+//! needs: numerically stable softmax, rotary position embeddings
+//! (applied to queries/keys before any ReSV hashing, exactly as the
+//! paper specifies — hash bits are computed *after* RoPE), RMS
+//! normalisation, SiLU, and cosine similarity (used to validate the
+//! hash-bit Hamming distance against true similarity, paper Fig. 7).
+
+use crate::Matrix;
+
+/// Applies a numerically stable softmax to each row in place.
+///
+/// Rows that are entirely `-inf` (fully masked) become all zeros rather
+/// than NaN so downstream weighted sums stay finite.
+///
+/// # Examples
+///
+/// ```
+/// use vrex_tensor::{Matrix, ops};
+///
+/// let mut m = Matrix::from_rows(&[&[0.0, 0.0]]);
+/// ops::softmax_rows(&mut m);
+/// assert!((m[(0, 0)] - 0.5).abs() < 1e-6);
+/// ```
+pub fn softmax_rows(m: &mut Matrix) {
+    let cols = m.cols();
+    if cols == 0 {
+        return;
+    }
+    for r in 0..m.rows() {
+        let row = m.row_mut(r);
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        if max == f32::NEG_INFINITY {
+            row.fill(0.0);
+            continue;
+        }
+        let mut sum = 0.0;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            sum += *v;
+        }
+        if sum > 0.0 {
+            for v in row.iter_mut() {
+                *v /= sum;
+            }
+        }
+    }
+}
+
+/// Rotary position embedding applied to a `(tokens × dim)` matrix in
+/// place, where row `i` is the token at absolute position
+/// `start_pos + i`.
+///
+/// Pairs of dimensions `(2k, 2k+1)` are rotated by
+/// `theta = pos · base^(-2k/dim)` with the conventional `base = 10000`.
+///
+/// # Panics
+///
+/// Panics if `dim` is odd.
+pub fn apply_rope(m: &mut Matrix, start_pos: usize) {
+    let dim = m.cols();
+    assert!(dim % 2 == 0, "RoPE requires an even head dimension, got {dim}");
+    let half = dim / 2;
+    let inv_freq: Vec<f32> = (0..half)
+        .map(|k| 10000f32.powf(-2.0 * k as f32 / dim as f32))
+        .collect();
+    for r in 0..m.rows() {
+        let pos = (start_pos + r) as f32;
+        let row = m.row_mut(r);
+        for k in 0..half {
+            let theta = pos * inv_freq[k];
+            let (sin, cos) = theta.sin_cos();
+            let a = row[2 * k];
+            let b = row[2 * k + 1];
+            row[2 * k] = a * cos - b * sin;
+            row[2 * k + 1] = a * sin + b * cos;
+        }
+    }
+}
+
+/// RMS-normalises each row in place and multiplies by `gain`.
+///
+/// # Panics
+///
+/// Panics if `gain.len() != m.cols()`.
+pub fn rmsnorm_rows(m: &mut Matrix, gain: &[f32]) {
+    assert_eq!(gain.len(), m.cols(), "gain length must match columns");
+    const EPS: f32 = 1e-5;
+    for r in 0..m.rows() {
+        let row = m.row_mut(r);
+        let ms = row.iter().map(|v| v * v).sum::<f32>() / row.len() as f32;
+        let inv = 1.0 / (ms + EPS).sqrt();
+        for (v, g) in row.iter_mut().zip(gain) {
+            *v *= inv * g;
+        }
+    }
+}
+
+/// SiLU activation (`x · sigmoid(x)`) applied element-wise in place.
+pub fn silu_in_place(m: &mut Matrix) {
+    for v in m.data_mut() {
+        *v = *v / (1.0 + (-*v).exp());
+    }
+}
+
+/// Cosine similarity between two equal-length vectors.
+///
+/// Returns `0.0` when either vector has zero norm.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn cosine_similarity(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "cosine_similarity length mismatch");
+    let mut dot = 0.0;
+    let mut na = 0.0;
+    let mut nb = 0.0;
+    for (x, y) in a.iter().zip(b) {
+        dot += x * y;
+        na += x * x;
+        nb += y * y;
+    }
+    if na == 0.0 || nb == 0.0 {
+        return 0.0;
+    }
+    dot / (na.sqrt() * nb.sqrt())
+}
+
+/// Pearson correlation coefficient between two equal-length samples.
+///
+/// Used to reproduce the paper's Fig. 7b claim that hash-bit Hamming
+/// distance tracks cosine similarity with |r| ≈ 0.8.
+///
+/// Returns `0.0` for samples shorter than 2 or with zero variance.
+pub fn pearson_correlation(xs: &[f32], ys: &[f32]) -> f32 {
+    assert_eq!(xs.len(), ys.len(), "pearson_correlation length mismatch");
+    let n = xs.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let mx = xs.iter().sum::<f32>() / n as f32;
+    let my = ys.iter().sum::<f32>() / n as f32;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        let dx = x - mx;
+        let dy = y - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        return 0.0;
+    }
+    sxy / (sxx.sqrt() * syy.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let mut m = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[-5.0, 0.0, 5.0]]);
+        softmax_rows(&mut m);
+        for r in 0..m.rows() {
+            let s: f32 = m.row(r).iter().sum();
+            assert!((s - 1.0).abs() < 1e-5, "row {r} sums to {s}");
+        }
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let mut a = Matrix::from_rows(&[&[1.0, 2.0, 3.0]]);
+        let mut b = Matrix::from_rows(&[&[101.0, 102.0, 103.0]]);
+        softmax_rows(&mut a);
+        softmax_rows(&mut b);
+        assert!(a.max_abs_diff(&b) < 1e-5);
+    }
+
+    #[test]
+    fn softmax_fully_masked_row_is_zero() {
+        let mut m = Matrix::from_rows(&[&[f32::NEG_INFINITY, f32::NEG_INFINITY]]);
+        softmax_rows(&mut m);
+        assert_eq!(m.row(0), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn rope_preserves_vector_norm() {
+        let mut m = Matrix::from_rows(&[&[1.0, 2.0, 3.0, 4.0]]);
+        let before = m.frobenius_norm();
+        apply_rope(&mut m, 17);
+        assert!((m.frobenius_norm() - before).abs() < 1e-5);
+    }
+
+    #[test]
+    fn rope_at_position_zero_is_identity() {
+        let mut m = Matrix::from_rows(&[&[1.0, 2.0, 3.0, 4.0]]);
+        let orig = m.clone();
+        apply_rope(&mut m, 0);
+        assert!(m.max_abs_diff(&orig) < 1e-6);
+    }
+
+    #[test]
+    fn rope_depends_on_absolute_position() {
+        let mut a = Matrix::from_rows(&[&[1.0, 0.0]]);
+        let mut b = Matrix::from_rows(&[&[1.0, 0.0]]);
+        apply_rope(&mut a, 1);
+        apply_rope(&mut b, 2);
+        assert!(a.max_abs_diff(&b) > 1e-3);
+    }
+
+    #[test]
+    fn rmsnorm_produces_unit_rms_with_unit_gain() {
+        let mut m = Matrix::from_rows(&[&[3.0, -4.0, 12.0, 0.5]]);
+        rmsnorm_rows(&mut m, &[1.0; 4]);
+        let ms: f32 = m.row(0).iter().map(|v| v * v).sum::<f32>() / 4.0;
+        assert!((ms - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn silu_matches_reference_values() {
+        let mut m = Matrix::from_rows(&[&[0.0, 1.0]]);
+        silu_in_place(&mut m);
+        assert!((m[(0, 0)] - 0.0).abs() < 1e-6);
+        assert!((m[(0, 1)] - 0.731_058_6).abs() < 1e-5);
+    }
+
+    #[test]
+    fn cosine_similarity_identical_and_orthogonal() {
+        assert!((cosine_similarity(&[1.0, 2.0], &[1.0, 2.0]) - 1.0).abs() < 1e-6);
+        assert!(cosine_similarity(&[1.0, 0.0], &[0.0, 1.0]).abs() < 1e-6);
+        assert!((cosine_similarity(&[1.0, 0.0], &[-1.0, 0.0]) + 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn pearson_of_linear_relation_is_one() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson_correlation(&xs, &ys) - 1.0).abs() < 1e-6);
+        let neg: Vec<f32> = ys.iter().map(|v| -v).collect();
+        assert!((pearson_correlation(&xs, &neg) + 1.0).abs() < 1e-6);
+    }
+}

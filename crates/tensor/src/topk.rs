@@ -1,0 +1,82 @@
+//! Top-k selection primitives.
+//!
+//! Fixed top-k is the selection rule used by the GPU-oriented baselines
+//! (FlexGen, InfiniGen, InfiniGenP, ReKV in the paper's framing); ReSV
+//! replaces it with WiCSum thresholding (see `vrex-core::wicsum`). These
+//! helpers implement the fixed-k primitive the baselines share.
+
+/// Returns the indices of the `k` largest values, in descending value
+/// order. Ties resolve to the lower index first, which keeps selection
+/// deterministic across runs.
+///
+/// If `k >= values.len()` all indices are returned (still sorted by
+/// value).
+///
+/// # Examples
+///
+/// ```
+/// use vrex_tensor::top_k_indices;
+///
+/// assert_eq!(top_k_indices(&[0.1, 0.9, 0.5], 2), vec![1, 2]);
+/// ```
+pub fn top_k_indices(values: &[f32], k: usize) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..values.len()).collect();
+    idx.sort_by(|&a, &b| {
+        values[b]
+            .partial_cmp(&values[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    idx.truncate(k.min(values.len()));
+    idx
+}
+
+/// Returns the value of the `k`-th largest element (1-indexed by rank),
+/// i.e. the threshold a fixed top-k policy implicitly applies.
+///
+/// Returns `f32::NEG_INFINITY` when `k == 0` or the slice is empty.
+pub fn top_k_threshold(values: &[f32], k: usize) -> f32 {
+    if k == 0 || values.is_empty() {
+        return f32::NEG_INFINITY;
+    }
+    let mut sorted: Vec<f32> = values.to_vec();
+    sorted.sort_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
+    sorted[(k - 1).min(sorted.len() - 1)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn top_k_returns_largest_in_order() {
+        let v = [3.0, 1.0, 4.0, 1.5, 9.0];
+        assert_eq!(top_k_indices(&v, 3), vec![4, 2, 0]);
+    }
+
+    #[test]
+    fn top_k_with_large_k_returns_all() {
+        let v = [2.0, 1.0];
+        assert_eq!(top_k_indices(&v, 10), vec![0, 1]);
+    }
+
+    #[test]
+    fn top_k_ties_prefer_lower_index() {
+        let v = [1.0, 1.0, 1.0];
+        assert_eq!(top_k_indices(&v, 2), vec![0, 1]);
+    }
+
+    #[test]
+    fn top_k_zero_is_empty() {
+        assert!(top_k_indices(&[1.0, 2.0], 0).is_empty());
+    }
+
+    #[test]
+    fn threshold_matches_rank() {
+        let v = [5.0, 3.0, 8.0, 1.0];
+        assert_eq!(top_k_threshold(&v, 1), 8.0);
+        assert_eq!(top_k_threshold(&v, 2), 5.0);
+        assert_eq!(top_k_threshold(&v, 4), 1.0);
+        assert_eq!(top_k_threshold(&v, 0), f32::NEG_INFINITY);
+    }
+}

@@ -1,0 +1,253 @@
+//! The accuracy proxy (Table II / Fig. 19 substitute).
+//!
+//! The paper reports COIN Top-1 accuracy of VideoLLM-Online under each
+//! retrieval method. Without the trained model or the dataset, absolute
+//! Top-1 cannot be measured — but what Table II actually compares is
+//! how much each method *degrades* the vanilla model at its retrieval
+//! ratio, and degradation is driven by how much of the true attention
+//! mass the method's selection discards. That we can measure exactly,
+//! because our functional model and the retrieval algorithms are real.
+//!
+//! The proxy therefore reports, per task:
+//!
+//! * the measured **retrieval ratio** per stage (Table II's lower half),
+//! * the measured **attention recall** per stage,
+//! * the measured **output divergence** (relative error of the
+//!   question's final hidden state vs. the full-attention reference),
+//! * a **proxy Top-1**: the paper's vanilla baseline for the task,
+//!   degraded by the measured recall through a fixed monotone map
+//!   (anchored so a perfect policy scores exactly the baseline).
+
+use vrex_model::policy::RetrievalPolicy;
+use vrex_model::{ModelConfig, RunStats, SelectAll, StreamingVideoLlm, VideoStream};
+use vrex_tensor::Matrix;
+
+use crate::coin::CoinTask;
+use crate::session::SessionGenerator;
+
+/// Coefficient of the recall → accuracy-drop map. Calibrated so the
+/// relative degradations of the reference methods land in the range
+/// Table II reports (vanishing drop at recall → 1, a few points at the
+/// recall a 50% fixed top-k achieves).
+pub const DROP_COEFFICIENT: f64 = 0.12;
+
+/// Exponent of the recall → accuracy-drop map.
+pub const DROP_EXPONENT: f64 = 1.5;
+
+/// Maps measured attention recall to a proxy Top-1 given the task's
+/// vanilla baseline.
+pub fn proxy_top1(vanilla_top1: f64, recall: f64) -> f64 {
+    let recall = recall.clamp(0.0, 1.0);
+    vanilla_top1 * (1.0 - DROP_COEFFICIENT * (1.0 - recall).powf(DROP_EXPONENT))
+}
+
+/// Per-task accuracy-proxy results for one retrieval method.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AccuracyReport {
+    /// Method name.
+    pub method: String,
+    /// Task evaluated.
+    pub task: CoinTask,
+    /// Selected fraction of the history, frame-processing stage (%).
+    pub frame_ratio_pct: f64,
+    /// Selected fraction, generation stage (%).
+    pub text_ratio_pct: f64,
+    /// Attention recall, frame stage.
+    pub frame_recall: f64,
+    /// Attention recall, generation stage.
+    pub text_recall: f64,
+    /// Relative error of the question's final hidden state vs. the
+    /// full-attention reference run.
+    pub output_divergence: f64,
+    /// Proxy Top-1 (see module docs).
+    pub proxy_top1: f64,
+}
+
+/// Evaluation length knobs (kept small: the functional model is the
+/// slow part of the reproduction).
+#[derive(Debug, Clone, Copy)]
+pub struct EvalConfig {
+    /// Frames prefilled before the question.
+    pub frames: usize,
+    /// Question tokens.
+    pub question_tokens: usize,
+    /// Answer tokens generated.
+    pub answer_tokens: usize,
+    /// Weight / stream seed.
+    pub seed: u64,
+}
+
+impl Default for EvalConfig {
+    fn default() -> Self {
+        Self {
+            frames: 12,
+            question_tokens: 10,
+            answer_tokens: 6,
+            seed: 1234,
+        }
+    }
+}
+
+/// Runs the accuracy proxy for `policy` on `task`.
+///
+/// The same weights, video stream and question are replayed against a
+/// full-attention reference ([`SelectAll`]) to obtain the divergence
+/// baseline.
+pub fn evaluate_policy(
+    model_cfg: &ModelConfig,
+    task: CoinTask,
+    policy: &mut dyn RetrievalPolicy,
+    eval: EvalConfig,
+) -> AccuracyReport {
+    let reference_hidden = run_once(model_cfg, task, &mut SelectAll::new(), eval, None, None);
+    let mut frame_stats = RunStats::new(model_cfg, true);
+    let mut text_stats = RunStats::new(model_cfg, true);
+    let policy_hidden = run_once(
+        model_cfg,
+        task,
+        policy,
+        eval,
+        Some(&mut frame_stats),
+        Some(&mut text_stats),
+    );
+
+    let divergence = {
+        let diff = (&reference_hidden - &policy_hidden).frobenius_norm();
+        let norm = reference_hidden.frobenius_norm().max(1e-12);
+        (diff / norm) as f64
+    };
+    let frame_recall = frame_stats.mean_recall();
+    let text_recall = text_stats.mean_recall();
+    // Frame-stage attention dominates the cache the answer depends on;
+    // weight the stages by their step counts.
+    let total_recall = (frame_recall * eval.frames as f64
+        + text_recall * eval.answer_tokens as f64)
+        / (eval.frames + eval.answer_tokens) as f64;
+    AccuracyReport {
+        method: policy.name().to_string(),
+        task,
+        frame_ratio_pct: frame_stats.overall_ratio() * 100.0,
+        text_ratio_pct: text_stats.overall_ratio() * 100.0,
+        frame_recall,
+        text_recall,
+        output_divergence: divergence,
+        proxy_top1: proxy_top1(task.reference().vanilla_top1, total_recall),
+    }
+}
+
+fn run_once(
+    model_cfg: &ModelConfig,
+    task: CoinTask,
+    policy: &mut dyn RetrievalPolicy,
+    eval: EvalConfig,
+    frame_stats: Option<&mut RunStats>,
+    text_stats: Option<&mut RunStats>,
+) -> Matrix {
+    let mut llm = StreamingVideoLlm::new(model_cfg.clone(), eval.seed);
+    let video_cfg = task.video_config(
+        model_cfg.tokens_per_frame,
+        model_cfg.hidden_dim,
+        eval.seed ^ 0x5151,
+    );
+    let mut video = VideoStream::new(video_cfg);
+    let mut questions = SessionGenerator::new(eval.seed ^ 0xABCD);
+
+    let mut local_frame = RunStats::new(model_cfg, frame_stats.is_some());
+    let mut local_text = RunStats::new(model_cfg, text_stats.is_some());
+
+    for _ in 0..eval.frames {
+        let f = video.next_frame();
+        llm.process_frame(&f, policy, &mut local_frame);
+    }
+    let ids = questions.question_ids(eval.question_tokens);
+    let hidden = llm.process_text(&ids, policy, &mut local_frame);
+    llm.generate(&hidden, eval.answer_tokens, policy, &mut local_text);
+
+    if let Some(s) = frame_stats {
+        *s = local_frame;
+    }
+    if let Some(s) = text_stats {
+        *s = local_text;
+    }
+    hidden
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vrex_core::resv::{ResvConfig, ResvPolicy};
+    use vrex_retrieval::{FlexGenPolicy, InfiniGenPPolicy};
+
+    #[test]
+    fn proxy_map_is_anchored_and_monotone() {
+        assert_eq!(proxy_top1(60.0, 1.0), 60.0);
+        assert!(proxy_top1(60.0, 0.9) > proxy_top1(60.0, 0.5));
+        assert!(proxy_top1(60.0, 0.0) >= 60.0 * (1.0 - DROP_COEFFICIENT) - 1e-9);
+    }
+
+    #[test]
+    fn full_fetch_policy_is_lossless() {
+        let cfg = ModelConfig::tiny();
+        let mut p = FlexGenPolicy::new();
+        let r = evaluate_policy(&cfg, CoinTask::Step, &mut p, EvalConfig::default());
+        assert!(r.output_divergence < 1e-6, "divergence {}", r.output_divergence);
+        assert_eq!(r.frame_ratio_pct, 100.0);
+        assert!((r.proxy_top1 - 49.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn resv_beats_fixed_topk_at_lower_ratio() {
+        let cfg = ModelConfig::tiny();
+        let eval = EvalConfig {
+            frames: 8,
+            ..EvalConfig::default()
+        };
+        let mut resv = ResvPolicy::new(&cfg, ResvConfig::paper_defaults());
+        let r_resv = evaluate_policy(&cfg, CoinTask::Step, &mut resv, eval);
+        let mut igp = InfiniGenPPolicy::paper_defaults();
+        let r_igp = evaluate_policy(&cfg, CoinTask::Step, &mut igp, eval);
+        // The paper's headline: ReSV retrieves fewer tokens than the
+        // 50% fixed top-k yet keeps accuracy at least as high.
+        assert!(
+            r_resv.frame_ratio_pct < r_igp.frame_ratio_pct,
+            "ReSV ratio {} vs InfiniGenP {}",
+            r_resv.frame_ratio_pct,
+            r_igp.frame_ratio_pct
+        );
+        assert!(
+            r_resv.proxy_top1 >= r_igp.proxy_top1 - 0.5,
+            "ReSV top1 {} vs InfiniGenP {}",
+            r_resv.proxy_top1,
+            r_igp.proxy_top1
+        );
+    }
+
+    #[test]
+    fn evaluation_is_deterministic() {
+        let cfg = ModelConfig::tiny();
+        let run = || {
+            let mut p = ResvPolicy::new(&cfg, ResvConfig::paper_defaults());
+            evaluate_policy(&cfg, CoinTask::Proc, &mut p, EvalConfig::default())
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a.frame_ratio_pct, b.frame_ratio_pct);
+        assert_eq!(a.output_divergence, b.output_divergence);
+    }
+
+    #[test]
+    fn divergence_grows_as_selection_shrinks() {
+        let cfg = ModelConfig::tiny();
+        let eval = EvalConfig::default();
+        let mut generous = InfiniGenPPolicy::new(0.9, 0.9);
+        let mut stingy = InfiniGenPPolicy::new(0.05, 0.05);
+        let rg = evaluate_policy(&cfg, CoinTask::Next, &mut generous, eval);
+        let rs = evaluate_policy(&cfg, CoinTask::Next, &mut stingy, eval);
+        assert!(
+            rs.output_divergence > rg.output_divergence,
+            "stingy {} vs generous {}",
+            rs.output_divergence,
+            rg.output_divergence
+        );
+        assert!(rs.proxy_top1 < rg.proxy_top1);
+    }
+}

@@ -1,0 +1,27 @@
+//! # vrex-workload
+//!
+//! COIN-benchmark-like workloads and the accuracy-proxy evaluation.
+//!
+//! The paper evaluates on five COIN instructional-video tasks with
+//! VideoLLM-Online. The dataset is not available here, so this crate
+//! provides (DESIGN.md §1):
+//!
+//! * [`coin`] — the five task profiles with the paper's baseline Top-1
+//!   accuracies and workload statistics (the paper's "average working
+//!   scenario": 26 frames, 25 question tokens, 39 answer tokens), each
+//!   with video-statistics knobs (scene-cut rate, drift, noise) that
+//!   shape attention the way the task shapes it;
+//! * [`session`] — streaming session event generation (frames
+//!   interleaved with multi-turn queries);
+//! * [`accuracy`] — the accuracy proxy: run the *functional* model with
+//!   a retrieval policy, measure how much true attention mass and
+//!   output fidelity the policy preserves, and map that to a Top-1
+//!   estimate anchored at the paper's vanilla baseline.
+
+pub mod accuracy;
+pub mod coin;
+pub mod session;
+
+pub use accuracy::{evaluate_policy, AccuracyReport};
+pub use coin::{CoinTask, COIN_TASKS};
+pub use session::{CoinScenario, SessionEvent, SessionGenerator};

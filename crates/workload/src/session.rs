@@ -1,0 +1,166 @@
+//! Streaming-session event generation.
+//!
+//! A streaming video LLM session interleaves continuously arriving
+//! frames with multi-turn user queries. The paper's latency evaluation
+//! models "the average working scenario on the COIN benchmark": 26
+//! frames per interaction, 25 question tokens, 39 answer tokens.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use vrex_tensor::rng::seeded_rng;
+
+/// One event of a streaming session.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SessionEvent {
+    /// A video frame arrives (processed by iterative prefill).
+    Frame,
+    /// The user asks a question of `tokens` tokens (prefill).
+    Question {
+        /// Question length in tokens.
+        tokens: usize,
+    },
+    /// The model answers with `tokens` tokens (generation).
+    Answer {
+        /// Answer length in tokens.
+        tokens: usize,
+    },
+}
+
+/// The paper's average COIN interaction scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoinScenario {
+    /// Frames processed per interaction.
+    pub frames_per_query: usize,
+    /// Question length (tokens).
+    pub question_tokens: usize,
+    /// Answer length (tokens).
+    pub answer_tokens: usize,
+}
+
+impl CoinScenario {
+    /// 26 frames, 25 question tokens, 39 answer tokens (paper §III-A).
+    pub fn paper_average() -> Self {
+        Self {
+            frames_per_query: 26,
+            question_tokens: 25,
+            answer_tokens: 39,
+        }
+    }
+
+    /// Events of one full interaction (frames, question, answer).
+    pub fn interaction(&self) -> Vec<SessionEvent> {
+        let mut events = vec![SessionEvent::Frame; self.frames_per_query];
+        events.push(SessionEvent::Question {
+            tokens: self.question_tokens,
+        });
+        events.push(SessionEvent::Answer {
+            tokens: self.answer_tokens,
+        });
+        events
+    }
+}
+
+/// Randomised multi-turn session generator (for functional accuracy
+/// runs, which want variety rather than the fixed average case).
+#[derive(Debug)]
+pub struct SessionGenerator {
+    rng: StdRng,
+    mean_frames: usize,
+    question_tokens: usize,
+    answer_tokens: usize,
+}
+
+impl SessionGenerator {
+    /// Creates a generator around the paper-average scenario.
+    pub fn new(seed: u64) -> Self {
+        let s = CoinScenario::paper_average();
+        Self {
+            rng: seeded_rng(seed),
+            mean_frames: s.frames_per_query,
+            question_tokens: s.question_tokens,
+            answer_tokens: s.answer_tokens,
+        }
+    }
+
+    /// Generates `turns` interactions with ±50% jitter on frame counts
+    /// and ±20% on token counts.
+    pub fn session(&mut self, turns: usize) -> Vec<SessionEvent> {
+        let mut events = Vec::new();
+        for _ in 0..turns {
+            let frames = self
+                .rng
+                .gen_range(self.mean_frames / 2..=self.mean_frames * 3 / 2);
+            for _ in 0..frames {
+                events.push(SessionEvent::Frame);
+            }
+            events.push(SessionEvent::Question {
+                tokens: self
+                    .rng
+                    .gen_range(self.question_tokens * 4 / 5..=self.question_tokens * 6 / 5),
+            });
+            events.push(SessionEvent::Answer {
+                tokens: self
+                    .rng
+                    .gen_range(self.answer_tokens * 4 / 5..=self.answer_tokens * 6 / 5),
+            });
+        }
+        events
+    }
+
+    /// Generates random question token ids (hashed into a vocabulary by
+    /// the model's embedding).
+    pub fn question_ids(&mut self, tokens: usize) -> Vec<usize> {
+        (0..tokens).map(|_| self.rng.gen_range(0..100_000)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_average_matches_section3() {
+        let s = CoinScenario::paper_average();
+        assert_eq!(s.frames_per_query, 26);
+        assert_eq!(s.question_tokens, 25);
+        assert_eq!(s.answer_tokens, 39);
+        let ev = s.interaction();
+        assert_eq!(ev.len(), 28);
+        assert_eq!(ev.iter().filter(|e| **e == SessionEvent::Frame).count(), 26);
+    }
+
+    #[test]
+    fn generator_is_deterministic() {
+        let a = SessionGenerator::new(5).session(3);
+        let b = SessionGenerator::new(5).session(3);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sessions_have_expected_structure() {
+        let events = SessionGenerator::new(7).session(4);
+        let questions = events
+            .iter()
+            .filter(|e| matches!(e, SessionEvent::Question { .. }))
+            .count();
+        let answers = events
+            .iter()
+            .filter(|e| matches!(e, SessionEvent::Answer { .. }))
+            .count();
+        assert_eq!(questions, 4);
+        assert_eq!(answers, 4);
+        // Each turn ends Question -> Answer.
+        for w in events.windows(2) {
+            if matches!(w[0], SessionEvent::Question { .. }) {
+                assert!(matches!(w[1], SessionEvent::Answer { .. }));
+            }
+        }
+    }
+
+    #[test]
+    fn question_ids_in_range() {
+        let ids = SessionGenerator::new(9).question_ids(25);
+        assert_eq!(ids.len(), 25);
+        assert!(ids.iter().all(|&i| i < 100_000));
+    }
+}

@@ -1,0 +1,72 @@
+//! Sizing an edge deployment: will this stream run in real time?
+//!
+//! Uses the system-level models (Table I platforms + the Fig. 5
+//! pipeline composition) to answer the paper's headline question for a
+//! deployment engineer: at what cache length / batch does each edge
+//! configuration stop being real-time (≥ 2 FPS), run out of memory, or
+//! blow the energy budget?
+//!
+//! ```text
+//! cargo run --release --example edge_deployment
+//! ```
+
+use vrex::model::ModelConfig;
+use vrex::system::{Method, PlatformSpec, SystemModel};
+
+fn main() {
+    let model = ModelConfig::llama3_8b();
+    let configs = [
+        SystemModel::new(PlatformSpec::agx_orin(), Method::VanillaInMemory),
+        SystemModel::new(PlatformSpec::agx_orin(), Method::FlexGen),
+        SystemModel::new(PlatformSpec::agx_orin(), Method::ReKV),
+        SystemModel::new(PlatformSpec::vrex8(), Method::ReSV),
+    ];
+
+    println!("Edge deployment check: Llama-3 8B streaming at 10 FPS target, batch 1\n");
+    println!(
+        "{:<28} {:>8} {:>10} {:>10} {:>12} {:>10}",
+        "Configuration", "KV len", "ms/frame", "FPS", "J/frame", "real-time?"
+    );
+    for sys in &configs {
+        for s in [1_000usize, 10_000, 40_000] {
+            match sys.fps(&model, s, 1) {
+                None => {
+                    println!(
+                        "{:<28} {:>7}K {:>10} {:>10} {:>12} {:>10}",
+                        sys.label(),
+                        s / 1000,
+                        "OOM",
+                        "-",
+                        "-",
+                        "no"
+                    );
+                }
+                Some(fps) => {
+                    let r = sys.frame_step(&model, s, 1);
+                    println!(
+                        "{:<28} {:>7}K {:>10.0} {:>10.1} {:>12.1} {:>10}",
+                        sys.label(),
+                        s / 1000,
+                        r.latency_ms(),
+                        fps,
+                        r.energy.total_j(),
+                        if fps >= 2.0 { "yes" } else { "no" }
+                    );
+                }
+            }
+        }
+        println!();
+    }
+
+    // Sustained-session energy: one hour of 2 FPS streaming at 20K.
+    println!("One hour at 2 FPS, 20K cache:");
+    for sys in &configs[1..] {
+        let r = sys.frame_step(&model, 20_000, 1);
+        let frames = 2.0 * 3600.0;
+        println!(
+            "  {:<26} {:>8.1} Wh",
+            sys.label(),
+            r.energy.total_j() * frames / 3600.0
+        );
+    }
+}

@@ -1,0 +1,53 @@
+//! Head-to-head functional comparison of every retrieval policy on the
+//! same stream: selection ratio, attention recall, and output fidelity.
+//!
+//! ```text
+//! cargo run --release --example retrieval_comparison
+//! ```
+
+use vrex::core::resv::{ResvConfig, ResvPolicy};
+use vrex::model::{ModelConfig, RetrievalPolicy};
+use vrex::retrieval::{FlexGenPolicy, InfiniGenPPolicy, InfiniGenPolicy, RekvPolicy};
+use vrex::workload::accuracy::{evaluate_policy, EvalConfig};
+use vrex::workload::CoinTask;
+
+fn main() {
+    let cfg = ModelConfig::small();
+    let eval = EvalConfig {
+        frames: 16,
+        ..EvalConfig::default()
+    };
+    let task = CoinTask::Step;
+
+    let mut policies: Vec<Box<dyn RetrievalPolicy>> = vec![
+        Box::new(FlexGenPolicy::new()),
+        Box::new(InfiniGenPolicy::paper_defaults()),
+        Box::new(InfiniGenPPolicy::paper_defaults()),
+        Box::new(RekvPolicy::paper_defaults(cfg.tokens_per_frame)),
+        Box::new(ResvPolicy::new(&cfg, ResvConfig::without_clustering())),
+        Box::new(ResvPolicy::new(&cfg, ResvConfig::paper_defaults())),
+    ];
+
+    println!(
+        "{:<22} {:>12} {:>12} {:>12} {:>12} {:>12}",
+        "Policy", "frame ratio%", "text ratio%", "frame recall", "text recall", "divergence"
+    );
+    for p in policies.iter_mut() {
+        let r = evaluate_policy(&cfg, task, p.as_mut(), eval);
+        println!(
+            "{:<22} {:>12.1} {:>12.1} {:>12.3} {:>12.3} {:>12.4}",
+            r.method,
+            r.frame_ratio_pct,
+            r.text_ratio_pct,
+            r.frame_recall,
+            r.text_recall,
+            r.output_divergence
+        );
+    }
+    println!(
+        "\nReading the table: a good retrieval method sits low on ratio and high \
+         on recall. Fixed top-k (InfiniGenP) must spend ~50% to protect recall; \
+         ReSV's per-layer/head WiCSum thresholding gets comparable recall at a \
+         much lower ratio — the paper's Table II in miniature."
+    );
+}

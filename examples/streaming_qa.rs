@@ -1,0 +1,73 @@
+//! Multi-turn streaming question answering — the conversational-agent
+//! scenario from the paper's introduction.
+//!
+//! A user watches a (synthetic) instructional video and asks follow-up
+//! questions over time. Because answers may reference *earlier* video
+//! segments, destructive cache pruning would break them; retrieval
+//! preserves everything and fetches what each turn needs. The example
+//! contrasts ReSV against full-fetch FlexGen turn by turn.
+//!
+//! ```text
+//! cargo run --release --example streaming_qa
+//! ```
+
+use vrex::core::resv::{ResvConfig, ResvPolicy};
+use vrex::model::{ModelConfig, RetrievalPolicy, RunStats, StreamingVideoLlm, VideoStream};
+use vrex::retrieval::FlexGenPolicy;
+use vrex::workload::{CoinTask, SessionGenerator};
+
+fn run_session(policy: &mut dyn RetrievalPolicy) -> Vec<(usize, f64, f64)> {
+    let cfg = ModelConfig::small();
+    let mut llm = StreamingVideoLlm::new(cfg.clone(), 11);
+    let mut video = VideoStream::new(CoinTask::Next.video_config(
+        cfg.tokens_per_frame,
+        cfg.hidden_dim,
+        5,
+    ));
+    let mut questions = SessionGenerator::new(99);
+    let mut out = Vec::new();
+    for _turn in 0..3 {
+        let mut stats = RunStats::new(&cfg, true);
+        for _ in 0..8 {
+            let frame = video.next_frame();
+            llm.process_frame(&frame, policy, &mut stats);
+        }
+        let q = questions.question_ids(6);
+        let hidden = llm.process_text(&q, policy, &mut stats);
+        llm.generate(&hidden, 5, policy, &mut stats);
+        out.push((
+            llm.cache().len(),
+            stats.overall_ratio() * 100.0,
+            stats.mean_recall(),
+        ));
+    }
+    out
+}
+
+fn main() {
+    let cfg = ModelConfig::small();
+    let mut resv = ResvPolicy::new(&cfg, ResvConfig::paper_defaults());
+    let mut flexgen = FlexGenPolicy::new();
+
+    let resv_turns = run_session(&mut resv);
+    let flex_turns = run_session(&mut flexgen);
+
+    println!("turn | cache tokens | ReSV ratio% / recall | FlexGen ratio% / recall");
+    println!("-----+--------------+----------------------+------------------------");
+    for (i, (r, f)) in resv_turns.iter().zip(&flex_turns).enumerate() {
+        println!(
+            "  {}  |     {:>5}    |    {:>5.1} / {:.3}     |     {:>5.1} / {:.3}",
+            i + 1,
+            r.0,
+            r.1,
+            r.2,
+            f.1,
+            f.2
+        );
+    }
+    println!(
+        "\nReSV touches a fraction of the growing cache each turn while keeping \
+         most of the attention mass; FlexGen fetches 100% every turn — the \
+         traffic V-Rex's DRE+KVMU eliminate."
+    );
+}

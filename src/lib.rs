@@ -1,0 +1,53 @@
+//! # V-Rex
+//!
+//! A from-scratch Rust reproduction of **"V-Rex: Real-Time Streaming
+//! Video LLM Acceleration via Dynamic KV Cache Retrieval"**
+//! (HPCA 2026): the ReSV training-free dynamic KV-cache retrieval
+//! algorithm, the streaming video LLM substrate it accelerates, the
+//! baseline retrieval systems it is compared against, and a
+//! cycle-approximate simulator of the V-Rex accelerator and its GPU
+//! baselines.
+//!
+//! This facade crate re-exports the workspace:
+//!
+//! * [`tensor`] — dense `f32` linear algebra, top-k, quantization;
+//! * [`model`] — the streaming video LLM (iterative prefill +
+//!   generation, growing KV caches, synthetic vision tower);
+//! * [`core`] — **ReSV**: hash-bit key clustering + WiCSum
+//!   thresholding + early-exit sorting (the paper's contribution);
+//! * [`retrieval`] — FlexGen / InfiniGen / InfiniGenP / ReKV / Oaken
+//!   baselines;
+//! * [`hwsim`] — DRAM, SSD, PCIe, GPU and V-Rex-core hardware models;
+//! * [`workload`] — COIN-like tasks, sessions, and the accuracy proxy;
+//! * [`system`] — Table I platforms and the end-to-end latency/energy
+//!   model behind every figure.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use vrex::core::resv::{ResvConfig, ResvPolicy};
+//! use vrex::model::{ModelConfig, RunStats, StreamingVideoLlm};
+//! use vrex::model::{VideoStream, VideoStreamConfig};
+//!
+//! // A streaming video LLM with ReSV retrieval.
+//! let cfg = ModelConfig::tiny();
+//! let mut llm = StreamingVideoLlm::new(cfg.clone(), 7);
+//! let mut policy = ResvPolicy::new(&cfg, ResvConfig::paper_defaults());
+//! let mut video = VideoStream::new(VideoStreamConfig::coin_like(
+//!     cfg.tokens_per_frame, cfg.hidden_dim, 9));
+//! let mut stats = RunStats::new(&cfg, false);
+//! for _ in 0..5 {
+//!     let frame = video.next_frame();
+//!     llm.process_frame(&frame, &mut policy, &mut stats);
+//! }
+//! println!("retrieval ratio: {:.1}%", stats.overall_ratio() * 100.0);
+//! assert!(stats.overall_ratio() < 1.0);
+//! ```
+
+pub use vrex_core as core;
+pub use vrex_hwsim as hwsim;
+pub use vrex_model as model;
+pub use vrex_retrieval as retrieval;
+pub use vrex_system as system;
+pub use vrex_tensor as tensor;
+pub use vrex_workload as workload;

@@ -1,0 +1,123 @@
+//! Integration: the Table II accuracy-proxy pipeline across all tasks
+//! and methods (functional model + retrieval algorithms + proxy map).
+
+use vrex::core::resv::{ResvConfig, ResvPolicy};
+use vrex::model::{ModelConfig, RetrievalPolicy};
+use vrex::retrieval::{FlexGenPolicy, InfiniGenPPolicy, RekvPolicy};
+use vrex::workload::accuracy::{evaluate_policy, EvalConfig};
+use vrex::workload::COIN_TASKS;
+
+fn eval() -> EvalConfig {
+    EvalConfig {
+        frames: 10,
+        question_tokens: 8,
+        answer_tokens: 4,
+        seed: 2024,
+    }
+}
+
+#[test]
+fn vanilla_scores_exactly_the_paper_baseline_on_every_task() {
+    let cfg = ModelConfig::tiny();
+    for task in COIN_TASKS {
+        let mut p = FlexGenPolicy::new();
+        let r = evaluate_policy(&cfg, task, &mut p, eval());
+        assert!(
+            (r.proxy_top1 - task.reference().vanilla_top1).abs() < 1e-9,
+            "{}: full fetch must anchor at the vanilla baseline",
+            task.label()
+        );
+        assert!(r.output_divergence < 1e-6);
+    }
+}
+
+#[test]
+fn resv_accuracy_drop_is_smaller_than_infinigenp_on_average() {
+    // The small config (head_dim 32) is the smallest where hash-bit
+    // clustering behaves like it does at Llama dimensions; the tiny
+    // config's 16-dim heads let RoPE scramble too many hash bits.
+    let cfg = ModelConfig::small();
+    let e = EvalConfig {
+        frames: 8,
+        ..eval()
+    };
+    let mut resv_drop = 0.0;
+    let mut igp_drop = 0.0;
+    for task in COIN_TASKS.iter().take(3) {
+        let base = task.reference().vanilla_top1;
+        let mut resv = ResvPolicy::new(&cfg, ResvConfig::paper_defaults());
+        resv_drop += base - evaluate_policy(&cfg, *task, &mut resv, e).proxy_top1;
+        let mut igp = InfiniGenPPolicy::paper_defaults();
+        igp_drop += base - evaluate_policy(&cfg, *task, &mut igp, e).proxy_top1;
+    }
+    assert!(
+        resv_drop <= igp_drop + 0.25,
+        "ReSV mean drop {:.3} should not exceed InfiniGenP {:.3}",
+        resv_drop / 3.0,
+        igp_drop / 3.0
+    );
+}
+
+#[test]
+fn resv_uses_fewer_tokens_than_rekv_in_both_stages() {
+    // Paper: ReSV retrieves ~3x fewer tokens than ReKV on average. The
+    // untrained functional model's flatter attention narrows the gap,
+    // but the ordering must hold in both stages, decisively so during
+    // generation.
+    let cfg = ModelConfig::small();
+    let e = EvalConfig {
+        frames: 8,
+        ..eval()
+    };
+    let (mut resv_f, mut resv_t, mut rekv_f, mut rekv_t) = (0.0, 0.0, 0.0, 0.0);
+    for task in COIN_TASKS.iter().take(3) {
+        let mut resv = ResvPolicy::new(&cfg, ResvConfig::paper_defaults());
+        let r = evaluate_policy(&cfg, *task, &mut resv, e);
+        resv_f += r.frame_ratio_pct;
+        resv_t += r.text_ratio_pct;
+        let mut rekv = RekvPolicy::paper_defaults(cfg.tokens_per_frame);
+        let k = evaluate_policy(&cfg, *task, &mut rekv, e);
+        rekv_f += k.frame_ratio_pct;
+        rekv_t += k.text_ratio_pct;
+    }
+    assert!(resv_f < rekv_f, "frame: ReSV {resv_f:.1} vs ReKV {rekv_f:.1}");
+    assert!(
+        resv_t * 1.5 < rekv_t,
+        "text: ReSV {resv_t:.1} vs ReKV {rekv_t:.1}"
+    );
+}
+
+#[test]
+fn per_task_ratios_vary_with_task_statistics() {
+    // Table II: ReSV's thresholding adapts per task (Proc. selects the
+    // least; busier tasks more). We require measurable spread.
+    let cfg = ModelConfig::tiny();
+    let mut ratios = Vec::new();
+    for task in COIN_TASKS {
+        let mut resv = ResvPolicy::new(&cfg, ResvConfig::paper_defaults());
+        ratios.push(evaluate_policy(&cfg, task, &mut resv, eval()).frame_ratio_pct);
+    }
+    let min = ratios.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = ratios.iter().cloned().fold(0.0f64, f64::max);
+    assert!(
+        max - min > 0.5,
+        "ratios should vary across tasks, got {ratios:?}"
+    );
+}
+
+#[test]
+fn divergence_correlates_with_recall_loss() {
+    let cfg = ModelConfig::tiny();
+    let mut points = Vec::new();
+    for ratio in [0.05, 0.3, 0.9] {
+        let mut p = InfiniGenPPolicy::new(ratio, ratio);
+        let r = evaluate_policy(&cfg, COIN_TASKS[0], &mut p, eval());
+        points.push((r.frame_recall, r.output_divergence));
+    }
+    // Higher recall -> lower divergence, monotonically here.
+    assert!(points[0].0 < points[2].0);
+    assert!(
+        points[0].1 > points[2].1,
+        "divergence should fall as recall rises: {points:?}"
+    );
+}

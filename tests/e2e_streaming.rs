@@ -1,0 +1,130 @@
+//! End-to-end functional integration: every retrieval policy drives the
+//! same streaming LLM through frames, a question, and generation.
+
+use vrex::core::resv::{ResvConfig, ResvPolicy};
+use vrex::model::{ModelConfig, RetrievalPolicy, RunStats, StreamingVideoLlm, VideoStream};
+use vrex::retrieval::{FlexGenPolicy, InfiniGenPPolicy, InfiniGenPolicy, RekvPolicy};
+use vrex::workload::{CoinTask, SessionGenerator};
+
+fn policies(cfg: &ModelConfig) -> Vec<Box<dyn RetrievalPolicy>> {
+    vec![
+        Box::new(FlexGenPolicy::new()),
+        Box::new(InfiniGenPolicy::paper_defaults()),
+        Box::new(InfiniGenPPolicy::paper_defaults()),
+        Box::new(RekvPolicy::paper_defaults(cfg.tokens_per_frame)),
+        Box::new(ResvPolicy::new(cfg, ResvConfig::paper_defaults())),
+        Box::new(ResvPolicy::new(cfg, ResvConfig::without_clustering())),
+    ]
+}
+
+fn run_session(
+    cfg: &ModelConfig,
+    policy: &mut dyn RetrievalPolicy,
+) -> (Vec<usize>, RunStats, RunStats) {
+    let mut llm = StreamingVideoLlm::new(cfg.clone(), 21);
+    let mut video = VideoStream::new(CoinTask::Step.video_config(
+        cfg.tokens_per_frame,
+        cfg.hidden_dim,
+        13,
+    ));
+    let mut questions = SessionGenerator::new(77);
+    let mut prefill = RunStats::new(cfg, true);
+    for _ in 0..10 {
+        let f = video.next_frame();
+        llm.process_frame(&f, policy, &mut prefill);
+        llm.cache().assert_coherent();
+    }
+    let q = questions.question_ids(8);
+    let hidden = llm.process_text(&q, policy, &mut prefill);
+    let mut generation = RunStats::new(cfg, true);
+    let answer = llm.generate(&hidden, 6, policy, &mut generation);
+    llm.cache().assert_coherent();
+    assert_eq!(
+        llm.cache().len(),
+        10 * cfg.tokens_per_frame + q.len() + answer.len(),
+        "cache must grow by exactly the processed tokens"
+    );
+    (answer, prefill, generation)
+}
+
+#[test]
+fn every_policy_completes_a_session_coherently() {
+    let cfg = ModelConfig::tiny();
+    for mut p in policies(&cfg) {
+        let (answer, prefill, generation) = run_session(&cfg, p.as_mut());
+        assert_eq!(answer.len(), 6, "{} produced wrong answer length", p.name());
+        let ratio = prefill.overall_ratio();
+        assert!((0.0..=1.0).contains(&ratio), "{}: ratio {ratio}", p.name());
+        assert!(
+            generation.overall_ratio() <= 1.0,
+            "{}: generation ratio out of range",
+            p.name()
+        );
+    }
+}
+
+#[test]
+fn sessions_are_deterministic_per_policy() {
+    let cfg = ModelConfig::tiny();
+    let run = |mk: &dyn Fn() -> Box<dyn RetrievalPolicy>| {
+        let mut p = mk();
+        run_session(&cfg, p.as_mut()).0
+    };
+    let a = run(&|| Box::new(ResvPolicy::new(&cfg, ResvConfig::paper_defaults())));
+    let b = run(&|| Box::new(ResvPolicy::new(&cfg, ResvConfig::paper_defaults())));
+    assert_eq!(a, b);
+}
+
+#[test]
+fn resv_ratio_is_lowest_among_prefill_retrievers() {
+    // Table II's qualitative claim: ReSV's frame-stage ratio undercuts
+    // the fixed-ratio baselines that retrieve during prefill.
+    let cfg = ModelConfig::tiny();
+    let ratio_of = |mut p: Box<dyn RetrievalPolicy>| {
+        let (_, prefill, _) = run_session(&cfg, p.as_mut());
+        prefill.overall_ratio()
+    };
+    let resv = ratio_of(Box::new(ResvPolicy::new(&cfg, ResvConfig::paper_defaults())));
+    let igp = ratio_of(Box::new(InfiniGenPPolicy::paper_defaults()));
+    let rekv = ratio_of(Box::new(RekvPolicy::paper_defaults(cfg.tokens_per_frame)));
+    let infinigen = ratio_of(Box::new(InfiniGenPolicy::paper_defaults()));
+    assert!(resv < igp, "ReSV {resv} vs InfiniGenP {igp}");
+    assert!(resv < rekv, "ReSV {resv} vs ReKV {rekv}");
+    assert!((infinigen - 1.0).abs() < 1e-9, "InfiniGen fetches all during prefill");
+}
+
+#[test]
+fn recall_beats_ratio_for_prediction_policies() {
+    // Any importance-driven selection must capture more attention mass
+    // than a random subset of the same size would (recall > ratio).
+    let cfg = ModelConfig::tiny();
+    for mut p in policies(&cfg) {
+        let name = p.name().to_string();
+        let (_, prefill, _) = run_session(&cfg, p.as_mut());
+        let (ratio, recall) = (prefill.overall_ratio(), prefill.mean_recall());
+        if ratio < 0.99 {
+            assert!(
+                recall > ratio,
+                "{name}: recall {recall:.3} does not beat ratio {ratio:.3}"
+            );
+        }
+    }
+}
+
+#[test]
+fn generation_ratios_are_below_prefill_ratios() {
+    // Table II lower half: every retrieval method selects far less
+    // during single-query generation than during multi-token prefill.
+    let cfg = ModelConfig::tiny();
+    for mk in [
+        || -> Box<dyn RetrievalPolicy> { Box::new(InfiniGenPPolicy::paper_defaults()) },
+    ] {
+        let mut p = mk();
+        let (_, prefill, generation) = run_session(&cfg, p.as_mut());
+        assert!(
+            generation.overall_ratio() <= prefill.overall_ratio() + 1e-9,
+            "{}: generation ratio above prefill",
+            p.name()
+        );
+    }
+}

@@ -1,0 +1,180 @@
+//! Cross-crate integration: the system-level models must reproduce the
+//! qualitative shape of every evaluation figure (who wins, by roughly
+//! what factor, where crossovers fall).
+
+use vrex::model::ModelConfig;
+use vrex::system::ablation::fig16_ladder;
+use vrex::system::{Method, PlatformSpec, SystemModel};
+
+fn llama() -> ModelConfig {
+    ModelConfig::llama3_8b()
+}
+
+#[test]
+fn fig13_vrex8_speedup_band() {
+    // Paper: 2.2–7.3x over AGX+FlexGen at batch 1, growing with length.
+    let vrex = SystemModel::new(PlatformSpec::vrex8(), Method::ReSV);
+    let agx = SystemModel::new(PlatformSpec::agx_orin(), Method::FlexGen);
+    let speedup = |s| {
+        agx.frame_step(&llama(), s, 1).latency_ms() / vrex.frame_step(&llama(), s, 1).latency_ms()
+    };
+    let s1 = speedup(1_000);
+    let s40 = speedup(40_000);
+    assert!(s1 > 1.2 && s1 < 5.0, "1K speedup {s1:.2}");
+    assert!(s40 > 3.0 && s40 < 15.0, "40K speedup {s40:.2}");
+    assert!(s40 > s1, "gap must widen with cache length");
+}
+
+#[test]
+fn fig13_server_batch_speedups() {
+    // Paper: V-Rex48 2.6–7.3x at batch 1, up to 19.7x at batch 8.
+    let vrex = SystemModel::new(PlatformSpec::vrex48(), Method::ReSV);
+    let a100 = SystemModel::new(PlatformSpec::a100(), Method::FlexGen);
+    for (batch, lo, hi) in [(1usize, 1.5, 12.0), (8, 1.5, 25.0)] {
+        let s = a100.frame_step(&llama(), 40_000, batch).latency_ms()
+            / vrex.frame_step(&llama(), 40_000, batch).latency_ms();
+        assert!(s > lo && s < hi, "batch {batch}: speedup {s:.2} outside [{lo},{hi}]");
+    }
+}
+
+#[test]
+fn fig13_infinigenp_slower_than_flexgen_on_edge() {
+    // Paper: AGX+InfiniGen(P) are even slower than FlexGen in the frame
+    // stage (token-granular selection overhead + scattered fetch).
+    for s in [10_000usize, 40_000] {
+        let flex = SystemModel::new(PlatformSpec::agx_orin(), Method::FlexGen)
+            .frame_step(&llama(), s, 1)
+            .latency_ms();
+        let igp = SystemModel::new(PlatformSpec::agx_orin(), Method::InfiniGenP)
+            .frame_step(&llama(), s, 1)
+            .latency_ms();
+        assert!(igp > flex, "at {s}: InfiniGenP {igp:.0} vs FlexGen {flex:.0}");
+    }
+}
+
+#[test]
+fn fig13_rekv_beats_flexgen_modestly() {
+    let s = 40_000;
+    let flex = SystemModel::new(PlatformSpec::agx_orin(), Method::FlexGen)
+        .frame_step(&llama(), s, 1)
+        .latency_ms();
+    let rekv = SystemModel::new(PlatformSpec::agx_orin(), Method::ReKV)
+        .frame_step(&llama(), s, 1)
+        .latency_ms();
+    assert!(rekv < flex, "ReKV {rekv:.0} should beat FlexGen {flex:.0}");
+    assert!(rekv > flex / 3.0, "but only modestly");
+}
+
+#[test]
+fn fig14_e2e_speedup_grows_with_cache() {
+    let vrex = SystemModel::new(PlatformSpec::vrex8(), Method::ReSV);
+    let agx = SystemModel::new(PlatformSpec::agx_orin(), Method::FlexGen);
+    let e2e = |sys: &SystemModel, s| {
+        sys.interaction(&llama(), s, 1, 26, 25, 39).total_ps() as f64
+    };
+    let speedup_1k = e2e(&agx, 1_000) / e2e(&vrex, 1_000);
+    let speedup_40k = e2e(&agx, 40_000) / e2e(&vrex, 40_000);
+    // Paper: 2x at 1K rising to 5.4x at 40K.
+    assert!(speedup_1k > 1.0, "1K e2e speedup {speedup_1k:.2}");
+    assert!(
+        speedup_40k > speedup_1k && speedup_40k < 15.0,
+        "40K e2e speedup {speedup_40k:.2}"
+    );
+}
+
+#[test]
+fn fig15_oom_ordering() {
+    let batch = 16;
+    let vanilla = SystemModel::new(PlatformSpec::agx_orin(), Method::VanillaInMemory);
+    let oaken = SystemModel::new(PlatformSpec::agx_orin(), Method::Oaken);
+    let vrex = SystemModel::new(PlatformSpec::vrex8(), Method::ReSV);
+    let sweep = [1_000usize, 5_000, 10_000, 20_000, 40_000];
+    let horizon = |sys: &SystemModel| sweep.iter().filter(|&&s| sys.fps(&llama(), s, batch).is_some()).count();
+    let hv = horizon(&vanilla);
+    let ho = horizon(&oaken);
+    let hr = horizon(&vrex);
+    assert!(hv < ho, "Oaken must outlive vanilla ({hv} vs {ho})");
+    assert_eq!(hr, sweep.len(), "V-Rex must never OOM");
+    assert!(ho < sweep.len(), "Oaken must still OOM eventually");
+}
+
+#[test]
+fn fig16_ladder_shape() {
+    let ladder = fig16_ladder(&llama(), 40_000, 1);
+    // Strictly monotone latency improvements down the ladder.
+    for w in ladder.windows(2) {
+        assert!(w[1].result.latency_ps < w[0].result.latency_ps);
+    }
+    // Biggest single contribution comes from hardware (KVPU or KVMU).
+    let sw_gain = ladder[0].result.latency_ps as f64 / ladder[1].result.latency_ps as f64;
+    let hw_gain = ladder[1].result.latency_ps as f64 / ladder[3].result.latency_ps as f64;
+    assert!(sw_gain > 1.5, "software-only gain {sw_gain:.2}");
+    assert!(hw_gain > 1.5, "hardware gain {hw_gain:.2}");
+}
+
+#[test]
+fn fig18_roofline_fraction_ordering() {
+    use vrex::hwsim::roofline::{Roof, RooflinePoint};
+    let model = llama();
+    // Workload-normalised accounting (see fig18 binary): credit every
+    // system with the full workload's FLOPs/bytes.
+    let batch = 4u64;
+    let workload_flops = batch * model.total_flops(model.tokens_per_frame, 40_000)
+        + batch * PlatformSpec::vrex8().vision_flops;
+    let workload_bytes =
+        model.param_bytes() as u64 + batch * 40_000 * model.kv_bytes_per_token() as u64;
+    let mut fractions = Vec::new();
+    for (platform, method) in [
+        (PlatformSpec::agx_orin(), Method::FlexGen),
+        (PlatformSpec::agx_orin(), Method::ReKV),
+        (PlatformSpec::vrex8(), Method::ReSV),
+    ] {
+        let sys = SystemModel::new(platform.clone(), method);
+        let r = sys.frame_step(&model, 40_000, 4);
+        let roof = Roof {
+            peak_flops: platform.compute.peak_flops(),
+            mem_bytes_per_s: platform.dram.peak_bytes_per_s(),
+        };
+        let p = RooflinePoint::from_measurement(
+            &sys.label(),
+            roof,
+            workload_flops,
+            workload_bytes + r.fetch_bytes,
+            r.latency_ps as f64 / 1e12,
+        );
+        fractions.push(p.fraction_of_attainable);
+    }
+    // Paper: FlexGen 6.6% < ReKV ~15% < V-Rex 71.5%.
+    assert!(fractions[0] < fractions[1], "{fractions:?}");
+    assert!(fractions[1] < fractions[2], "{fractions:?}");
+    assert!(fractions[2] > 0.15, "V-Rex should reach a large fraction: {fractions:?}");
+    assert!(
+        fractions[2] > 3.0 * fractions[0],
+        "V-Rex should dwarf FlexGen: {fractions:?}"
+    );
+    assert!(fractions[0] < 0.15, "FlexGen should be badly underutilised: {fractions:?}");
+}
+
+#[test]
+fn tpot_is_weight_streaming_bound() {
+    // TPOT at short cache ≈ weight-streaming time: 16 GB over the
+    // device bandwidth. Sanity-anchors the absolute scale.
+    let vrex = SystemModel::new(PlatformSpec::vrex8(), Method::ReSV);
+    let t = vrex.decode_step(&llama(), 1_000, 1).latency_ms();
+    let weights_ms = llama().param_bytes() as f64 / 204.8e9 * 1000.0;
+    assert!(t > weights_ms * 0.8, "TPOT {t:.0} below weight streaming {weights_ms:.0}");
+    assert!(t < weights_ms * 2.0, "TPOT {t:.0} way above weight streaming");
+}
+
+#[test]
+fn energy_efficiency_ordering_holds_everywhere() {
+    let vrex = SystemModel::new(PlatformSpec::vrex8(), Method::ReSV);
+    let agx = SystemModel::new(PlatformSpec::agx_orin(), Method::FlexGen);
+    for s in [1_000usize, 10_000, 40_000] {
+        for batch in [1usize, 4] {
+            let gv = vrex.frame_step(&llama(), s, batch).gops_per_watt();
+            let ga = agx.frame_step(&llama(), s, batch).gops_per_watt();
+            assert!(gv > ga, "at {s}/b{batch}: V-Rex {gv:.1} vs AGX {ga:.1} GOPS/W");
+        }
+    }
+}
