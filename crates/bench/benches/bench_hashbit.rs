@@ -25,27 +25,23 @@ fn bench_hamming_clustering(c: &mut Criterion) {
         // Video-like keys: base set + small noise so clusters form.
         let mut rng = seeded_rng(4);
         let base = gaussian_matrix(&mut rng, 8, 128, 1.0);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(n_tokens),
-            &n_tokens,
-            |b, &n| {
-                b.iter(|| {
-                    let mut table = HcTable::new(7);
-                    let mut rng = seeded_rng(5);
-                    for i in 0..n {
-                        let noise = gaussian_matrix(&mut rng, 1, 128, 0.05);
-                        let key: Vec<f32> = base
-                            .row(i % 8)
-                            .iter()
-                            .zip(noise.row(0))
-                            .map(|(a, b)| a + b)
-                            .collect();
-                        table.insert_token(&key, i, &hp);
-                    }
-                    table.n_clusters()
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(n_tokens), &n_tokens, |b, &n| {
+            b.iter(|| {
+                let mut table = HcTable::new(7);
+                let mut rng = seeded_rng(5);
+                for i in 0..n {
+                    let noise = gaussian_matrix(&mut rng, 1, 128, 0.05);
+                    let key: Vec<f32> = base
+                        .row(i % 8)
+                        .iter()
+                        .zip(noise.row(0))
+                        .map(|(a, b)| a + b)
+                        .collect();
+                    table.insert_token(&key, i, &hp);
+                }
+                table.n_clusters()
+            })
+        });
     }
     group.finish();
 }

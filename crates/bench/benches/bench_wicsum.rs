@@ -12,7 +12,7 @@ fn concentrated_scores(n: usize) -> (Vec<f32>, Vec<usize>) {
     // regime where early exit wins (paper: top ~16% per row).
     let mut rng = seeded_rng(9);
     let scores: Vec<f32> = (0..n)
-        .map(|i| 100.0 / (1.0 + i as f32) + rng.gen_range(0.0..0.5))
+        .map(|i| 100.0 / (1.0 + i as f32) + rng.gen_range(0.0f32..0.5))
         .collect();
     let counts: Vec<usize> = (0..n).map(|_| rng.gen_range(1..64)).collect();
     (scores, counts)

@@ -11,7 +11,12 @@ fn main() {
 
     // ---------------------------------------------------------------
     banner("Fig. 4(a): Memory footprint, 10 FPS streaming, batch 4");
-    let mut t = Table::new(["Video duration (min)", "Model params (GB)", "KV cache (GB)", "Total (GB)"]);
+    let mut t = Table::new([
+        "Video duration (min)",
+        "Model params (GB)",
+        "KV cache (GB)",
+        "Total (GB)",
+    ]);
     let params_gb = model.param_bytes() as f64 / 1e9;
     for minutes in [0.0, 2.0, 4.0, 6.0, 8.0, 10.0, 20.0, 30.0] {
         let kv = model.kv_footprint_bytes(minutes * 60.0, 10.0, 4) as f64 / 1e9;
@@ -26,7 +31,9 @@ fn main() {
     println!("Edge GPU capacity: 32 GB — exceeded within minutes (paper Fig. 4a).");
 
     // ---------------------------------------------------------------
-    banner("Fig. 4(b): E2E latency breakdown, A100 + InfiniGen (26 frames, 25 q-tokens, 39 a-tokens)");
+    banner(
+        "Fig. 4(b): E2E latency breakdown, A100 + InfiniGen (26 frames, 25 q-tokens, 39 a-tokens)",
+    );
     let sys = SystemModel::new(PlatformSpec::a100(), Method::InfiniGen);
     let mut t = Table::new([
         "KV len",
@@ -56,7 +63,10 @@ fn main() {
     let compute = c.dense_ps + c.attention_ps;
     let total = compute + c.prediction_ps + c.fetch_ps;
     let mut t = Table::new(["Component", "Latency share %"]);
-    t.row(["LLM compute".to_string(), f(compute as f64 / total as f64 * 100.0, 1)]);
+    t.row([
+        "LLM compute".to_string(),
+        f(compute as f64 / total as f64 * 100.0, 1),
+    ]);
     t.row([
         "KV prediction".to_string(),
         f(c.prediction_ps as f64 / total as f64 * 100.0, 1),

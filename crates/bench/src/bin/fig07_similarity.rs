@@ -17,11 +17,8 @@ fn main() {
     let mut llm = StreamingVideoLlm::new(cfg.clone(), 42);
     let mut policy = SelectAll::new();
     let mut stats = RunStats::new(&cfg, false);
-    let mut video = VideoStream::new(CoinTask::Step.video_config(
-        cfg.tokens_per_frame,
-        cfg.hidden_dim,
-        7,
-    ));
+    let mut video =
+        VideoStream::new(CoinTask::Step.video_config(cfg.tokens_per_frame, cfg.hidden_dim, 7));
     let n_frames: usize = 24;
     for _ in 0..n_frames {
         let frame = video.next_frame();
@@ -63,11 +60,7 @@ fn main() {
     }
     let r = pearson_correlation(&cos, &ham);
     let mut t = Table::new(["Pairs", "Pearson r (cos vs hamming)", "|r|"]);
-    t.row([
-        cos.len().to_string(),
-        f(r as f64, 3),
-        f(r.abs() as f64, 3),
-    ]);
+    t.row([cos.len().to_string(), f(r as f64, 3), f(r.abs() as f64, 3)]);
     t.print();
     println!("Paper Fig. 7b: |correlation| ~ 0.8 — hash bits track cosine similarity.");
 

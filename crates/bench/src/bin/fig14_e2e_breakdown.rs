@@ -28,7 +28,14 @@ fn main() {
     ]);
     for s in [1_000usize, 5_000, 10_000, 20_000, 40_000] {
         let vrex_total = systems[3]
-            .interaction(&model, s, 1, sc.frames_per_query, sc.question_tokens, sc.answer_tokens)
+            .interaction(
+                &model,
+                s,
+                1,
+                sc.frames_per_query,
+                sc.question_tokens,
+                sc.answer_tokens,
+            )
             .total_ps() as f64;
         for sys in &systems {
             let b = sys.interaction(

@@ -31,23 +31,71 @@ fn main() {
     for layer in 0..2 {
         let deps: Vec<_> = prev_ffn.into_iter().collect();
         let qkv = e.schedule(lxe, qkv_ps, &deps, &format!("L{layer} QKV gen"), 0);
-        e.schedule(dram, qkv_ps, &deps, &format!("L{layer} weights(QKV)"), qkv_bytes);
+        e.schedule(
+            dram,
+            qkv_ps,
+            &deps,
+            &format!("L{layer} weights(QKV)"),
+            qkv_bytes,
+        );
         // KV prediction on the DRE, concurrent with attention.
-        let pred = e.schedule(dre, c.prediction_ps.max(1), &[qkv], &format!("L{layer} KV prediction"), 0);
-        let attn = e.schedule(lxe, c.attention_ps, &[qkv], &format!("L{layer} attention"), 0);
-        e.schedule(dram, c.attention_ps, &[qkv], &format!("L{layer} KV read"), c.dram_bytes - qkv_bytes - ffn_bytes);
+        let pred = e.schedule(
+            dre,
+            c.prediction_ps.max(1),
+            &[qkv],
+            &format!("L{layer} KV prediction"),
+            0,
+        );
+        let attn = e.schedule(
+            lxe,
+            c.attention_ps,
+            &[qkv],
+            &format!("L{layer} attention"),
+            0,
+        );
+        e.schedule(
+            dram,
+            c.attention_ps,
+            &[qkv],
+            &format!("L{layer} KV read"),
+            c.dram_bytes - qkv_bytes - ffn_bytes,
+        );
         // Retrieval for the *next* layer runs through most of this one.
-        e.schedule(pcie, c.fetch_ps, &[pred], &format!("L{layer} KV retrieval"), c.fetch_bytes);
-        e.schedule(dram, c.fetch_ps, &[pred], &format!("L{layer} KV retrieval->DRAM"), c.fetch_bytes);
+        e.schedule(
+            pcie,
+            c.fetch_ps,
+            &[pred],
+            &format!("L{layer} KV retrieval"),
+            c.fetch_bytes,
+        );
+        e.schedule(
+            dram,
+            c.fetch_ps,
+            &[pred],
+            &format!("L{layer} KV retrieval->DRAM"),
+            c.fetch_bytes,
+        );
         let ffn = e.schedule(lxe, ffn_ps, &[attn], &format!("L{layer} FFN"), 0);
-        e.schedule(dram, ffn_ps, &[attn], &format!("L{layer} weights(FFN)"), ffn_bytes);
+        e.schedule(
+            dram,
+            ffn_ps,
+            &[attn],
+            &format!("L{layer} weights(FFN)"),
+            ffn_bytes,
+        );
         prev_ffn = Some(ffn);
     }
 
     banner("Fig. 17: DRAM / PCIe bandwidth over two V-Rex48 layers @ 40K, batch 1");
     let span = e.makespan();
     let buckets = 16;
-    let mut t = Table::new(["t (us)", "DRAM BW (GB/s)", "PCIe BW (GB/s)", "LXE busy", "DRE busy"]);
+    let mut t = Table::new([
+        "t (us)",
+        "DRAM BW (GB/s)",
+        "PCIe BW (GB/s)",
+        "LXE busy",
+        "DRE busy",
+    ]);
     for b in 0..buckets {
         let t0 = span * b / buckets;
         let t1 = span * (b + 1) / buckets;

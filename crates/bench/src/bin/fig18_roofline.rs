@@ -30,8 +30,8 @@ fn main() {
     let batch = 4u64;
     let workload_flops = batch * model.total_flops(model.tokens_per_frame, 40_000)
         + batch * PlatformSpec::vrex8().vision_flops;
-    let workload_bytes = model.param_bytes() as u64
-        + batch * 40_000 * model.kv_bytes_per_token() as u64;
+    let workload_bytes =
+        model.param_bytes() as u64 + batch * 40_000 * model.kv_bytes_per_token() as u64;
     for sys in &systems {
         let r = sys.frame_step(&model, 40_000, 4);
         let roof = Roof {

@@ -33,12 +33,10 @@ fn main() {
         .map(|t: &CoinTask| t.reference().vanilla_top1)
         .sum::<f64>()
         / 5.0;
-    let (acc_nc, ratio_nc) = avg(&mut |cfg| {
-        Box::new(ResvPolicy::new(cfg, ResvConfig::without_clustering()))
-    });
-    let (acc_resv, ratio_resv) = avg(&mut |cfg| {
-        Box::new(ResvPolicy::new(cfg, ResvConfig::paper_defaults()))
-    });
+    let (acc_nc, ratio_nc) =
+        avg(&mut |cfg| Box::new(ResvPolicy::new(cfg, ResvConfig::without_clustering())));
+    let (acc_resv, ratio_resv) =
+        avg(&mut |cfg| Box::new(ResvPolicy::new(cfg, ResvConfig::paper_defaults())));
 
     // System speedup at 40K over the vanilla (FlexGen-offloaded) edge
     // baseline.
@@ -51,7 +49,9 @@ fn main() {
         } else {
             PlatformSpec::agx_orin()
         };
-        base / SystemModel::new(p, m).frame_step(&sys_model, 40_000, 1).latency_ps as f64
+        base / SystemModel::new(p, m)
+            .frame_step(&sys_model, 40_000, 1)
+            .latency_ps as f64
     };
 
     banner("Fig. 19: ReSV ablation (accuracy proxy + frame-processing speedup @ 40K)");

@@ -15,11 +15,8 @@ fn main() {
     let mut llm = StreamingVideoLlm::new(cfg.clone(), 3);
     let mut policy = ResvPolicy::new(&cfg, ResvConfig::paper_defaults());
     let mut stats = RunStats::new(&cfg, false);
-    let mut video = VideoStream::new(CoinTask::Step.video_config(
-        cfg.tokens_per_frame,
-        cfg.hidden_dim,
-        11,
-    ));
+    let mut video =
+        VideoStream::new(CoinTask::Step.video_config(cfg.tokens_per_frame, cfg.hidden_dim, 11));
     for _ in 0..20 {
         let frame = video.next_frame();
         llm.process_frame(&frame, &mut policy, &mut stats);

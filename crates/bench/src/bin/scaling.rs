@@ -29,8 +29,7 @@ fn main() {
             core: Default::default(),
             n_cores,
         });
-        platform.power_w =
-            vrex_core_total().power_mw / 1000.0 * n_cores as f64 + 55.0 + 15.4 + 8.0;
+        platform.power_w = vrex_core_total().power_mw / 1000.0 * n_cores as f64 + 55.0 + 15.4 + 8.0;
         let sys = SystemModel::new(platform.clone(), Method::ReSV);
         let b1 = sys.frame_step(&model, 40_000, 1);
         let b8 = sys.frame_step(&model, 40_000, 8);

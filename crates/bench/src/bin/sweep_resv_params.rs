@@ -15,11 +15,8 @@ fn measure(cfg: &ModelConfig, resv: ResvConfig) -> (f64, f64, f64) {
     let mut llm = StreamingVideoLlm::new(cfg.clone(), 42);
     let mut policy = ResvPolicy::new(cfg, resv);
     let mut stats = RunStats::new(cfg, true);
-    let mut video = VideoStream::new(CoinTask::Step.video_config(
-        cfg.tokens_per_frame,
-        cfg.hidden_dim,
-        7,
-    ));
+    let mut video =
+        VideoStream::new(CoinTask::Step.video_config(cfg.tokens_per_frame, cfg.hidden_dim, 7));
     for _ in 0..14 {
         let frame = video.next_frame();
         llm.process_frame(&frame, &mut policy, &mut stats);

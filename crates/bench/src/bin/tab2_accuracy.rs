@@ -29,9 +29,7 @@ fn main() {
     }
 
     banner("Table II (upper): COIN Top-1 accuracy proxy per task");
-    let mut t = Table::new([
-        "Method", "Step", "Next", "Task", "Proc.", "Proc.+", "Avg",
-    ]);
+    let mut t = Table::new(["Method", "Step", "Next", "Task", "Proc.", "Proc.+", "Avg"]);
     // Vanilla reference row.
     {
         let mut cells = vec!["VideoLLM-Online (paper)".to_string()];
@@ -66,9 +64,7 @@ fn main() {
     );
 
     banner("Table II (lower): retrieval ratio [frame % / text %] per task");
-    let mut t = Table::new([
-        "Method", "Step", "Next", "Task", "Proc.", "Proc.+", "Avg",
-    ]);
+    let mut t = Table::new(["Method", "Step", "Next", "Task", "Proc.", "Proc.+", "Avg"]);
     for method in ["InfiniGen", "InfiniGenP", "ReKV", "ReSV"] {
         let mut cells = vec![format!("{method} (measured)")];
         let (mut fs, mut ts) = (0.0, 0.0);
@@ -93,8 +89,7 @@ fn main() {
     banner("Attention recall / output divergence (proxy internals)");
     let mut t = Table::new(["Method", "Frame recall", "Text recall", "Output divergence"]);
     for method in ["InfiniGen", "InfiniGenP", "ReKV", "ReSV"] {
-        let rs: Vec<&AccuracyReport> =
-            results.iter().filter(|r| r.method == method).collect();
+        let rs: Vec<&AccuracyReport> = results.iter().filter(|r| r.method == method).collect();
         let n = rs.len() as f64;
         t.row([
             method.to_string(),

@@ -7,7 +7,14 @@ use vrex_hwsim::area_power::{
 
 fn main() {
     banner("Table III: Breakdown of Area and Power (one V-Rex core, 14 nm, 0.8 V, 800 MHz)");
-    let mut t = Table::new(["Component", "Group", "Area [mm^2]", "Area %", "Power [mW]", "Power %"]);
+    let mut t = Table::new([
+        "Component",
+        "Group",
+        "Area [mm^2]",
+        "Area %",
+        "Power [mW]",
+        "Power %",
+    ]);
     let total = vrex_core_total();
     for e in vrex_core_breakdown() {
         t.row([

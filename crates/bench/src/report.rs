@@ -97,6 +97,6 @@ mod tests {
 
     #[test]
     fn format_helper() {
-        assert_eq!(f(3.14159, 2), "3.14");
+        assert_eq!(f(2.46802, 2), "2.47");
     }
 }

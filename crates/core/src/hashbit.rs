@@ -189,13 +189,18 @@ mod tests {
         let noise = gaussian_matrix(&mut rng, 1, 64, 0.05);
         let similar = &base + &noise;
         let far = gaussian_matrix(&mut rng, 1, 64, 1.0);
-        let d_sim = hp.hash(base.row(0)).hamming_distance(&hp.hash(similar.row(0)));
+        let d_sim = hp
+            .hash(base.row(0))
+            .hamming_distance(&hp.hash(similar.row(0)));
         let d_far = hp.hash(base.row(0)).hamming_distance(&hp.hash(far.row(0)));
         assert!(
             d_sim < d_far,
             "similar pair distance {d_sim} should beat random pair {d_far}"
         );
-        assert!(d_sim <= 7, "paper threshold Th_hd=7 should capture near-duplicates");
+        assert!(
+            d_sim <= 7,
+            "paper threshold Th_hd=7 should capture near-duplicates"
+        );
     }
 
     #[test]
@@ -213,7 +218,10 @@ mod tests {
             let noise = gaussian_matrix(&mut rng, 1, dim, noise_scale);
             let other = &base + &noise;
             cos.push(cosine_similarity(base.row(0), other.row(0)));
-            ham.push(hp.hash(base.row(0)).hamming_distance(&hp.hash(other.row(0))) as f32);
+            ham.push(
+                hp.hash(base.row(0))
+                    .hamming_distance(&hp.hash(other.row(0))) as f32,
+            );
         }
         let r = pearson_correlation(&cos, &ham);
         assert!(r < -0.75, "correlation {r} weaker than the paper's 0.8");

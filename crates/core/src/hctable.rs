@@ -118,12 +118,7 @@ impl HcTable {
     /// # Panics
     ///
     /// Panics if `key.len() != hyperplanes.dim()`.
-    pub fn insert_token(
-        &mut self,
-        key: &[f32],
-        token_index: usize,
-        hyperplanes: &HyperplaneSet,
-    ) {
+    pub fn insert_token(&mut self, key: &[f32], token_index: usize, hyperplanes: &HyperplaneSet) {
         assert_eq!(key.len(), hyperplanes.dim(), "key dimension mismatch");
         let bits = hyperplanes.hash(key);
         self.stats.tokens_inserted += 1;

@@ -132,7 +132,11 @@ impl ResvPolicy {
             0 // distance < 0 never holds: every token founds a cluster
         };
         let tables = (0..model.n_layers)
-            .map(|_| (0..model.n_kv_heads).map(|_| HcTable::new(threshold)).collect())
+            .map(|_| {
+                (0..model.n_kv_heads)
+                    .map(|_| HcTable::new(threshold))
+                    .collect()
+            })
             .collect();
         Self {
             cfg,
@@ -231,8 +235,12 @@ impl ResvPolicy {
             let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
             let transformed: Vec<f32> = row.iter().map(|&s| (s - max).exp()).collect();
             let selected = if self.cfg.use_early_exit {
-                let (sel, st) =
-                    early_exit_select_row(&transformed, &counts, self.cfg.th_wics, self.cfg.n_buckets);
+                let (sel, st) = early_exit_select_row(
+                    &transformed,
+                    &counts,
+                    self.cfg.th_wics,
+                    self.cfg.n_buckets,
+                );
                 self.work.early_exit.add(st);
                 sel
             } else {
@@ -367,7 +375,9 @@ mod tests {
 
     #[test]
     fn early_exit_and_reference_paths_agree_end_to_end() {
-        let a = run_stream(ResvConfig::paper_defaults(), 4).1.overall_ratio();
+        let a = run_stream(ResvConfig::paper_defaults(), 4)
+            .1
+            .overall_ratio();
         let b = run_stream(
             ResvConfig {
                 use_early_exit: false,
@@ -424,10 +434,11 @@ mod tests {
             keys: &all,
             stage: Stage::Prefill,
         };
-        match policy.select(&req) {
-            Selection::Indices(idx) => assert!(idx.iter().all(|&i| i < 6)),
-            Selection::All => panic!("expected explicit selection"),
-        }
+        let sel = policy.select(&req);
+        let idx = sel
+            .materialized()
+            .expect("ReSV must return an explicit selection over non-empty history");
+        assert!(idx.iter().all(|&i| i < 6));
     }
 
     #[test]

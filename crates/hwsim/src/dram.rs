@@ -163,8 +163,8 @@ impl Dram {
             // Address mapping: row-interleaved across channels.
             let row_global = burst_addr / self.cfg.row_bytes;
             let channel = (row_global % self.cfg.channels as u64) as usize;
-            let bank = ((row_global / self.cfg.channels as u64)
-                % self.cfg.banks_per_channel as u64) as usize;
+            let bank = ((row_global / self.cfg.channels as u64) % self.cfg.banks_per_channel as u64)
+                as usize;
             let row = row_global / (self.cfg.channels * self.cfg.banks_per_channel) as u64;
             let slot = channel * self.cfg.banks_per_channel + bank;
             if self.open_rows[slot] == row {
@@ -216,7 +216,9 @@ impl Dram {
         let mut total = 0u64;
         let mut addr = 0x5DEE_CE66u64;
         for _ in 0..n {
-            addr = addr.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            addr = addr
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             total += self.access(addr % (1 << 40), bytes_each);
         }
         total

@@ -97,11 +97,7 @@ impl Engine {
         tag: &str,
         bytes: u64,
     ) -> TaskId {
-        let dep_ready = deps
-            .iter()
-            .map(|d| self.tasks[d.0].end)
-            .max()
-            .unwrap_or(0);
+        let dep_ready = deps.iter().map(|d| self.tasks[d.0].end).max().unwrap_or(0);
         let res = &mut self.resources[resource.0];
         let start = dep_ready.max(res.next_free);
         let end = start + duration_ps;

@@ -220,7 +220,7 @@ impl Kvmu {
             }
         }
         let mut current: Option<Transaction> = None;
-        for (&offset, _) in &offsets {
+        for &offset in offsets.keys() {
             match current.as_mut() {
                 Some(tx) if tx.offset + tx.bytes == offset => {
                     tx.bytes += self.bytes_per_token;
@@ -255,7 +255,11 @@ impl Kvmu {
         let mut seen = std::collections::HashSet::new();
         for &t in &self.hot_queue {
             assert!(seen.insert(t), "token {t} twice in hot queue");
-            assert_eq!(self.residency[t], Residency::Device, "hot queue out of sync");
+            assert_eq!(
+                self.residency[t],
+                Residency::Device,
+                "hot queue out of sync"
+            );
         }
         let mut offsets = std::collections::HashSet::new();
         for (t, r) in self.residency.iter().enumerate() {

@@ -103,8 +103,6 @@ mod tests {
         };
         let fast = RooflinePoint::from_measurement("fast", roof, 1 << 40, 1 << 36, 1.0);
         let slow = RooflinePoint::from_measurement("slow", roof, 1 << 40, 1 << 36, 10.0);
-        assert!(
-            (fast.fraction_of_attainable / slow.fraction_of_attainable - 10.0).abs() < 1e-6
-        );
+        assert!((fast.fraction_of_attainable / slow.fraction_of_attainable - 10.0).abs() < 1e-6);
     }
 }

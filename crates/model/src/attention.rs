@@ -36,20 +36,32 @@ pub fn attention_with_selection(
     let new = q.rows();
     let total = keys.rows();
     assert_eq!(total, values.rows(), "key/value cache length mismatch");
-    assert_eq!(total, old_len + new, "cache must already contain the new block");
+    assert_eq!(
+        total,
+        old_len + new,
+        "cache must already contain the new block"
+    );
     let d = q.cols();
     assert_eq!(d, keys.cols(), "query/key width mismatch");
 
-    // Effective context = selected old tokens ++ new tokens.
-    let (k_eff, v_eff, n_sel) = match selected_old {
-        Selection::All => (keys.clone(), values.clone(), old_len),
-        Selection::Indices(idx) => {
+    // Effective context = selected old tokens ++ new tokens. The lazy
+    // `All` case skips the gather entirely.
+    let (k_eff, v_eff, n_sel) = match selected_old.materialized() {
+        None => (keys.clone(), values.clone(), old_len),
+        Some(idx) => {
             for &i in idx {
-                assert!(i < old_len, "selected index {i} not in history (len {old_len})");
+                assert!(
+                    i < old_len,
+                    "selected index {i} not in history (len {old_len})"
+                );
             }
-            let mut rows: Vec<usize> = idx.clone();
+            let mut rows: Vec<usize> = idx.to_vec();
             rows.extend(old_len..total);
-            (keys.gather_rows(&rows), values.gather_rows(&rows), idx.len())
+            (
+                keys.gather_rows(&rows),
+                values.gather_rows(&rows),
+                idx.len(),
+            )
         }
     };
 
@@ -79,20 +91,22 @@ pub fn attention_with_selection(
 /// attended and would inflate recall).
 ///
 /// Returns `1.0` when there is no history.
-pub fn selection_recall(q: &Matrix, keys: &Matrix, old_len: usize, selected_old: &Selection) -> f64 {
+pub fn selection_recall(
+    q: &Matrix,
+    keys: &Matrix,
+    old_len: usize,
+    selected_old: &Selection,
+) -> f64 {
     if old_len == 0 || q.rows() == 0 {
         return 1.0;
     }
-    if matches!(selected_old, Selection::All) {
+    // A selection with no explicit list covers the whole history.
+    let Some(idx) = selected_old.materialized() else {
         return 1.0;
-    }
+    };
     let d = q.cols() as f32;
     let scale = 1.0 / d.sqrt();
     let mut total_recall = 0.0;
-    let idx = match selected_old {
-        Selection::Indices(v) => v,
-        Selection::All => unreachable!(),
-    };
     let selected: std::collections::HashSet<usize> = idx.iter().copied().collect();
     for r in 0..q.rows() {
         let qrow = q.row(r);

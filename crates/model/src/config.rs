@@ -145,10 +145,7 @@ impl ModelConfig {
     /// `context_tokens` cached tokens in one layer (QKᵀ + weighted sum
     /// over V across all query heads).
     pub fn attention_flops_per_layer(&self, new_tokens: usize, context_tokens: usize) -> u64 {
-        2 * 2
-            * (self.n_heads * self.head_dim) as u64
-            * new_tokens as u64
-            * context_tokens as u64
+        2 * 2 * (self.n_heads * self.head_dim) as u64 * new_tokens as u64 * context_tokens as u64
     }
 
     /// Total FLOPs to process `new_tokens` with `context_tokens` of

@@ -120,13 +120,12 @@ impl DecoderLayer {
                 let r = selection_recall(&q_h, keys, start_pos, &selection);
                 stats.record_recall(r);
             }
-            match &selection {
-                crate::policy::Selection::All => kv_union_all[kvh] = true,
-                crate::policy::Selection::Indices(idx) => {
-                    kv_union[kvh].extend(idx.iter().copied());
-                }
+            match selection.materialized() {
+                None => kv_union_all[kvh] = true,
+                Some(idx) => kv_union[kvh].extend(idx.iter().copied()),
             }
-            let out = attention_with_selection(&q_h, keys, cache.values(kvh), start_pos, &selection);
+            let out =
+                attention_with_selection(&q_h, keys, cache.values(kvh), start_pos, &selection);
             for r in 0..n {
                 attn_concat.row_mut(r)[qh * hd..(qh + 1) * hd].copy_from_slice(out.row(r));
             }
@@ -173,7 +172,14 @@ mod tests {
         let mut stats = RunStats::new(&cfg, false);
         let x = gaussian_matrix(&mut rng, 5, cfg.hidden_dim, 0.5);
         let y = layer.forward(
-            &cfg, 0, &x, &mut cache, &mut policy, Stage::Prefill, 0, &mut stats,
+            &cfg,
+            0,
+            &x,
+            &mut cache,
+            &mut policy,
+            Stage::Prefill,
+            0,
+            &mut stats,
         );
         assert_eq!(y.rows(), 5);
         assert_eq!(y.cols(), cfg.hidden_dim);
@@ -190,7 +196,16 @@ mod tests {
             let mut policy = SelectAll::new();
             let mut stats = RunStats::new(&cfg, false);
             let x = gaussian_matrix(&mut rng, 3, cfg.hidden_dim, 0.5);
-            layer.forward(&cfg, 0, &x, &mut cache, &mut policy, Stage::Prefill, 0, &mut stats)
+            layer.forward(
+                &cfg,
+                0,
+                &x,
+                &mut cache,
+                &mut policy,
+                Stage::Prefill,
+                0,
+                &mut stats,
+            )
         };
         assert_eq!(run(), run());
     }
@@ -205,8 +220,26 @@ mod tests {
         let mut stats = RunStats::new(&cfg, false);
         let x1 = gaussian_matrix(&mut rng, 2, cfg.hidden_dim, 0.5);
         let x2 = gaussian_matrix(&mut rng, 3, cfg.hidden_dim, 0.5);
-        layer.forward(&cfg, 0, &x1, &mut cache, &mut policy, Stage::Prefill, 0, &mut stats);
-        layer.forward(&cfg, 0, &x2, &mut cache, &mut policy, Stage::Prefill, 2, &mut stats);
+        layer.forward(
+            &cfg,
+            0,
+            &x1,
+            &mut cache,
+            &mut policy,
+            Stage::Prefill,
+            0,
+            &mut stats,
+        );
+        layer.forward(
+            &cfg,
+            0,
+            &x2,
+            &mut cache,
+            &mut policy,
+            Stage::Prefill,
+            2,
+            &mut stats,
+        );
         assert_eq!(cache.len(), 5);
     }
 }

@@ -36,5 +36,5 @@ pub mod vision;
 pub use config::ModelConfig;
 pub use kv_cache::{KvCache, LayerKvCache};
 pub use llm::{RunStats, StageStats, StreamingVideoLlm};
-pub use policy::{RetrievalPolicy, SelectAll, Selection, Stage};
+pub use policy::{RetrievalPolicy, SelectAll, SelectedIndices, Selection, Stage};
 pub use vision::{Frame, VideoStream, VideoStreamConfig};

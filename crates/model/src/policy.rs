@@ -48,6 +48,113 @@ impl Selection {
         }
         self.selected_count(cache_len) as f64 / cache_len as f64
     }
+
+    /// Whether the selection covers the whole cache without an explicit
+    /// index list.
+    pub fn is_all(&self) -> bool {
+        matches!(self, Selection::All)
+    }
+
+    /// The explicit index list, if the selection already carries one.
+    ///
+    /// `Selection::All` has no materialized list (its extent depends on
+    /// the cache length); use [`Selection::resolve`] to obtain concrete
+    /// indices for a known cache length. This accessor exists so
+    /// consumers that want to *stay lazy* for the full-cache case (e.g.
+    /// attention, which can skip a gather) can branch without matching
+    /// on the enum.
+    pub fn materialized(&self) -> Option<&[usize]> {
+        match self {
+            Selection::All => None,
+            Selection::Indices(v) => Some(v),
+        }
+    }
+
+    /// Resolves the selection against a cache of `total_tokens`,
+    /// yielding explicit ascending indices for **every** variant.
+    ///
+    /// This is the total, non-panicking counterpart of matching on the
+    /// enum: `Selection::All` resolves to `0..total_tokens` instead of
+    /// requiring callers to keep an unreachable (or panicking) arm.
+    pub fn resolve(&self, total_tokens: usize) -> SelectedIndices {
+        let indices: Vec<usize> = match self {
+            Selection::All => (0..total_tokens).collect(),
+            Selection::Indices(v) => v.clone(),
+        };
+        debug_assert!(
+            indices.windows(2).all(|w| w[0] < w[1]),
+            "selection indices must be strictly ascending (unique)"
+        );
+        debug_assert!(
+            indices.last().is_none_or(|&i| i < total_tokens),
+            "selection index out of range for cache of {total_tokens}"
+        );
+        SelectedIndices {
+            indices,
+            total: total_tokens,
+        }
+    }
+}
+
+/// A [`Selection`] resolved against a concrete cache length: always an
+/// explicit, ascending, unique list of token indices.
+///
+/// Produced by [`Selection::resolve`]; consumers never need to
+/// distinguish the lazy `All` case again.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SelectedIndices {
+    indices: Vec<usize>,
+    total: usize,
+}
+
+impl SelectedIndices {
+    /// The selected token indices (ascending, unique).
+    pub fn indices(&self) -> &[usize] {
+        &self.indices
+    }
+
+    /// Number of selected tokens.
+    pub fn len(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Whether nothing was selected.
+    pub fn is_empty(&self) -> bool {
+        self.indices.is_empty()
+    }
+
+    /// The cache length this selection was resolved against.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Whether every cached token was selected.
+    pub fn is_total(&self) -> bool {
+        self.indices.len() == self.total
+    }
+
+    /// Selected fraction of the cache in `[0, 1]`; `1.0` for an empty
+    /// cache (nothing needed fetching).
+    pub fn ratio(&self) -> f64 {
+        if self.total == 0 {
+            return 1.0;
+        }
+        self.indices.len() as f64 / self.total as f64
+    }
+
+    /// Consumes the resolution, returning the index list.
+    pub fn into_vec(self) -> Vec<usize> {
+        self.indices
+    }
+}
+
+impl<'a> IntoIterator for &'a SelectedIndices {
+    type Item = &'a usize;
+    type IntoIter = std::slice::Iter<'a, usize>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.indices.iter()
+    }
 }
 
 /// Context handed to a policy when selecting tokens for one attention
@@ -68,6 +175,15 @@ pub struct SelectionRequest<'a> {
     pub keys: &'a Matrix,
     /// Stage the selection is for.
     pub stage: Stage,
+}
+
+impl SelectionRequest<'_> {
+    /// Number of *history* tokens the selection ranges over: the cached
+    /// tokens that precede the query block (`keys` also contains the
+    /// block's own tokens, which are always attended).
+    pub fn history_len(&self) -> usize {
+        self.keys.rows() - self.queries.rows()
+    }
 }
 
 /// A KV-cache retrieval policy.
@@ -92,6 +208,14 @@ pub trait RetrievalPolicy {
 
     /// Selects the cached tokens that the query block should attend to.
     fn select(&mut self, request: &SelectionRequest<'_>) -> Selection;
+
+    /// Like [`RetrievalPolicy::select`], but resolved against the
+    /// request's history length: always an explicit index list, with no
+    /// `Selection::All` case left for the caller to handle.
+    fn select_resolved(&mut self, request: &SelectionRequest<'_>) -> SelectedIndices {
+        let history = request.history_len();
+        self.select(request).resolve(history)
+    }
 }
 
 /// The trivial policy: attend to the entire cache (the vanilla
@@ -155,5 +279,65 @@ mod tests {
         };
         assert_eq!(p.select(&req), Selection::All);
         assert_eq!(p.name(), "SelectAll");
+    }
+
+    /// The refactor's contract: `Selection::All` *resolves* to the full
+    /// index list rather than forcing callers into a panicking match
+    /// arm (the seed had eight such panicking arms across the policy
+    /// crates).
+    #[test]
+    fn selection_all_resolves_instead_of_panicking() {
+        let resolved = Selection::All.resolve(5);
+        assert_eq!(resolved.indices(), &[0, 1, 2, 3, 4]);
+        assert!(resolved.is_total());
+        assert_eq!(resolved.total(), 5);
+        assert_eq!(resolved.ratio(), 1.0);
+        assert_eq!(Selection::All.resolve(0).len(), 0);
+        assert_eq!(Selection::All.resolve(0).ratio(), 1.0);
+    }
+
+    #[test]
+    fn selection_indices_resolve_to_themselves() {
+        let sel = Selection::Indices(vec![1, 4, 6]);
+        let resolved = sel.resolve(10);
+        assert_eq!(resolved.indices(), &[1, 4, 6]);
+        assert!(!resolved.is_total());
+        assert!((resolved.ratio() - 0.3).abs() < 1e-12);
+        assert_eq!(resolved.into_vec(), vec![1, 4, 6]);
+    }
+
+    #[test]
+    fn materialized_distinguishes_lazy_all() {
+        assert_eq!(Selection::All.materialized(), None);
+        assert!(Selection::All.is_all());
+        let sel = Selection::Indices(vec![0, 2]);
+        assert_eq!(sel.materialized(), Some(&[0usize, 2][..]));
+        assert!(!sel.is_all());
+    }
+
+    #[test]
+    fn select_resolved_uses_request_history() {
+        let mut p = SelectAll::new();
+        let q = Matrix::zeros(2, 4);
+        let k = Matrix::zeros(8, 4);
+        let req = SelectionRequest {
+            layer: 0,
+            query_head: 0,
+            kv_head: 0,
+            queries: &q,
+            keys: &k,
+            stage: Stage::Generation,
+        };
+        assert_eq!(req.history_len(), 6);
+        let resolved = p.select_resolved(&req);
+        assert_eq!(resolved.indices(), &[0, 1, 2, 3, 4, 5]);
+        assert!(resolved.is_total());
+    }
+
+    #[test]
+    fn selected_indices_iterates_in_order() {
+        let resolved = Selection::Indices(vec![2, 3, 9]).resolve(12);
+        let collected: Vec<usize> = resolved.into_iter().copied().collect();
+        assert_eq!(collected, vec![2, 3, 9]);
     }
 }

@@ -169,7 +169,10 @@ mod tests {
         let mut stream = VideoStream::new(VideoStreamConfig::coin_like(8, 64, 1));
         let frames = stream.take_frames(50);
         let sim = mean_adjacent_similarity(&frames);
-        assert!(sim > 0.8, "adjacent similarity {sim} too low for COIN-like video");
+        assert!(
+            sim > 0.8,
+            "adjacent similarity {sim} too low for COIN-like video"
+        );
     }
 
     #[test]
@@ -190,7 +193,10 @@ mod tests {
             }
         }
         let mean = sims.iter().sum::<f32>() / sims.len() as f32;
-        assert!(mean.abs() < 0.3, "cut frames should be near-orthogonal, got {mean}");
+        assert!(
+            mean.abs() < 0.3,
+            "cut frames should be near-orthogonal, got {mean}"
+        );
     }
 
     #[test]

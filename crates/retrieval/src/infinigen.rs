@@ -15,7 +15,7 @@ use vrex_tensor::{top_k_indices, Matrix};
 use crate::scoring::block_importance;
 
 fn top_k_selection(req: &SelectionRequest<'_>, ratio: f64) -> Selection {
-    let history = req.keys.rows() - req.queries.rows();
+    let history = req.history_len();
     if history == 0 {
         return Selection::All;
     }
@@ -139,13 +139,13 @@ mod tests {
         let k = gaussian_matrix(&mut rng, 23, 8, 1.0);
         let mut p = InfiniGenPolicy::paper_defaults();
         assert_eq!(p.select(&request(&q, &k, Stage::Prefill)), Selection::All);
-        match p.select(&request(&q, &k, Stage::Generation)) {
-            Selection::Indices(idx) => {
-                assert_eq!(idx.len(), (20.0f64 * 0.068).ceil() as usize);
-                assert!(idx.windows(2).all(|w| w[0] < w[1]), "must be ascending");
-            }
-            Selection::All => panic!("expected top-k in generation"),
-        }
+        let history = 20;
+        let idx = p
+            .select(&request(&q, &k, Stage::Generation))
+            .resolve(history)
+            .into_vec();
+        assert_eq!(idx.len(), (20.0f64 * 0.068).ceil() as usize);
+        assert!(idx.windows(2).all(|w| w[0] < w[1]), "must be ascending");
     }
 
     #[test]
@@ -155,14 +155,17 @@ mod tests {
         let k = gaussian_matrix(&mut rng, 42, 8, 1.0);
         let mut p = InfiniGenPPolicy::new(0.5, 0.1);
         let history = 40;
-        match p.select(&request(&q, &k, Stage::Prefill)) {
-            Selection::Indices(idx) => assert_eq!(idx.len(), history / 2),
-            Selection::All => panic!(),
-        }
-        match p.select(&request(&q, &k, Stage::Generation)) {
-            Selection::Indices(idx) => assert_eq!(idx.len(), 4),
-            Selection::All => panic!(),
-        }
+        let prefill = p.select(&request(&q, &k, Stage::Prefill)).resolve(history);
+        assert!(!prefill.is_total(), "prefill must filter at ratio 0.5");
+        assert_eq!(prefill.len(), history / 2);
+        let generation = p
+            .select(&request(&q, &k, Stage::Generation))
+            .resolve(history);
+        assert!(
+            !generation.is_total(),
+            "generation must filter at ratio 0.1"
+        );
+        assert_eq!(generation.len(), 4);
     }
 
     #[test]
@@ -172,10 +175,12 @@ mod tests {
         let mut k = Matrix::zeros(11, 2);
         k.row_mut(4)[0] = 10.0; // history token 4 aligned with q
         let mut p = InfiniGenPPolicy::new(0.1, 0.1);
-        match p.select(&request(&q, &k, Stage::Prefill)) {
-            Selection::Indices(idx) => assert_eq!(idx, vec![4]),
-            Selection::All => panic!(),
-        }
+        let history = 10;
+        let idx = p
+            .select(&request(&q, &k, Stage::Prefill))
+            .resolve(history)
+            .into_vec();
+        assert_eq!(idx, vec![4]);
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //! | [`InfiniGenPolicy`] | generation-only retrieval | top-k during generation, full fetch during prefill |
 //! | [`InfiniGenPPolicy`] | prefill-extended InfiniGen | fixed top-k in *both* stages |
 //! | [`RekvPolicy`] | frame-level retrieval | selects whole frames by centroid score until a token budget |
-//! | [`oaken::OakenModel`] | quantized-cache accelerator | 4-bit online KV quantization (capacity model + functional round trip) |
+//! | [`oaken::OakenModel`] | quantized-cache accelerator | 4-bit online KV quantization (capacity model + functional round trip); selects the whole cache |
 //!
 //! All baselines use **fixed top-k** selection — the rigidity ReSV's
 //! WiCSum thresholding removes (paper §III-C). Their selection ratios

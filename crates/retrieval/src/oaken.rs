@@ -7,6 +7,7 @@
 //! system simulator and (b) a functional quantize/attend round trip so
 //! the accuracy cost of 4-bit KV can be measured.
 
+use vrex_model::policy::{RetrievalPolicy, Selection, SelectionRequest};
 use vrex_model::ModelConfig;
 use vrex_tensor::{Matrix, QuantScheme, QuantizedMatrix};
 
@@ -53,10 +54,52 @@ impl OakenModel {
     }
 }
 
+/// Oaken plugs into the retrieval-policy seam as a *pass-through*
+/// selector: it attends to the whole (quantized) cache — its savings
+/// come from storage density, not from filtering, so its selection is
+/// always total. Note that the policy seam only controls *which*
+/// tokens are attended; Oaken's 4-bit fidelity cost is modelled
+/// separately through [`OakenModel::round_trip`], so driving this
+/// policy through the accuracy proxy measures full-attention behaviour
+/// (zero divergence), not quantization error.
+impl RetrievalPolicy for OakenModel {
+    fn name(&self) -> &str {
+        "Oaken"
+    }
+
+    fn on_keys_appended(&mut self, _: usize, _: usize, _: &Matrix, _: usize) {}
+
+    fn select(&mut self, _: &SelectionRequest<'_>) -> Selection {
+        Selection::All
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use vrex_tensor::rng::{gaussian_matrix, seeded_rng};
+
+    #[test]
+    fn oaken_policy_contract_is_total_pass_through() {
+        use vrex_model::policy::Stage;
+        let mut m = OakenModel::paper_defaults();
+        let mut rng = seeded_rng(12);
+        let q = gaussian_matrix(&mut rng, 2, 8, 1.0);
+        let k = gaussian_matrix(&mut rng, 10, 8, 1.0);
+        let req = SelectionRequest {
+            layer: 0,
+            query_head: 0,
+            kv_head: 0,
+            queries: &q,
+            keys: &k,
+            stage: Stage::Generation,
+        };
+        assert_eq!(m.name(), "Oaken");
+        assert_eq!(m.select(&req), Selection::All);
+        let resolved = m.select_resolved(&req);
+        assert!(resolved.is_total());
+        assert_eq!(resolved.total(), req.history_len());
+    }
 
     #[test]
     fn capacity_gain_is_close_to_4x() {

@@ -64,7 +64,12 @@ impl RekvPolicy {
             }
             // Max over query rows.
             for r in 0..queries.rows() {
-                let dot: f32 = queries.row(r).iter().zip(&centroid).map(|(a, b)| a * b).sum();
+                let dot: f32 = queries
+                    .row(r)
+                    .iter()
+                    .zip(&centroid)
+                    .map(|(a, b)| a * b)
+                    .sum();
                 let s = dot * scale;
                 if s > *score {
                     *score = s;
@@ -83,7 +88,7 @@ impl RetrievalPolicy for RekvPolicy {
     fn on_keys_appended(&mut self, _: usize, _: usize, _: &Matrix, _: usize) {}
 
     fn select(&mut self, req: &SelectionRequest<'_>) -> Selection {
-        let history = req.keys.rows() - req.queries.rows();
+        let history = req.history_len();
         if history == 0 {
             return Selection::All;
         }
@@ -139,16 +144,15 @@ mod tests {
         let q = gaussian_matrix(&mut rng, 1, 8, 1.0);
         let k = gaussian_matrix(&mut rng, 41, 8, 1.0); // 40 history + 1 new
         let mut p = RekvPolicy::new(4, 0.5, 0.5);
-        match p.select(&request(&q, &k, Stage::Prefill)) {
-            Selection::Indices(idx) => {
-                // Every selected frame contributes its full 4 tokens.
-                assert_eq!(idx.len() % 4, 0);
-                for chunk in idx.chunks(4) {
-                    assert_eq!(chunk[0] % 4, 0, "frame must start on a boundary");
-                    assert!(chunk.windows(2).all(|w| w[1] == w[0] + 1));
-                }
-            }
-            Selection::All => panic!(),
+        let history = 40;
+        let sel = p.select(&request(&q, &k, Stage::Prefill)).resolve(history);
+        assert!(!sel.is_total(), "ratio 0.5 must filter");
+        // Every selected frame contributes its full 4 tokens.
+        let idx = sel.indices();
+        assert_eq!(idx.len() % 4, 0);
+        for chunk in idx.chunks(4) {
+            assert_eq!(chunk[0] % 4, 0, "frame must start on a boundary");
+            assert!(chunk.windows(2).all(|w| w[1] == w[0] + 1));
         }
     }
 
@@ -159,13 +163,9 @@ mod tests {
         let k = gaussian_matrix(&mut rng, 82, 8, 1.0);
         let mut p = RekvPolicy::new(4, 0.25, 0.25);
         let history = 80;
-        match p.select(&request(&q, &k, Stage::Prefill)) {
-            Selection::Indices(idx) => {
-                assert!(idx.len() >= history / 4);
-                assert!(idx.len() <= history / 4 + 4, "at most one extra frame");
-            }
-            Selection::All => panic!(),
-        }
+        let sel = p.select(&request(&q, &k, Stage::Prefill)).resolve(history);
+        assert!(sel.len() >= history / 4);
+        assert!(sel.len() <= history / 4 + 4, "at most one extra frame");
     }
 
     #[test]
@@ -177,10 +177,12 @@ mod tests {
         }
         // budget = ceil(12 * 0.33) = 4 tokens = exactly one frame
         let mut p = RekvPolicy::new(4, 0.33, 0.33);
-        match p.select(&request(&q, &k, Stage::Prefill)) {
-            Selection::Indices(idx) => assert_eq!(idx, vec![4, 5, 6, 7]),
-            Selection::All => panic!(),
-        }
+        let history = 12;
+        let idx = p
+            .select(&request(&q, &k, Stage::Prefill))
+            .resolve(history)
+            .into_vec();
+        assert_eq!(idx, vec![4, 5, 6, 7]);
     }
 
     #[test]
@@ -189,7 +191,9 @@ mod tests {
         let q = gaussian_matrix(&mut rng, 1, 8, 1.0);
         let k = gaussian_matrix(&mut rng, 41, 8, 1.0);
         let mut p = RekvPolicy::new(4, 0.9, 0.1);
-        let pre = p.select(&request(&q, &k, Stage::Prefill)).selected_count(40);
+        let pre = p
+            .select(&request(&q, &k, Stage::Prefill))
+            .selected_count(40);
         let gen = p
             .select(&request(&q, &k, Stage::Generation))
             .selected_count(40);
@@ -202,8 +206,7 @@ mod tests {
         let q = gaussian_matrix(&mut rng, 1, 8, 1.0);
         let k = gaussian_matrix(&mut rng, 11, 8, 1.0); // 10 history = 2.5 frames
         let mut p = RekvPolicy::new(4, 0.5, 0.5);
-        if let Selection::Indices(idx) = p.select(&request(&q, &k, Stage::Prefill)) {
-            assert!(idx.iter().all(|&i| i < 10));
-        }
+        let sel = p.select(&request(&q, &k, Stage::Prefill)).resolve(10);
+        assert!(sel.indices().iter().all(|&i| i < 10));
     }
 }

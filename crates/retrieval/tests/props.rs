@@ -18,10 +18,13 @@ fn request<'a>(q: &'a Matrix, k: &'a Matrix, stage: Stage) -> SelectionRequest<'
 }
 
 fn check_selection(sel: &Selection, history: usize) {
-    if let Selection::Indices(idx) = sel {
-        assert!(idx.windows(2).all(|w| w[0] < w[1]), "not strictly ascending");
-        assert!(idx.iter().all(|&i| i < history), "index beyond history");
-    }
+    let resolved = sel.resolve(history);
+    let idx = resolved.indices();
+    assert!(
+        idx.windows(2).all(|w| w[0] < w[1]),
+        "not strictly ascending"
+    );
+    assert!(idx.iter().all(|&i| i < history), "index beyond history");
 }
 
 proptest! {
@@ -60,10 +63,9 @@ proptest! {
         let k = gaussian_matrix(&mut rng, history + 1, 8, 1.0);
         let mut p = InfiniGenPolicy::new(0.1);
         prop_assert_eq!(p.select(&request(&q, &k, Stage::Prefill)), Selection::All);
-        match p.select(&request(&q, &k, Stage::Generation)) {
-            Selection::All => prop_assert!(false, "generation must filter"),
-            Selection::Indices(idx) => prop_assert!(idx.len() < history),
-        }
+        let generation = p.select(&request(&q, &k, Stage::Generation)).resolve(history);
+        prop_assert!(!generation.is_total(), "generation must filter");
+        prop_assert!(generation.len() < history);
     }
 
     /// ReKV selections consist of whole frames except possibly the last
@@ -82,18 +84,17 @@ proptest! {
         let mut p = RekvPolicy::new(tpf, ratio_pct as f64 / 100.0, 0.5);
         let sel = p.select(&request(&q, &k, Stage::Prefill));
         check_selection(&sel, history);
-        if let Selection::Indices(idx) = &sel {
-            // Group indices by frame: every touched frame is complete.
-            let mut per_frame = vec![0usize; frames];
-            for &i in idx {
-                per_frame[i / tpf] += 1;
-            }
-            for (f, &count) in per_frame.iter().enumerate() {
-                prop_assert!(
-                    count == 0 || count == tpf,
-                    "frame {f} partially selected ({count}/{tpf})"
-                );
-            }
+        // Group indices by frame: every touched frame is complete.
+        let resolved = sel.resolve(history);
+        let mut per_frame = vec![0usize; frames];
+        for &i in resolved.indices() {
+            per_frame[i / tpf] += 1;
+        }
+        for (f, &count) in per_frame.iter().enumerate() {
+            prop_assert!(
+                count == 0 || count == tpf,
+                "frame {f} partially selected ({count}/{tpf})"
+            );
         }
     }
 

@@ -80,8 +80,7 @@ mod tests {
     fn agx_resv_speedup_over_flexgen_is_paperlike() {
         // Paper: AGX+ReSV reduces latency 2.8x over AGX+FlexGen.
         let ladder = fig16_ladder(&ModelConfig::llama3_8b(), 40_000, 1);
-        let speedup =
-            ladder[0].result.latency_ps as f64 / ladder[1].result.latency_ps as f64;
+        let speedup = ladder[0].result.latency_ps as f64 / ladder[1].result.latency_ps as f64;
         assert!(
             (1.5..6.0).contains(&speedup),
             "AGX+ReSV speedup {speedup:.2} outside plausible band"
@@ -92,8 +91,7 @@ mod tests {
     fn full_system_speedup_is_paperlike() {
         // Paper: V-Rex8 All reaches 8.1x over AGX+FlexGen.
         let ladder = fig16_ladder(&ModelConfig::llama3_8b(), 40_000, 1);
-        let speedup =
-            ladder[0].result.latency_ps as f64 / ladder[3].result.latency_ps as f64;
+        let speedup = ladder[0].result.latency_ps as f64 / ladder[3].result.latency_ps as f64;
         assert!(
             (4.0..16.0).contains(&speedup),
             "full-system speedup {speedup:.2} outside plausible band"
@@ -103,12 +101,18 @@ mod tests {
     #[test]
     fn kvpu_kills_prediction_share() {
         let ladder = fig16_ladder(&ModelConfig::llama3_8b(), 40_000, 1);
-        let gpu_share = ladder[1].result.prediction_ps as f64
-            / (ladder[1].result.latency_ps as f64);
-        let dre_share = ladder[2].result.prediction_ps as f64
-            / (ladder[2].result.latency_ps as f64);
-        assert!(gpu_share > 0.2, "GPU prediction share {gpu_share:.2} too small");
-        assert!(dre_share < 0.05, "DRE prediction share {dre_share:.3} too large");
+        let gpu_share =
+            ladder[1].result.prediction_ps as f64 / (ladder[1].result.latency_ps as f64);
+        let dre_share =
+            ladder[2].result.prediction_ps as f64 / (ladder[2].result.latency_ps as f64);
+        assert!(
+            gpu_share > 0.2,
+            "GPU prediction share {gpu_share:.2} too small"
+        );
+        assert!(
+            dre_share < 0.05,
+            "DRE prediction share {dre_share:.3} too large"
+        );
     }
 
     #[test]

@@ -118,8 +118,7 @@ impl SystemModel {
     pub fn is_oom(&self, model: &ModelConfig, cache_tokens: usize, batch: usize) -> bool {
         let profile = self.method.profile();
         let weights = model.param_bytes() as u64 + self.platform.vision_bytes;
-        let kv_per_token =
-            (model.kv_bytes_per_token() as f64 * profile.kv_bytes_scale) as u64;
+        let kv_per_token = (model.kv_bytes_per_token() as f64 * profile.kv_bytes_scale) as u64;
         let resident_tokens = if profile.offloads {
             self.platform.hot_window_tokens.min(cache_tokens)
         } else {
@@ -153,7 +152,11 @@ impl SystemModel {
     fn step(&self, w: &Workload, with_vision: bool) -> StepResult {
         let per_layer: LayerCosts = layer_costs(&self.platform, self.method, w);
         let n_layers = w.model.n_layers as u64;
-        let vision_ps = if with_vision { self.vision_ps(w.batch) } else { 0 };
+        let vision_ps = if with_vision {
+            self.vision_ps(w.batch)
+        } else {
+            0
+        };
         let layers_ps = per_layer.layer_ps * n_layers;
         let latency_ps = layers_ps + vision_ps;
         let fetch_ps = per_layer.fetch_ps * n_layers;
@@ -174,8 +177,12 @@ impl SystemModel {
                 0
             };
         let energy = self.energy(
-            latency_ps, dense_ps + attention_ps + vision_ps, prediction_ps, fetch_ps,
-            fetch_bytes, dram_bytes,
+            latency_ps,
+            dense_ps + attention_ps + vision_ps,
+            prediction_ps,
+            fetch_ps,
+            fetch_bytes,
+            dram_bytes,
         );
         StepResult {
             latency_ps,
@@ -266,7 +273,12 @@ impl SystemModel {
     }
 
     /// Time per output token (one generation step).
-    pub fn decode_step(&self, model: &ModelConfig, cache_tokens: usize, batch: usize) -> StepResult {
+    pub fn decode_step(
+        &self,
+        model: &ModelConfig,
+        cache_tokens: usize,
+        batch: usize,
+    ) -> StepResult {
         self.step(&Workload::decode(model, cache_tokens, batch), false)
     }
 
@@ -314,8 +326,7 @@ impl SystemModel {
         let decode = self.decode_step(model, cache_tokens, batch);
         InteractionBreakdown {
             vision_ps: frame.vision_ps * frames as u64,
-            prefill_ps: (frame.latency_ps - frame.vision_ps) * frames as u64
-                + question.latency_ps,
+            prefill_ps: (frame.latency_ps - frame.vision_ps) * frames as u64 + question.latency_ps,
             generation_ps: decode.latency_ps * answer_tokens as u64,
         }
     }
@@ -357,8 +368,14 @@ mod tests {
             );
             last_speedup = speedup;
         }
-        assert!(last_speedup > 4.0, "40K speedup {last_speedup:.2} too small");
-        assert!(last_speedup < 20.0, "40K speedup {last_speedup:.2} too large");
+        assert!(
+            last_speedup > 4.0,
+            "40K speedup {last_speedup:.2} too small"
+        );
+        assert!(
+            last_speedup < 20.0,
+            "40K speedup {last_speedup:.2} too large"
+        );
     }
 
     #[test]

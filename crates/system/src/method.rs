@@ -204,7 +204,12 @@ mod tests {
     #[test]
     fn resv_has_lowest_ratios() {
         let resv = Method::ReSV.profile();
-        for m in [Method::FlexGen, Method::InfiniGen, Method::InfiniGenP, Method::ReKV] {
+        for m in [
+            Method::FlexGen,
+            Method::InfiniGen,
+            Method::InfiniGenP,
+            Method::ReKV,
+        ] {
             let p = m.profile();
             assert!(resv.frame_ratio < p.frame_ratio || m == Method::InfiniGenP);
             assert!(resv.frame_ratio <= p.frame_ratio);

@@ -185,8 +185,7 @@ fn prediction_costs(
             let sort_ops = b * n_frames * m.n_heads as u64;
             match &platform.compute {
                 ComputeSpec::Gpu(g) => (
-                    g.dense_op_ps(score_flops, b * centroid_bytes)
-                        + g.irregular_op_ps(sort_ops, 2),
+                    g.dense_op_ps(score_flops, b * centroid_bytes) + g.irregular_op_ps(sort_ops, 2),
                     b * centroid_bytes,
                 ),
                 ComputeSpec::VRex(v) => {
@@ -196,7 +195,10 @@ fn prediction_costs(
                         b * centroid_bytes / v.n_cores as u64,
                         platform.dram.peak_bytes_per_s() / v.n_cores as f64,
                     );
-                    (score + v.core.wtu.selection_ps(n_frames, n_frames, n_frames / 4), b * centroid_bytes)
+                    (
+                        score + v.core.wtu.selection_ps(n_frames, n_frames, n_frames / 4),
+                        b * centroid_bytes,
+                    )
                 }
             }
         }
@@ -255,8 +257,7 @@ fn fetch_costs(platform: &PlatformSpec, method: Method, w: &Workload) -> (u64, u
         return (0, 0);
     }
     let m = &w.model;
-    let bytes =
-        cold * m.kv_bytes_per_token_per_layer() as u64 * w.batch as u64;
+    let bytes = cold * m.kv_bytes_per_token_per_layer() as u64 * w.batch as u64;
     let profile = method.profile();
     // The KVMU's cluster-contiguous mapping needs the DRE hardware;
     // running ReSV on a GPU falls back to the temporal runs that
@@ -313,12 +314,18 @@ pub fn layer_costs(platform: &PlatformSpec, method: Method, w: &Workload) -> Lay
             let cores = v.n_cores as u64;
             let bw = platform.dram.peak_bytes_per_s();
             (
-                v.core
-                    .dpe
-                    .op_ps(dense_flops / cores, 0.8, weight_bytes / cores, bw / cores as f64),
-                v.core
-                    .dpe
-                    .op_ps(attn_flops / cores, 0.5, kv_read_bytes / cores, bw / cores as f64),
+                v.core.dpe.op_ps(
+                    dense_flops / cores,
+                    0.8,
+                    weight_bytes / cores,
+                    bw / cores as f64,
+                ),
+                v.core.dpe.op_ps(
+                    attn_flops / cores,
+                    0.5,
+                    kv_read_bytes / cores,
+                    bw / cores as f64,
+                ),
             )
         }
     };
@@ -338,9 +345,7 @@ pub fn layer_costs(platform: &PlatformSpec, method: Method, w: &Workload) -> Lay
         // fetch overlaps.
         (ComputeSpec::Gpu(_), _) => (dense_ps + attention_ps + prediction_ps).max(fetch_ps),
         // V-Rex: DRE prediction and KVMU fetch both overlap the LXE.
-        (ComputeSpec::VRex(_), _) => (dense_ps + attention_ps)
-            .max(prediction_ps)
-            .max(fetch_ps),
+        (ComputeSpec::VRex(_), _) => (dense_ps + attention_ps).max(prediction_ps).max(fetch_ps),
     };
 
     LayerCosts {
@@ -375,7 +380,10 @@ mod tests {
     #[test]
     fn cold_tokens_zero_for_in_memory_methods() {
         let w = Workload::frame(&llama(), 40_000, 1);
-        assert_eq!(cold_selected_tokens(&PlatformSpec::agx_orin(), Method::Oaken, &w), 0);
+        assert_eq!(
+            cold_selected_tokens(&PlatformSpec::agx_orin(), Method::Oaken, &w),
+            0
+        );
         assert_eq!(
             cold_selected_tokens(&PlatformSpec::agx_orin(), Method::VanillaInMemory, &w),
             0
@@ -391,7 +399,10 @@ mod tests {
         assert!(vrex_cold > 0, "at 40K some selected tokens are cold");
         // Short caches fit the hot window entirely.
         let w1k = Workload::frame(&llama(), 1000, 1);
-        assert_eq!(cold_selected_tokens(&PlatformSpec::vrex8(), Method::ReSV, &w1k), 0);
+        assert_eq!(
+            cold_selected_tokens(&PlatformSpec::vrex8(), Method::ReSV, &w1k),
+            0
+        );
     }
 
     #[test]

@@ -1,11 +1,11 @@
 //! The four evaluation platforms (paper Table I).
 
+use vrex_hwsim::area_power::SystemPower;
 use vrex_hwsim::dram::DramConfig;
 use vrex_hwsim::gpu::GpuConfig;
 use vrex_hwsim::pcie::PcieConfig;
 use vrex_hwsim::ssd::SsdConfig;
 use vrex_hwsim::vrexunits::VRexChipConfig;
-use vrex_hwsim::area_power::SystemPower;
 
 /// The compute engine of a platform.
 #[derive(Debug, Clone, PartialEq)]

@@ -46,7 +46,10 @@ pub fn simulate_session(
     seconds: f64,
     batch: usize,
 ) -> SessionResult {
-    assert!(fps > 0.0 && seconds > 0.0, "fps and duration must be positive");
+    assert!(
+        fps > 0.0 && seconds > 0.0,
+        "fps and duration must be positive"
+    );
     let frames_offered = (fps * seconds).floor() as usize;
     let interarrival = 1.0 / fps;
 
@@ -107,7 +110,10 @@ mod tests {
     fn agx_flexgen_falls_behind_at_long_cache() {
         let sys = SystemModel::new(PlatformSpec::agx_orin(), Method::FlexGen);
         let r = simulate_session(&sys, &llama(), 40_000, 2.0, 30.0, 1);
-        assert!(!r.real_time, "AGX+FlexGen cannot sustain 2 FPS at 40K: {r:?}");
+        assert!(
+            !r.real_time,
+            "AGX+FlexGen cannot sustain 2 FPS at 40K: {r:?}"
+        );
         assert!(r.max_queue_depth > 5, "queue should build: {r:?}");
         assert!(r.max_lag_s > r.mean_lag_s);
     }

@@ -26,5 +26,5 @@ pub mod rng;
 pub mod topk;
 
 pub use matrix::Matrix;
-pub use quant::{QuantizedMatrix, QuantScheme};
+pub use quant::{QuantScheme, QuantizedMatrix};
 pub use topk::{top_k_indices, top_k_threshold};

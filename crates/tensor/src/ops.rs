@@ -60,7 +60,10 @@ pub fn softmax_rows(m: &mut Matrix) {
 /// Panics if `dim` is odd.
 pub fn apply_rope(m: &mut Matrix, start_pos: usize) {
     let dim = m.cols();
-    assert!(dim % 2 == 0, "RoPE requires an even head dimension, got {dim}");
+    assert!(
+        dim % 2 == 0,
+        "RoPE requires an even head dimension, got {dim}"
+    );
     let half = dim / 2;
     let inv_freq: Vec<f32> = (0..half)
         .map(|k| 10000f32.powf(-2.0 * k as f32 / dim as f32))

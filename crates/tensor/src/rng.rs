@@ -74,8 +74,7 @@ mod tests {
     fn gaussian_has_roughly_zero_mean_unit_std() {
         let m = gaussian_matrix(&mut seeded_rng(11), 64, 64, 1.0);
         let mean = m.mean();
-        let var = m.data().iter().map(|v| (v - mean).powi(2)).sum::<f32>()
-            / m.len() as f32;
+        let var = m.data().iter().map(|v| (v - mean).powi(2)).sum::<f32>() / m.len() as f32;
         assert!(mean.abs() < 0.05, "mean {mean}");
         assert!((var - 1.0).abs() < 0.1, "var {var}");
     }

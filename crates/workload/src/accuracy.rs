@@ -190,7 +190,11 @@ mod tests {
         let cfg = ModelConfig::tiny();
         let mut p = FlexGenPolicy::new();
         let r = evaluate_policy(&cfg, CoinTask::Step, &mut p, EvalConfig::default());
-        assert!(r.output_divergence < 1e-6, "divergence {}", r.output_divergence);
+        assert!(
+            r.output_divergence < 1e-6,
+            "divergence {}",
+            r.output_divergence
+        );
         assert_eq!(r.frame_ratio_pct, 100.0);
         assert!((r.proxy_top1 - 49.0).abs() < 1e-9);
     }

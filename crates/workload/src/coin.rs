@@ -110,7 +110,12 @@ impl CoinTask {
     /// retrieval ratio is low (`Proc.`) have the most static video
     /// (long scenes, low noise ⇒ concentrated attention and heavy
     /// clustering); tasks with high ratios get busier video.
-    pub fn video_config(&self, tokens_per_frame: usize, dim: usize, seed: u64) -> VideoStreamConfig {
+    pub fn video_config(
+        &self,
+        tokens_per_frame: usize,
+        dim: usize,
+        seed: u64,
+    ) -> VideoStreamConfig {
         let (cut, drift, noise) = match self {
             CoinTask::Step => (0.012, 0.05, 0.20),
             CoinTask::Next => (0.015, 0.06, 0.22),
@@ -144,8 +149,7 @@ mod tests {
 
     #[test]
     fn five_tasks_with_distinct_labels() {
-        let labels: std::collections::HashSet<_> =
-            COIN_TASKS.iter().map(|t| t.label()).collect();
+        let labels: std::collections::HashSet<_> = COIN_TASKS.iter().map(|t| t.label()).collect();
         assert_eq!(labels.len(), 5);
     }
 

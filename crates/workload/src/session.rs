@@ -110,7 +110,9 @@ impl SessionGenerator {
     /// Generates random question token ids (hashed into a vocabulary by
     /// the model's embedding).
     pub fn question_ids(&mut self, tokens: usize) -> Vec<usize> {
-        (0..tokens).map(|_| self.rng.gen_range(0..100_000)).collect()
+        (0..tokens)
+            .map(|_| self.rng.gen_range(0..100_000))
+            .collect()
     }
 }
 

@@ -19,11 +19,8 @@ use vrex::workload::{CoinTask, SessionGenerator};
 fn run_session(policy: &mut dyn RetrievalPolicy) -> Vec<(usize, f64, f64)> {
     let cfg = ModelConfig::small();
     let mut llm = StreamingVideoLlm::new(cfg.clone(), 11);
-    let mut video = VideoStream::new(CoinTask::Next.video_config(
-        cfg.tokens_per_frame,
-        cfg.hidden_dim,
-        5,
-    ));
+    let mut video =
+        VideoStream::new(CoinTask::Next.video_config(cfg.tokens_per_frame, cfg.hidden_dim, 5));
     let mut questions = SessionGenerator::new(99);
     let mut out = Vec::new();
     for _turn in 0..3 {

@@ -2,7 +2,7 @@
 //! and methods (functional model + retrieval algorithms + proxy map).
 
 use vrex::core::resv::{ResvConfig, ResvPolicy};
-use vrex::model::{ModelConfig, RetrievalPolicy};
+use vrex::model::ModelConfig;
 use vrex::retrieval::{FlexGenPolicy, InfiniGenPPolicy, RekvPolicy};
 use vrex::workload::accuracy::{evaluate_policy, EvalConfig};
 use vrex::workload::COIN_TASKS;
@@ -80,7 +80,10 @@ fn resv_uses_fewer_tokens_than_rekv_in_both_stages() {
         rekv_f += k.frame_ratio_pct;
         rekv_t += k.text_ratio_pct;
     }
-    assert!(resv_f < rekv_f, "frame: ReSV {resv_f:.1} vs ReKV {rekv_f:.1}");
+    assert!(
+        resv_f < rekv_f,
+        "frame: ReSV {resv_f:.1} vs ReKV {rekv_f:.1}"
+    );
     assert!(
         resv_t * 1.5 < rekv_t,
         "text: ReSV {resv_t:.1} vs ReKV {rekv_t:.1}"

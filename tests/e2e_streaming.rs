@@ -22,11 +22,8 @@ fn run_session(
     policy: &mut dyn RetrievalPolicy,
 ) -> (Vec<usize>, RunStats, RunStats) {
     let mut llm = StreamingVideoLlm::new(cfg.clone(), 21);
-    let mut video = VideoStream::new(CoinTask::Step.video_config(
-        cfg.tokens_per_frame,
-        cfg.hidden_dim,
-        13,
-    ));
+    let mut video =
+        VideoStream::new(CoinTask::Step.video_config(cfg.tokens_per_frame, cfg.hidden_dim, 13));
     let mut questions = SessionGenerator::new(77);
     let mut prefill = RunStats::new(cfg, true);
     for _ in 0..10 {
@@ -84,13 +81,19 @@ fn resv_ratio_is_lowest_among_prefill_retrievers() {
         let (_, prefill, _) = run_session(&cfg, p.as_mut());
         prefill.overall_ratio()
     };
-    let resv = ratio_of(Box::new(ResvPolicy::new(&cfg, ResvConfig::paper_defaults())));
+    let resv = ratio_of(Box::new(ResvPolicy::new(
+        &cfg,
+        ResvConfig::paper_defaults(),
+    )));
     let igp = ratio_of(Box::new(InfiniGenPPolicy::paper_defaults()));
     let rekv = ratio_of(Box::new(RekvPolicy::paper_defaults(cfg.tokens_per_frame)));
     let infinigen = ratio_of(Box::new(InfiniGenPolicy::paper_defaults()));
     assert!(resv < igp, "ReSV {resv} vs InfiniGenP {igp}");
     assert!(resv < rekv, "ReSV {resv} vs ReKV {rekv}");
-    assert!((infinigen - 1.0).abs() < 1e-9, "InfiniGen fetches all during prefill");
+    assert!(
+        (infinigen - 1.0).abs() < 1e-9,
+        "InfiniGen fetches all during prefill"
+    );
 }
 
 #[test]
@@ -116,10 +119,12 @@ fn generation_ratios_are_below_prefill_ratios() {
     // Table II lower half: every retrieval method selects far less
     // during single-query generation than during multi-token prefill.
     let cfg = ModelConfig::tiny();
-    for mk in [
-        || -> Box<dyn RetrievalPolicy> { Box::new(InfiniGenPPolicy::paper_defaults()) },
-    ] {
-        let mut p = mk();
+    let stage_filtering: Vec<Box<dyn RetrievalPolicy>> = vec![
+        Box::new(InfiniGenPolicy::paper_defaults()),
+        Box::new(InfiniGenPPolicy::paper_defaults()),
+        Box::new(RekvPolicy::paper_defaults(cfg.tokens_per_frame)),
+    ];
+    for mut p in stage_filtering {
         let (_, prefill, generation) = run_session(&cfg, p.as_mut());
         assert!(
             generation.overall_ratio() <= prefill.overall_ratio() + 1e-9,

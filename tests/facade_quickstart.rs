@@ -1,0 +1,50 @@
+//! Smoke test mirroring the `vrex` facade's quickstart doctest
+//! (`src/lib.rs`): the exact flow a new user copies must keep working
+//! as a plain integration test too, where failures produce full
+//! backtraces instead of doctest output.
+
+use vrex::core::resv::{ResvConfig, ResvPolicy};
+use vrex::model::policy::Selection;
+use vrex::model::{ModelConfig, RunStats, StreamingVideoLlm};
+use vrex::model::{VideoStream, VideoStreamConfig};
+
+#[test]
+fn quickstart_flow_runs_and_filters() {
+    let cfg = ModelConfig::tiny();
+    let mut llm = StreamingVideoLlm::new(cfg.clone(), 7);
+    let mut policy = ResvPolicy::new(&cfg, ResvConfig::paper_defaults());
+    let mut video = VideoStream::new(VideoStreamConfig::coin_like(
+        cfg.tokens_per_frame,
+        cfg.hidden_dim,
+        9,
+    ));
+    let mut stats = RunStats::new(&cfg, false);
+    for _ in 0..5 {
+        let frame = video.next_frame();
+        llm.process_frame(&frame, &mut policy, &mut stats);
+    }
+    let ratio = stats.overall_ratio();
+    assert!(ratio > 0.0, "ratio must be positive, got {ratio}");
+    assert!(ratio < 1.0, "ReSV must filter the cache, got {ratio}");
+    assert_eq!(llm.cache().len(), 5 * cfg.tokens_per_frame);
+}
+
+#[test]
+fn facade_reexports_cover_the_workspace() {
+    // Every layer of the DAG is reachable through the facade; touching
+    // one symbol per crate keeps the re-export seam honest.
+    let _ = vrex::tensor::Matrix::zeros(2, 2);
+    let _ = vrex::model::ModelConfig::tiny();
+    let _ = vrex::core::resv::ResvConfig::paper_defaults();
+    let _ = vrex::retrieval::FlexGenPolicy::new();
+    let _ = vrex::hwsim::dram::DramConfig::lpddr5_204gb();
+    let _ = vrex::workload::COIN_TASKS;
+    let _ = vrex::system::PlatformSpec::vrex8();
+}
+
+#[test]
+fn facade_exposes_the_refactored_selection_api() {
+    let resolved = Selection::All.resolve(4);
+    assert_eq!(resolved.indices(), &[0, 1, 2, 3]);
+    assert!(Selection::All.materialized().is_none());
+}

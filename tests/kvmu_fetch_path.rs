@@ -13,7 +13,11 @@ const TOKEN_BYTES: u64 = 4096;
 /// Builds two KVMUs over the same interleaved stream: one with cluster
 /// tags (KVMU mapping), one without. Returns the two fetch plans for
 /// the members of cluster 0.
-fn plans() -> (vrex::hwsim::kvmu::FetchPlan, vrex::hwsim::kvmu::FetchPlan, Vec<usize>) {
+fn plans() -> (
+    vrex::hwsim::kvmu::FetchPlan,
+    vrex::hwsim::kvmu::FetchPlan,
+    Vec<usize>,
+) {
     let n_clusters = 8;
     let per_cluster = 32; // the paper's mean cluster occupancy
     let total = n_clusters * per_cluster;

@@ -25,10 +25,7 @@ fn engine_makespan(platform: &PlatformSpec, method: Method, w: &Workload, n_laye
     let mut prev_layer_done = None;
     let mut fetch_done: Option<vrex::hwsim::TaskId> = None;
     for l in 0..n_layers {
-        let deps: Vec<_> = prev_layer_done
-            .into_iter()
-            .chain(fetch_done)
-            .collect();
+        let deps: Vec<_> = prev_layer_done.into_iter().chain(fetch_done).collect();
         // Compute of layer l waits for its (prefetched) KV.
         let compute = e.schedule(
             lxe,
@@ -40,7 +37,13 @@ fn engine_makespan(platform: &PlatformSpec, method: Method, w: &Workload, n_laye
         // Prediction for layer l+1 runs on the DRE beside compute.
         let pred = e.schedule(dre, c.prediction_ps, &deps, &format!("L{l} pred"), 0);
         // Fetch for layer l+1 starts once its selection is known.
-        fetch_done = Some(e.schedule(pcie, c.fetch_ps, &[pred], &format!("L{l} fetch"), c.fetch_bytes));
+        fetch_done = Some(e.schedule(
+            pcie,
+            c.fetch_ps,
+            &[pred],
+            &format!("L{l} fetch"),
+            c.fetch_bytes,
+        ));
         prev_layer_done = Some(compute);
     }
     e.makespan()
@@ -83,7 +86,10 @@ fn fetch_bound_regime_is_visible_in_the_schedule() {
         c.fetch_ps,
         c.dense_ps + c.attention_ps
     );
-    assert_eq!(c.layer_ps, c.fetch_ps, "overlap model must report the bottleneck");
+    assert_eq!(
+        c.layer_ps, c.fetch_ps,
+        "overlap model must report the bottleneck"
+    );
 }
 
 #[test]

@@ -33,7 +33,10 @@ fn fig13_server_batch_speedups() {
     for (batch, lo, hi) in [(1usize, 1.5, 12.0), (8, 1.5, 25.0)] {
         let s = a100.frame_step(&llama(), 40_000, batch).latency_ms()
             / vrex.frame_step(&llama(), 40_000, batch).latency_ms();
-        assert!(s > lo && s < hi, "batch {batch}: speedup {s:.2} outside [{lo},{hi}]");
+        assert!(
+            s > lo && s < hi,
+            "batch {batch}: speedup {s:.2} outside [{lo},{hi}]"
+        );
     }
 }
 
@@ -48,7 +51,10 @@ fn fig13_infinigenp_slower_than_flexgen_on_edge() {
         let igp = SystemModel::new(PlatformSpec::agx_orin(), Method::InfiniGenP)
             .frame_step(&llama(), s, 1)
             .latency_ms();
-        assert!(igp > flex, "at {s}: InfiniGenP {igp:.0} vs FlexGen {flex:.0}");
+        assert!(
+            igp > flex,
+            "at {s}: InfiniGenP {igp:.0} vs FlexGen {flex:.0}"
+        );
     }
 }
 
@@ -69,9 +75,7 @@ fn fig13_rekv_beats_flexgen_modestly() {
 fn fig14_e2e_speedup_grows_with_cache() {
     let vrex = SystemModel::new(PlatformSpec::vrex8(), Method::ReSV);
     let agx = SystemModel::new(PlatformSpec::agx_orin(), Method::FlexGen);
-    let e2e = |sys: &SystemModel, s| {
-        sys.interaction(&llama(), s, 1, 26, 25, 39).total_ps() as f64
-    };
+    let e2e = |sys: &SystemModel, s| sys.interaction(&llama(), s, 1, 26, 25, 39).total_ps() as f64;
     let speedup_1k = e2e(&agx, 1_000) / e2e(&vrex, 1_000);
     let speedup_40k = e2e(&agx, 40_000) / e2e(&vrex, 40_000);
     // Paper: 2x at 1K rising to 5.4x at 40K.
@@ -89,7 +93,12 @@ fn fig15_oom_ordering() {
     let oaken = SystemModel::new(PlatformSpec::agx_orin(), Method::Oaken);
     let vrex = SystemModel::new(PlatformSpec::vrex8(), Method::ReSV);
     let sweep = [1_000usize, 5_000, 10_000, 20_000, 40_000];
-    let horizon = |sys: &SystemModel| sweep.iter().filter(|&&s| sys.fps(&llama(), s, batch).is_some()).count();
+    let horizon = |sys: &SystemModel| {
+        sweep
+            .iter()
+            .filter(|&&s| sys.fps(&llama(), s, batch).is_some())
+            .count()
+    };
     let hv = horizon(&vanilla);
     let ho = horizon(&oaken);
     let hr = horizon(&vrex);
@@ -147,12 +156,18 @@ fn fig18_roofline_fraction_ordering() {
     // Paper: FlexGen 6.6% < ReKV ~15% < V-Rex 71.5%.
     assert!(fractions[0] < fractions[1], "{fractions:?}");
     assert!(fractions[1] < fractions[2], "{fractions:?}");
-    assert!(fractions[2] > 0.15, "V-Rex should reach a large fraction: {fractions:?}");
+    assert!(
+        fractions[2] > 0.15,
+        "V-Rex should reach a large fraction: {fractions:?}"
+    );
     assert!(
         fractions[2] > 3.0 * fractions[0],
         "V-Rex should dwarf FlexGen: {fractions:?}"
     );
-    assert!(fractions[0] < 0.15, "FlexGen should be badly underutilised: {fractions:?}");
+    assert!(
+        fractions[0] < 0.15,
+        "FlexGen should be badly underutilised: {fractions:?}"
+    );
 }
 
 #[test]
@@ -162,8 +177,14 @@ fn tpot_is_weight_streaming_bound() {
     let vrex = SystemModel::new(PlatformSpec::vrex8(), Method::ReSV);
     let t = vrex.decode_step(&llama(), 1_000, 1).latency_ms();
     let weights_ms = llama().param_bytes() as f64 / 204.8e9 * 1000.0;
-    assert!(t > weights_ms * 0.8, "TPOT {t:.0} below weight streaming {weights_ms:.0}");
-    assert!(t < weights_ms * 2.0, "TPOT {t:.0} way above weight streaming");
+    assert!(
+        t > weights_ms * 0.8,
+        "TPOT {t:.0} below weight streaming {weights_ms:.0}"
+    );
+    assert!(
+        t < weights_ms * 2.0,
+        "TPOT {t:.0} way above weight streaming"
+    );
 }
 
 #[test]
@@ -174,7 +195,10 @@ fn energy_efficiency_ordering_holds_everywhere() {
         for batch in [1usize, 4] {
             let gv = vrex.frame_step(&llama(), s, batch).gops_per_watt();
             let ga = agx.frame_step(&llama(), s, batch).gops_per_watt();
-            assert!(gv > ga, "at {s}/b{batch}: V-Rex {gv:.1} vs AGX {ga:.1} GOPS/W");
+            assert!(
+                gv > ga,
+                "at {s}/b{batch}: V-Rex {gv:.1} vs AGX {ga:.1} GOPS/W"
+            );
         }
     }
 }
