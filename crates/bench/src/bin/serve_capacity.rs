@@ -1,0 +1,128 @@
+//! Serving capacity sweep: how many concurrent real-time streams does
+//! each platform sustain?
+//!
+//! Extends the paper's real-time story (Figs. 13/15) from one stream to
+//! a fleet: COIN sessions with staggered arrivals are offered to each
+//! platform+method pair through the continuous-batching scheduler, and
+//! a platform "sustains" a fleet size when every offered session is
+//! admitted and stays real-time (worst frame lag ≤ 2/FPS at 2 FPS).
+//!
+//! Usage: `serve_capacity [--smoke]` — `--smoke` shrinks the sweep for
+//! CI smoke runs.
+
+use vrex_bench::report::{banner, f, Table};
+use vrex_model::ModelConfig;
+use vrex_system::{serve, Method, PlatformSpec, ServeConfig, ServeReport, SystemModel};
+use vrex_workload::traffic::TrafficConfig;
+
+struct SweepPoint {
+    sessions: usize,
+    report: ServeReport,
+}
+
+fn sweep(
+    sys: &SystemModel,
+    model: &ModelConfig,
+    cache: usize,
+    fleet_sizes: &[usize],
+    turns: usize,
+) -> Vec<SweepPoint> {
+    fleet_sizes
+        .iter()
+        .map(|&sessions| {
+            let plans = TrafficConfig {
+                sessions,
+                turns,
+                // Ramp the fleet up over half a minute of wall clock.
+                arrival_spread_s: 30.0,
+                seed: 42,
+            }
+            .generate();
+            let report = serve(sys, model, &plans, &ServeConfig::real_time(cache));
+            SweepPoint { sessions, report }
+        })
+        .collect()
+}
+
+/// Largest offered fleet the system sustained fully real-time.
+fn capacity(points: &[SweepPoint]) -> usize {
+    points
+        .iter()
+        .filter(|p| p.report.sustained_real_time())
+        .map(|p| p.sessions)
+        .max()
+        .unwrap_or(0)
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let model = ModelConfig::llama3_8b();
+    let systems = [
+        SystemModel::new(PlatformSpec::a100(), Method::FlexGen),
+        SystemModel::new(PlatformSpec::a100(), Method::InfiniGen),
+        SystemModel::new(PlatformSpec::a100(), Method::ReKV),
+        SystemModel::new(PlatformSpec::vrex48(), Method::ReSV),
+    ];
+    let caches: &[usize] = if smoke { &[32_000] } else { &[8_000, 32_000] };
+    let fleet_sizes: &[usize] = if smoke {
+        &[1, 2, 4]
+    } else {
+        &[1, 2, 4, 8, 12, 16, 24]
+    };
+    let turns = if smoke { 1 } else { 2 };
+
+    let mut summary = Table::new(["System", "Cache", "Sustained real-time sessions"]);
+    for &cache in caches {
+        banner(&format!(
+            "Serving sweep at {}K cache tokens ({} turns/session, 2 FPS)",
+            cache / 1000,
+            turns
+        ));
+        let mut t = Table::new([
+            "System",
+            "Offered",
+            "Admitted",
+            "Queued",
+            "Rejected",
+            "Real-time",
+            "p50 lag (s)",
+            "p99 lag (s)",
+            "p99 TTFT (s)",
+            "p99 TPOT (s)",
+        ]);
+        for sys in &systems {
+            let points = sweep(sys, &model, cache, fleet_sizes, turns);
+            for p in &points {
+                let r = &p.report;
+                t.row([
+                    sys.label(),
+                    p.sessions.to_string(),
+                    r.admitted.to_string(),
+                    r.queued.to_string(),
+                    r.rejected.to_string(),
+                    format!("{}/{}", r.real_time_sessions, r.admitted),
+                    f(r.frame_lag_p50_s, 3),
+                    f(r.frame_lag_p99_s, 3),
+                    f(r.ttft_p99_s, 3),
+                    f(r.tpot_p99_s, 3),
+                ]);
+            }
+            summary.row([
+                sys.label(),
+                format!("{}K", cache / 1000),
+                capacity(&points).to_string(),
+            ]);
+        }
+        t.print();
+    }
+
+    banner("Sustained real-time capacity (max offered fleet fully real-time)");
+    summary.print();
+    println!(
+        "\nGPU baselines saturate early: FlexGen refetches the whole cache per \
+         frame, so its per-frame service time already exceeds the frame interval \
+         at long cache lengths, and queued sessions pile up or get rejected. \
+         V-Rex48's clustered retrieval keeps per-frame work small enough to \
+         batch many concurrent streams inside the real-time budget."
+    );
+}

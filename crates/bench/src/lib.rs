@@ -16,5 +16,10 @@
 //!     cargo run --release -p vrex-bench --bin $bin
 //! done
 //! ```
+//!
+//! Beyond the figures, `realtime_session` shows single-stream queueing
+//! transients, `serve_capacity` sweeps multi-session serving capacity
+//! (sessions × cache length × method; `--smoke` for the CI-sized run),
+//! and `scaling` / `sweep_resv_params` explore parameter spaces.
 
 pub mod report;

@@ -145,28 +145,129 @@ impl Dram {
     /// Simulates reading `bytes` starting at `addr`; returns the
     /// duration in picoseconds. Bursts interleave across channels, so
     /// the reported duration is the per-channel maximum.
+    ///
+    /// Evaluated in closed form — O(channels × banks) instead of one
+    /// iteration per burst — which is what keeps gigabyte-scale fetch
+    /// pricing (a 1 GiB FlexGen refetch is ~16M bursts) out of the
+    /// serving scheduler's hot loop. The closed form is arithmetic-
+    /// identical to the per-burst walk (see the `reference_access`
+    /// regression test); configurations whose row size is not a
+    /// multiple of the burst size fall back to the walk.
     pub fn access(&mut self, addr: u64, bytes: u64) -> u64 {
+        if bytes == 0 {
+            return 0;
+        }
+        if self.cfg.row_bytes % self.cfg.burst_bytes != 0 {
+            return self.access_per_burst(addr, bytes);
+        }
+        self.bytes_accessed += bytes;
+        let b = self.cfg.burst_bytes;
+        let row_bytes = self.cfg.row_bytes;
+        let channels = self.cfg.channels as u64;
+        let banks = self.cfg.banks_per_channel as u64;
+        let slots = channels * banks;
+        let n_bursts = bytes.div_ceil(b);
+        let bursts_per_row = row_bytes / b;
+
+        // Rows visited: consecutive row ids, cycling channels as
+        // `row_global % channels`. Middle rows hold exactly
+        // `row_bytes / burst` bursts (the burst grid divides the row);
+        // only the first and last rows are partial.
+        let r_first = addr / row_bytes;
+        let r_last = (addr + (n_bursts - 1) * b) / row_bytes;
+        let n_rows = r_last - r_first + 1;
+        let k_first = ((r_first + 1) * row_bytes - addr).div_ceil(b).min(n_bursts);
+
+        // Per-channel burst and row counts. `count_congruent` is the
+        // number of rows in [r_first, r_last] landing on the channel.
+        let mut transfer_bursts = vec![0u64; self.cfg.channels];
+        let mut rows_in_channel = vec![0u64; self.cfg.channels];
+        for ch in 0..self.cfg.channels {
+            let rows = count_congruent(r_first, r_last, channels, ch as u64);
+            rows_in_channel[ch] = rows;
+            transfer_bursts[ch] = rows * bursts_per_row;
+        }
+        transfer_bursts[(r_first % channels) as usize] -= bursts_per_row - k_first;
+        if n_rows >= 2 {
+            let k_last = n_bursts - k_first - (n_rows - 2) * bursts_per_row;
+            transfer_bursts[(r_last % channels) as usize] -= bursts_per_row - k_last;
+        }
+
+        // Row hits can only happen on the first visit to each
+        // (channel, bank) slot — consecutive row ids revisit a slot
+        // only every `slots` rows, with a strictly larger row value.
+        let mut hits_in_channel = vec![0u64; self.cfg.channels];
+        let mut hits = 0u64;
+        for r in r_first..=r_last.min(r_first + slots - 1) {
+            let (slot, channel, row) = self.map_row(r);
+            if self.open_rows[slot] == row {
+                hits += 1;
+                hits_in_channel[channel] += 1;
+            }
+        }
+        // Within a row, every burst after the first hits the row the
+        // first burst opened; cross-call hits add the pre-open rows.
+        self.row_hits += hits + (n_bursts - n_rows);
+        self.row_misses += n_rows - hits;
+        // After the access each visited slot holds the last row that
+        // touched it: the final `min(n_rows, slots)` rows, which cover
+        // each visited slot exactly once.
+        let update_start = if n_rows >= slots {
+            r_last + 1 - slots
+        } else {
+            r_first
+        };
+        for r in update_start..=r_last {
+            let (slot, _, row) = self.map_row(r);
+            self.open_rows[slot] = row;
+        }
+
+        let burst_transfer = transfer_ps(b, self.cfg.channel_bytes_per_s);
+        // Per channel: data-transfer time accumulates serially on the
+        // bus; row activations proceed on *other banks* in parallel and
+        // only bound the channel when activation work exceeds transfer
+        // work (bank-level parallelism pipelines them).
+        let per_channel = (0..self.cfg.channels)
+            .map(|ch| {
+                let t = transfer_bursts[ch] * burst_transfer;
+                let a = (rows_in_channel[ch] - hits_in_channel[ch]) * self.cfg.act_interval_ps;
+                t.max(a)
+            })
+            .max()
+            .unwrap_or(0);
+        // One activation latency to fill the pipeline.
+        per_channel + self.cfg.row_miss_ps
+    }
+
+    /// `(slot, channel, in-bank row)` of a global row id.
+    fn map_row(&self, row_global: u64) -> (usize, usize, u64) {
+        let channels = self.cfg.channels as u64;
+        let banks = self.cfg.banks_per_channel as u64;
+        let channel = (row_global % channels) as usize;
+        let bank = ((row_global / channels) % banks) as usize;
+        (
+            channel * self.cfg.banks_per_channel + bank,
+            channel,
+            row_global / (channels * banks),
+        )
+    }
+
+    /// Reference per-burst walk of [`Dram::access`] — kept for exotic
+    /// configurations (row size not a burst multiple) and as the
+    /// regression oracle for the closed form.
+    fn access_per_burst(&mut self, addr: u64, bytes: u64) -> u64 {
         if bytes == 0 {
             return 0;
         }
         self.bytes_accessed += bytes;
         let n_bursts = bytes.div_ceil(self.cfg.burst_bytes);
-        // Per channel: data-transfer time accumulates serially on the
-        // bus; row activations proceed on *other banks* in parallel and
-        // only bound the channel when activation work exceeds transfer
-        // work (bank-level parallelism pipelines them).
         let mut transfer_time = vec![0u64; self.cfg.channels];
         let mut activate_time = vec![0u64; self.cfg.channels];
         let burst_transfer = transfer_ps(self.cfg.burst_bytes, self.cfg.channel_bytes_per_s);
         for i in 0..n_bursts {
             let burst_addr = addr + i * self.cfg.burst_bytes;
-            // Address mapping: row-interleaved across channels.
             let row_global = burst_addr / self.cfg.row_bytes;
-            let channel = (row_global % self.cfg.channels as u64) as usize;
-            let bank = ((row_global / self.cfg.channels as u64) % self.cfg.banks_per_channel as u64)
-                as usize;
-            let row = row_global / (self.cfg.channels * self.cfg.banks_per_channel) as u64;
-            let slot = channel * self.cfg.banks_per_channel + bank;
+            let (slot, channel, row) = self.map_row(row_global);
             if self.open_rows[slot] == row {
                 self.row_hits += 1;
             } else {
@@ -182,7 +283,6 @@ impl Dram {
             .map(|(&t, &a)| t.max(a))
             .max()
             .unwrap_or(0);
-        // One activation latency to fill the pipeline.
         per_channel + self.cfg.row_miss_ps
     }
 
@@ -210,19 +310,43 @@ impl Dram {
     }
 
     /// Duration of scattered reads: `n` independent reads of
-    /// `bytes_each` at pseudo-random addresses (every read lands on a
-    /// cold row with high probability).
+    /// `bytes_each` at random (cold-row) addresses.
+    ///
+    /// Closed form, O(1) in `n`: every request lands unaligned on cold
+    /// rows, touches `1 + ceil((bursts−1)·burst/row)` consecutive rows
+    /// spread round-robin over the channels, and is bounded by its
+    /// busiest channel — full rows of transfer vs. pipelined
+    /// activations — plus the pipeline-fill row miss. This prices a
+    /// token-scattered KV gather (the InfiniGen/ReKV fetch pattern)
+    /// without walking hundreds of thousands of simulated requests.
     pub fn scattered_read(&mut self, n: u64, bytes_each: u64) -> u64 {
-        let mut total = 0u64;
-        let mut addr = 0x5DEE_CE66u64;
-        for _ in 0..n {
-            addr = addr
-                .wrapping_mul(6364136223846793005)
-                .wrapping_add(1442695040888963407);
-            total += self.access(addr % (1 << 40), bytes_each);
+        if n == 0 || bytes_each == 0 {
+            return 0;
         }
-        total
+        self.bytes_accessed += n * bytes_each;
+        let b = self.cfg.burst_bytes;
+        let bursts = bytes_each.div_ceil(b);
+        let rows = 1 + ((bursts - 1) * b).div_ceil(self.cfg.row_bytes);
+        self.row_misses += n * rows;
+        self.row_hits += n * bursts.saturating_sub(rows);
+        // A scattered sweep trashes the row buffers: whatever was open
+        // before is gone afterwards (the per-request walk this replaces
+        // evicted rows as its random addresses landed).
+        self.open_rows.fill(u64::MAX);
+        let rows_per_channel = rows.div_ceil(self.cfg.channels as u64);
+        let burst_transfer = transfer_ps(b, self.cfg.channel_bytes_per_s);
+        let transfer =
+            bursts.min(rows_per_channel * (self.cfg.row_bytes / b.max(1)).max(1)) * burst_transfer;
+        let activate = rows_per_channel * self.cfg.act_interval_ps;
+        n * (transfer.max(activate) + self.cfg.row_miss_ps)
     }
+}
+
+/// Rows `r` in `[lo, hi]` with `r % modulus == rem`.
+fn count_congruent(lo: u64, hi: u64, modulus: u64, rem: u64) -> u64 {
+    // Count in [0, n) with the residue, then difference.
+    let below = |n: u64| n / modulus + u64::from(n % modulus > rem);
+    below(hi + 1) - below(lo)
 }
 
 /// Time for an idealised transfer at a DRAM's peak bandwidth — used
@@ -246,6 +370,93 @@ mod tests {
                 cfg.name
             );
             assert!(bw <= peak * 1.01, "{}: exceeded peak", cfg.name);
+        }
+    }
+
+    #[test]
+    fn closed_form_access_matches_per_burst_reference() {
+        // The closed form must be arithmetic-identical to the burst
+        // walk: same duration, same hit/miss counters, same open-row
+        // state — including stateful back-to-back sequences that remix
+        // hot rows.
+        for cfg in [
+            DramConfig::lpddr5_204gb(),
+            DramConfig::hbm2e_1935gb(),
+            DramConfig::ddr4_cpu(),
+        ] {
+            let mut fast = Dram::new(cfg.clone());
+            let mut reference = Dram::new(cfg.clone());
+            // Misaligned addresses, sub-burst sizes, row-boundary
+            // stragglers, multi-row and multi-slot-cycle transfers,
+            // plus exact repeats (row hits on the first slot visit).
+            let sequence: [(u64, u64); 10] = [
+                (0, 64),
+                (0, 64),
+                (1, 1),
+                (2040, 100),
+                (4096, 2048),
+                (4096, 2048),
+                (123_457, 1 << 20),
+                (123_457, 1 << 20),
+                (999_999_937, 40 << 20),
+                (
+                    7,
+                    3 * cfg.row_bytes * cfg.channels as u64 * cfg.banks_per_channel as u64,
+                ),
+            ];
+            for (addr, bytes) in sequence {
+                let t_fast = fast.access(addr, bytes);
+                let t_ref = reference.access_per_burst(addr, bytes);
+                assert_eq!(
+                    t_fast, t_ref,
+                    "{}: access({addr}, {bytes}) diverged",
+                    cfg.name
+                );
+                assert_eq!(fast.row_hits, reference.row_hits, "{}: hits", cfg.name);
+                assert_eq!(
+                    fast.row_misses, reference.row_misses,
+                    "{}: misses",
+                    cfg.name
+                );
+                assert_eq!(fast.bytes_accessed, reference.bytes_accessed);
+                assert_eq!(
+                    fast.open_rows, reference.open_rows,
+                    "{}: open rows",
+                    cfg.name
+                );
+            }
+        }
+    }
+
+    proptest::proptest! {
+        /// Randomised oracle: stateful sequences of accesses through
+        /// the closed form must match the per-burst walk exactly —
+        /// durations, hit/miss counters, and open-row state.
+        #[test]
+        fn closed_form_access_matches_reference_on_random_sequences(
+            cfg_idx in 0usize..3,
+            seq in proptest::collection::vec(
+                (0u64..1 << 22, 1u64..1 << 18),
+                1..8,
+            ),
+        ) {
+            let cfg = [
+                DramConfig::lpddr5_204gb(),
+                DramConfig::hbm2e_1935gb(),
+                DramConfig::ddr4_cpu(),
+            ][cfg_idx]
+                .clone();
+            let mut fast = Dram::new(cfg.clone());
+            let mut reference = Dram::new(cfg);
+            for &(addr, bytes) in &seq {
+                let t_fast = fast.access(addr, bytes);
+                let t_ref = reference.access_per_burst(addr, bytes);
+                proptest::prop_assert_eq!(t_fast, t_ref, "access({}, {})", addr, bytes);
+                proptest::prop_assert_eq!(fast.row_hits, reference.row_hits);
+                proptest::prop_assert_eq!(fast.row_misses, reference.row_misses);
+                proptest::prop_assert_eq!(fast.bytes_accessed, reference.bytes_accessed);
+                proptest::prop_assert_eq!(&fast.open_rows, &reference.open_rows);
+            }
         }
     }
 

@@ -23,8 +23,11 @@ pub mod e2e;
 pub mod method;
 pub mod pipeline;
 pub mod platform;
+pub mod queueing;
 pub mod realtime;
+pub mod serve;
 
 pub use e2e::{EnergyBreakdown, StepResult, SystemModel};
 pub use method::{Method, MethodProfile};
 pub use platform::{ComputeSpec, PlatformSpec};
+pub use serve::{serve, ServeConfig, ServeReport, SessionServeReport};

@@ -1,0 +1,167 @@
+//! Shared queueing and lag accounting.
+//!
+//! Both latency views of the paper's "real-time processing" story use
+//! the same bookkeeping: work items (frames, question prefills, output
+//! tokens) arrive on a wall clock, get serviced some time later, and
+//! the user-visible cost is the lag between the two. The single-session
+//! transient simulation ([`crate::realtime`]) and the multi-session
+//! serving scheduler ([`crate::serve`]) both record into a
+//! [`QueueLedger`] so their queue-depth and lag semantics cannot drift
+//! apart.
+
+/// Arrival/completion ledger for one FIFO stream of work items.
+///
+/// Items must be recorded in arrival order. Queue depth is sampled at
+/// each arrival instant: the number of earlier items still in flight
+/// when a new item shows up (the "frames waiting" the user perceives).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct QueueLedger {
+    arrivals: Vec<f64>,
+    completions: Vec<f64>,
+    max_queue_depth: usize,
+}
+
+impl QueueLedger {
+    /// Creates an empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one item's arrival and completion times (seconds).
+    ///
+    /// Arrivals must be non-decreasing across calls and `completion`
+    /// must not precede `arrival`.
+    pub fn record(&mut self, arrival: f64, completion: f64) {
+        debug_assert!(completion >= arrival, "completion before arrival");
+        debug_assert!(
+            self.arrivals.last().is_none_or(|&a| arrival >= a),
+            "arrivals must be non-decreasing"
+        );
+        let depth = self.completions.iter().filter(|&&c| c > arrival).count();
+        self.max_queue_depth = self.max_queue_depth.max(depth);
+        self.arrivals.push(arrival);
+        self.completions.push(completion);
+    }
+
+    /// Number of items recorded.
+    pub fn offered(&self) -> usize {
+        self.arrivals.len()
+    }
+
+    /// Number of items completed at or before `deadline`.
+    pub fn completed_by(&self, deadline: f64) -> usize {
+        self.completions.iter().filter(|&&c| c <= deadline).count()
+    }
+
+    /// Maximum queue depth observed (sampled at arrival instants).
+    pub fn max_queue_depth(&self) -> usize {
+        self.max_queue_depth
+    }
+
+    /// Per-item lags (completion − arrival), in record order.
+    pub fn lags(&self) -> impl Iterator<Item = f64> + '_ {
+        self.arrivals
+            .iter()
+            .zip(&self.completions)
+            .map(|(&a, &c)| c - a)
+    }
+
+    /// Mean lag in seconds (0 for an empty ledger).
+    pub fn mean_lag_s(&self) -> f64 {
+        self.lags().sum::<f64>() / self.offered().max(1) as f64
+    }
+
+    /// Worst lag in seconds (0 for an empty ledger).
+    pub fn max_lag_s(&self) -> f64 {
+        self.lags().fold(0.0, f64::max)
+    }
+
+    /// Completion time of the last item (0 for an empty ledger).
+    pub fn last_completion_s(&self) -> f64 {
+        self.completions.iter().fold(0.0, |a, &c| a.max(c))
+    }
+}
+
+/// Drives a single-server FIFO queue and returns its ledger.
+///
+/// Item `i` arrives at `arrivals[i]` (non-decreasing); `service(i)` is
+/// its service time in seconds, evaluated in order at the moment the
+/// item starts (so service models that depend on state mutated by
+/// earlier items — e.g. a growing KV cache — price correctly).
+pub fn run_fifo(
+    arrivals: impl IntoIterator<Item = f64>,
+    mut service: impl FnMut(usize) -> f64,
+) -> QueueLedger {
+    let mut ledger = QueueLedger::new();
+    let mut server_free_at = 0.0f64;
+    for (i, arrival) in arrivals.into_iter().enumerate() {
+        let start = server_free_at.max(arrival);
+        let completion = start + service(i);
+        server_free_at = completion;
+        ledger.record(arrival, completion);
+    }
+    ledger
+}
+
+/// Nearest-rank percentile of `samples` (`p` in `[0, 100]`).
+///
+/// Copies and sorts internally (sample sets here are small); returns 0
+/// for an empty slice. NaN-free input is assumed — times are computed,
+/// not measured.
+pub fn percentile(samples: &[f64], p: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable_by(f64::total_cmp);
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ledger_tracks_depth_at_arrival_instants() {
+        let mut l = QueueLedger::new();
+        // Three items, second and third arrive while the first is
+        // still in flight.
+        l.record(0.0, 3.0);
+        l.record(1.0, 4.0);
+        l.record(2.0, 5.0);
+        assert_eq!(l.max_queue_depth(), 2);
+        assert_eq!(l.offered(), 3);
+        assert_eq!(l.completed_by(4.0), 2);
+        assert!((l.mean_lag_s() - 3.0).abs() < 1e-12);
+        assert!((l.max_lag_s() - 3.0).abs() < 1e-12);
+        assert!((l.last_completion_s() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_ledger_is_all_zeroes() {
+        let l = QueueLedger::new();
+        assert_eq!(l.offered(), 0);
+        assert_eq!(l.max_queue_depth(), 0);
+        assert_eq!(l.mean_lag_s(), 0.0);
+        assert_eq!(l.max_lag_s(), 0.0);
+    }
+
+    #[test]
+    fn fifo_with_idle_gaps_has_no_queueing() {
+        // Service 0.1 s, arrivals 1 s apart: every item starts on
+        // arrival, lag == service time.
+        let l = run_fifo((0..5).map(|i| i as f64), |_| 0.1);
+        assert_eq!(l.max_queue_depth(), 0);
+        assert!((l.mean_lag_s() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let s = [4.0, 1.0, 3.0, 2.0];
+        assert_eq!(percentile(&s, 50.0), 2.0);
+        assert_eq!(percentile(&s, 99.0), 4.0);
+        assert_eq!(percentile(&s, 0.0), 1.0);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+    }
+}

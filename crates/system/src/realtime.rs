@@ -12,6 +12,7 @@
 use vrex_model::ModelConfig;
 
 use crate::e2e::SystemModel;
+use crate::queueing::run_fifo;
 
 /// Result of a simulated streaming session.
 #[derive(Debug, Clone, PartialEq)]
@@ -53,36 +54,23 @@ pub fn simulate_session(
     let frames_offered = (fps * seconds).floor() as usize;
     let interarrival = 1.0 / fps;
 
+    // The queueing/lag semantics live in the shared FIFO core; this
+    // function only supplies the arrival process (fixed FPS) and the
+    // cache-dependent service model.
     let mut cache = initial_cache_tokens;
-    let mut server_free_at = 0.0f64;
-    let mut lags = Vec::with_capacity(frames_offered);
-    let mut max_queue = 0usize;
-    let mut completions: Vec<f64> = Vec::with_capacity(frames_offered);
-
-    for i in 0..frames_offered {
-        let arrival = i as f64 * interarrival;
-        // Queue depth: arrived but not yet completed at this instant.
-        let depth = completions.iter().filter(|&&c| c > arrival).count();
-        max_queue = max_queue.max(depth);
-        let start = server_free_at.max(arrival);
+    let ledger = run_fifo((0..frames_offered).map(|i| i as f64 * interarrival), |_| {
         let service = sys.frame_step(model, cache, batch).latency_ps as f64 / 1e12;
-        let completion = start + service;
-        server_free_at = completion;
-        lags.push(completion - arrival);
-        completions.push(completion);
         cache += model.tokens_per_frame;
-    }
+        service
+    });
 
-    let processed = completions.iter().filter(|&&c| c <= seconds).count();
-    let mean_lag = lags.iter().sum::<f64>() / lags.len().max(1) as f64;
-    let max_lag = lags.iter().cloned().fold(0.0, f64::max);
     SessionResult {
         frames_offered,
-        frames_processed: processed,
-        max_queue_depth: max_queue,
-        mean_lag_s: mean_lag,
-        max_lag_s: max_lag,
-        real_time: max_lag <= 2.0 * interarrival,
+        frames_processed: ledger.completed_by(seconds),
+        max_queue_depth: ledger.max_queue_depth(),
+        mean_lag_s: ledger.mean_lag_s(),
+        max_lag_s: ledger.max_lag_s(),
+        real_time: ledger.max_lag_s() <= 2.0 * interarrival,
         final_cache_tokens: cache,
     }
 }
@@ -136,6 +124,45 @@ mod tests {
             r.final_cache_tokens,
             500 + r.frames_offered * model.tokens_per_frame
         );
+    }
+
+    #[test]
+    fn queueing_core_matches_hand_computed_constant_service_case() {
+        // 2 FPS camera (arrivals at 0.0, 0.5, 1.0, 1.5 s), constant
+        // 0.8 s service, single FIFO server. By hand:
+        //   completions: 0.8, 1.6, 2.4, 3.2
+        //   lags:        0.8, 1.1, 1.4, 1.7  → mean 1.25, max 1.7
+        //   depth at arrivals: 0, 1, 1, 2    → max queue 2
+        //   completed by t=2.0: frames 0 and 1 → 2
+        // This pins the accounting `simulate_session` (and the serving
+        // scheduler) inherit from the shared core.
+        let ledger = run_fifo((0..4).map(|i| i as f64 * 0.5), |_| 0.8);
+        assert_eq!(ledger.offered(), 4);
+        assert_eq!(ledger.max_queue_depth(), 2);
+        assert_eq!(ledger.completed_by(2.0), 2);
+        assert!((ledger.mean_lag_s() - 1.25).abs() < 1e-12);
+        assert!((ledger.max_lag_s() - 1.7).abs() < 1e-12);
+        assert!((ledger.last_completion_s() - 3.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn simulate_session_reports_ledger_semantics_exactly() {
+        // Differential pin: simulate_session must agree with driving
+        // the shared core directly with the same service sequence.
+        let sys = SystemModel::new(PlatformSpec::agx_orin(), Method::FlexGen);
+        let model = llama();
+        let r = simulate_session(&sys, &model, 10_000, 2.0, 10.0, 1);
+
+        let mut cache = 10_000usize;
+        let ledger = run_fifo((0..r.frames_offered).map(|i| i as f64 * 0.5), |_| {
+            let s = sys.frame_step(&model, cache, 1).latency_ps as f64 / 1e12;
+            cache += model.tokens_per_frame;
+            s
+        });
+        assert_eq!(r.frames_processed, ledger.completed_by(10.0));
+        assert_eq!(r.max_queue_depth, ledger.max_queue_depth());
+        assert_eq!(r.mean_lag_s, ledger.mean_lag_s());
+        assert_eq!(r.max_lag_s, ledger.max_lag_s());
     }
 
     #[test]

@@ -4,7 +4,9 @@
 use proptest::prelude::*;
 use vrex_model::ModelConfig;
 use vrex_system::pipeline::{cold_selected_tokens, layer_costs, selected_tokens, Workload};
-use vrex_system::{Method, PlatformSpec, SystemModel};
+use vrex_system::serve::SessionOutcome;
+use vrex_system::{serve, Method, PlatformSpec, ServeConfig, SystemModel};
+use vrex_workload::traffic::TrafficConfig;
 
 const METHODS: [Method; 6] = [
     Method::FlexGen,
@@ -144,5 +146,39 @@ proptest! {
         let frame = sys.frame_step(&model, cache, 1).latency_ps;
         let tpot = sys.decode_step(&model, cache, 1).latency_ps;
         prop_assert!(tpot <= frame, "TPOT {tpot} above frame {frame}");
+    }
+
+    /// The serving scheduler conserves sessions (admitted + rejected ==
+    /// offered) and work (every admitted session processes all of its
+    /// frames), for arbitrary fleets and seeds.
+    #[test]
+    fn serving_conserves_sessions_and_frames(
+        sessions in 1usize..6,
+        seed in 0u64..500,
+        method_idx in 0usize..6,
+    ) {
+        let plans = TrafficConfig {
+            sessions,
+            turns: 1,
+            arrival_spread_s: 4.0,
+            seed,
+        }
+        .generate();
+        let sys = SystemModel::new(PlatformSpec::vrex48(), METHODS[method_idx]);
+        let model = ModelConfig::llama3_8b();
+        let r = serve(&sys, &model, &plans, &ServeConfig::real_time(4_000));
+        prop_assert_eq!(r.offered, sessions);
+        prop_assert_eq!(r.admitted + r.rejected, r.offered);
+        prop_assert!(r.queued <= r.admitted);
+        prop_assert!(r.real_time_sessions <= r.admitted);
+        prop_assert!((0.0..=1.0).contains(&r.real_time_fraction()));
+        for s in r.sessions.iter().filter(|s| s.outcome != SessionOutcome::Rejected) {
+            let plan = plans.iter().find(|p| p.id == s.id).unwrap();
+            prop_assert_eq!(s.frames_offered, plan.total_frames());
+            prop_assert_eq!(s.frame_lags_s.len(), s.frames_offered);
+            // Lags are non-negative and the max is consistent.
+            prop_assert!(s.frame_lags_s.iter().all(|&l| l >= 0.0));
+            prop_assert!(s.max_frame_lag_s >= s.mean_frame_lag_s);
+        }
     }
 }

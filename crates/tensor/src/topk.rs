@@ -4,13 +4,31 @@
 //! (FlexGen, InfiniGen, InfiniGenP, ReKV in the paper's framing); ReSV
 //! replaces it with WiCSum thresholding (see `vrex-core::wicsum`). These
 //! helpers implement the fixed-k primitive the baselines share.
+//!
+//! Both helpers order values with [`f32::total_cmp`], so NaN inputs rank
+//! identically everywhere: positive NaN above `+inf`, negative NaN below
+//! `-inf`. Selection runs as an `O(n)` partial selection
+//! (`select_nth_unstable_by`) followed by an `O(k log k)` sort of the
+//! survivors, rather than a full sort.
+
+use std::cmp::Ordering;
+
+/// Descending-value, ascending-index order over positions of `values`.
+///
+/// This single comparator drives both selection and the final sort, so
+/// the documented tie rule (lower index first) holds throughout — and
+/// holds for NaN ties too.
+fn rank_desc(values: &[f32]) -> impl Fn(&usize, &usize) -> Ordering + '_ {
+    move |&a, &b| values[b].total_cmp(&values[a]).then(a.cmp(&b))
+}
 
 /// Returns the indices of the `k` largest values, in descending value
 /// order. Ties resolve to the lower index first, which keeps selection
 /// deterministic across runs.
 ///
 /// If `k >= values.len()` all indices are returned (still sorted by
-/// value).
+/// value). NaN values rank by `f32::total_cmp` (positive NaN sorts as
+/// the largest value), consistent with [`top_k_threshold`].
 ///
 /// # Examples
 ///
@@ -20,28 +38,34 @@
 /// assert_eq!(top_k_indices(&[0.1, 0.9, 0.5], 2), vec![1, 2]);
 /// ```
 pub fn top_k_indices(values: &[f32], k: usize) -> Vec<usize> {
+    let k = k.min(values.len());
+    if k == 0 {
+        return Vec::new();
+    }
+    let cmp = rank_desc(values);
     let mut idx: Vec<usize> = (0..values.len()).collect();
-    idx.sort_by(|&a, &b| {
-        values[b]
-            .partial_cmp(&values[a])
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then(a.cmp(&b))
-    });
-    idx.truncate(k.min(values.len()));
+    if k < idx.len() {
+        idx.select_nth_unstable_by(k - 1, &cmp);
+        idx.truncate(k);
+    }
+    idx.sort_unstable_by(&cmp);
     idx
 }
 
 /// Returns the value of the `k`-th largest element (1-indexed by rank),
 /// i.e. the threshold a fixed top-k policy implicitly applies.
 ///
-/// Returns `f32::NEG_INFINITY` when `k == 0` or the slice is empty.
+/// Returns `f32::NEG_INFINITY` when `k == 0`, the slice is empty, or
+/// `k >= values.len()`: top-k then selects everything, so the implicit
+/// threshold is −∞ (nothing is excluded). Ranking uses
+/// [`f32::total_cmp`], consistent with [`top_k_indices`].
 pub fn top_k_threshold(values: &[f32], k: usize) -> f32 {
-    if k == 0 || values.is_empty() {
+    if k == 0 || k >= values.len() {
         return f32::NEG_INFINITY;
     }
     let mut sorted: Vec<f32> = values.to_vec();
-    sorted.sort_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
-    sorted[(k - 1).min(sorted.len() - 1)]
+    let (_, kth, _) = sorted.select_nth_unstable_by(k - 1, |a, b| b.total_cmp(a));
+    *kth
 }
 
 #[cfg(test)]
@@ -76,7 +100,49 @@ mod tests {
         let v = [5.0, 3.0, 8.0, 1.0];
         assert_eq!(top_k_threshold(&v, 1), 8.0);
         assert_eq!(top_k_threshold(&v, 2), 5.0);
-        assert_eq!(top_k_threshold(&v, 4), 1.0);
+        assert_eq!(top_k_threshold(&v, 3), 3.0);
         assert_eq!(top_k_threshold(&v, 0), f32::NEG_INFINITY);
+    }
+
+    #[test]
+    fn threshold_is_neg_infinity_when_k_selects_everything() {
+        // k == len and k > len both select the whole slice; the
+        // implicit cutoff is therefore −∞, not the minimum element.
+        let v = [5.0, 3.0, 8.0, 1.0];
+        assert_eq!(top_k_threshold(&v, 4), f32::NEG_INFINITY);
+        assert_eq!(top_k_threshold(&v, 5), f32::NEG_INFINITY);
+        assert_eq!(top_k_threshold(&[], 3), f32::NEG_INFINITY);
+    }
+
+    #[test]
+    fn nan_ranks_identically_in_both_helpers() {
+        // total_cmp puts positive NaN above +inf, so a NaN is the
+        // rank-1 element for *both* helpers.
+        let v = [1.0, f32::NAN, 3.0, 2.0];
+        assert_eq!(top_k_indices(&v, 2), vec![1, 2]);
+        assert!(top_k_threshold(&v, 1).is_nan());
+        assert_eq!(top_k_threshold(&v, 2), 3.0);
+        // The indices selected by threshold-k and index-k agree: the
+        // values >= threshold (in total order) are exactly the top-k.
+        let thr = top_k_threshold(&v, 2);
+        let by_thr: Vec<usize> = (0..v.len())
+            .filter(|&i| v[i].total_cmp(&thr).is_ge())
+            .collect();
+        let mut by_k = top_k_indices(&v, 2);
+        by_k.sort_unstable();
+        assert_eq!(by_thr, by_k);
+    }
+
+    #[test]
+    fn nan_ties_prefer_lower_index() {
+        let v = [f32::NAN, f32::NAN, 1.0];
+        assert_eq!(top_k_indices(&v, 2), vec![0, 1]);
+    }
+
+    #[test]
+    fn negative_nan_ranks_below_neg_infinity() {
+        let neg_nan = -f32::NAN;
+        let v = [neg_nan, f32::NEG_INFINITY, 0.0];
+        assert_eq!(top_k_indices(&v, 3), vec![2, 1, 0]);
     }
 }

@@ -151,4 +151,28 @@ proptest! {
         sorted.dedup();
         prop_assert_eq!(sorted.len(), idx.len());
     }
+
+    #[test]
+    fn partial_top_k_matches_naive_full_sort(
+        raw in proptest::collection::vec(-8i32..8, 1..64),
+        k in 0usize..72,
+    ) {
+        // Quantized values force heavy ties, exercising the documented
+        // lower-index tie rule on the select_nth fast path.
+        let values: Vec<f32> = raw.iter().map(|&v| v as f32 * 0.5).collect();
+
+        // Naive oracle: full sort by (value desc, index asc).
+        let mut oracle: Vec<usize> = (0..values.len()).collect();
+        oracle.sort_by(|&a, &b| values[b].total_cmp(&values[a]).then(a.cmp(&b)));
+        oracle.truncate(k.min(values.len()));
+
+        prop_assert_eq!(vrex_tensor::top_k_indices(&values, k), oracle.clone());
+
+        let expected_thr = if k == 0 || k >= values.len() {
+            f32::NEG_INFINITY
+        } else {
+            values[oracle[k - 1]]
+        };
+        prop_assert_eq!(vrex_tensor::top_k_threshold(&values, k), expected_thr);
+    }
 }

@@ -13,6 +13,9 @@
 //!   shape attention the way the task shapes it;
 //! * [`session`] — streaming session event generation (frames
 //!   interleaved with multi-turn queries);
+//! * [`traffic`] — multi-session fleets: seeded staggered arrivals over
+//!   [`session`] event streams, consumed by the serving scheduler in
+//!   `vrex-system`;
 //! * [`accuracy`] — the accuracy proxy: run the *functional* model with
 //!   a retrieval policy, measure how much true attention mass and
 //!   output fidelity the policy preserves, and map that to a Top-1
@@ -21,7 +24,9 @@
 pub mod accuracy;
 pub mod coin;
 pub mod session;
+pub mod traffic;
 
 pub use accuracy::{evaluate_policy, AccuracyReport};
 pub use coin::{CoinTask, COIN_TASKS};
 pub use session::{CoinScenario, SessionEvent, SessionGenerator};
+pub use traffic::{SessionPlan, TrafficConfig};

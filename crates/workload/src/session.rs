@@ -73,35 +73,45 @@ pub struct SessionGenerator {
 impl SessionGenerator {
     /// Creates a generator around the paper-average scenario.
     pub fn new(seed: u64) -> Self {
-        let s = CoinScenario::paper_average();
+        Self::with_scenario(seed, CoinScenario::paper_average())
+    }
+
+    /// Creates a generator around an explicit scenario (mean frame and
+    /// token counts).
+    pub fn with_scenario(seed: u64, scenario: CoinScenario) -> Self {
         Self {
             rng: seeded_rng(seed),
-            mean_frames: s.frames_per_query,
-            question_tokens: s.question_tokens,
-            answer_tokens: s.answer_tokens,
+            mean_frames: scenario.frames_per_query,
+            question_tokens: scenario.question_tokens,
+            answer_tokens: scenario.answer_tokens,
         }
     }
 
+    /// Uniform draw from `mean ± round(mean * num / den)`.
+    ///
+    /// The window is built from a single rounded half-width so it is
+    /// symmetric around `mean` for *every* mean — flooring both bounds
+    /// independently (the previous scheme) skewed the window low
+    /// whenever `mean` was not a multiple of `den`.
+    fn centred_jitter(&mut self, mean: usize, num: usize, den: usize) -> usize {
+        let half = (mean * num + den / 2) / den;
+        self.rng.gen_range(mean.saturating_sub(half)..=mean + half)
+    }
+
     /// Generates `turns` interactions with ±50% jitter on frame counts
-    /// and ±20% on token counts.
+    /// and ±20% on token counts, each window centred on its mean.
     pub fn session(&mut self, turns: usize) -> Vec<SessionEvent> {
         let mut events = Vec::new();
         for _ in 0..turns {
-            let frames = self
-                .rng
-                .gen_range(self.mean_frames / 2..=self.mean_frames * 3 / 2);
+            let frames = self.centred_jitter(self.mean_frames, 1, 2);
             for _ in 0..frames {
                 events.push(SessionEvent::Frame);
             }
             events.push(SessionEvent::Question {
-                tokens: self
-                    .rng
-                    .gen_range(self.question_tokens * 4 / 5..=self.question_tokens * 6 / 5),
+                tokens: self.centred_jitter(self.question_tokens, 1, 5),
             });
             events.push(SessionEvent::Answer {
-                tokens: self
-                    .rng
-                    .gen_range(self.answer_tokens * 4 / 5..=self.answer_tokens * 6 / 5),
+                tokens: self.centred_jitter(self.answer_tokens, 1, 5),
             });
         }
         events
@@ -157,6 +167,47 @@ mod tests {
                 assert!(matches!(w[1], SessionEvent::Answer { .. }));
             }
         }
+    }
+
+    #[test]
+    fn jitter_windows_are_centred_on_the_mean() {
+        // 7 and 39 are not multiples of 5, the case the old
+        // floor-both-bounds window skewed low (e.g. tokens*4/5 and
+        // tokens*6/5 for 39 gave [31, 46], mean 38.5).
+        let scenario = CoinScenario {
+            frames_per_query: 7,
+            question_tokens: 7,
+            answer_tokens: 39,
+        };
+        let mut g = SessionGenerator::with_scenario(11, scenario);
+        let turns = 4_000;
+        let events = g.session(turns);
+        let mut frames = 0usize;
+        let mut q_sum = 0usize;
+        let mut a_sum = 0usize;
+        for e in &events {
+            match e {
+                SessionEvent::Frame => frames += 1,
+                SessionEvent::Question { tokens } => q_sum += tokens,
+                SessionEvent::Answer { tokens } => a_sum += tokens,
+            }
+        }
+        let mean = |sum: usize| sum as f64 / turns as f64;
+        assert!(
+            (mean(frames) - 7.0).abs() < 0.1,
+            "frame mean {} not centred on 7",
+            mean(frames)
+        );
+        assert!(
+            (mean(q_sum) - 7.0).abs() < 0.1,
+            "question mean {} not centred on 7",
+            mean(q_sum)
+        );
+        assert!(
+            (mean(a_sum) - 39.0).abs() < 0.25,
+            "answer mean {} not centred on 39",
+            mean(a_sum)
+        );
     }
 
     #[test]

@@ -1,0 +1,183 @@
+//! Multi-session traffic generation.
+//!
+//! The serving evaluation asks "how many concurrent COIN streams does a
+//! platform sustain in real time?", so it needs a fleet of sessions
+//! rather than the single stream of [`crate::session`]. This module
+//! turns [`SessionGenerator`] output into per-session *plans*: a seeded
+//! arrival time (staggered across a configurable window, so sessions
+//! ramp up the way live traffic does instead of stampeding at t=0) plus
+//! the session's event list. The serving scheduler in `vrex-system`
+//! consumes the plans; this crate stays hardware-free.
+
+use rand::Rng;
+use vrex_tensor::rng::seeded_rng;
+
+use crate::session::{SessionEvent, SessionGenerator};
+
+/// Parameters of a generated traffic fleet.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrafficConfig {
+    /// Number of sessions offered to the system.
+    pub sessions: usize,
+    /// Interactions (frames + question + answer) per session.
+    pub turns: usize,
+    /// Arrivals are staggered uniformly at random across this window
+    /// (seconds); 0 makes every session arrive at t=0.
+    pub arrival_spread_s: f64,
+    /// Seed for both arrival jitter and per-session event generation.
+    pub seed: u64,
+}
+
+impl TrafficConfig {
+    /// A small paper-average fleet: `sessions` streams of 2 turns each,
+    /// ramping up over 10 seconds.
+    pub fn paper_average(sessions: usize, seed: u64) -> Self {
+        Self {
+            sessions,
+            turns: 2,
+            arrival_spread_s: 10.0,
+            seed,
+        }
+    }
+
+    /// Generates the fleet: one [`SessionPlan`] per session, sorted by
+    /// arrival time. Deterministic in `seed`.
+    pub fn generate(&self) -> Vec<SessionPlan> {
+        // Arrival jitter draws from an independent stream so changing
+        // the session-content generator cannot reshuffle arrivals.
+        let mut arrival_rng = seeded_rng(self.seed ^ 0x9E37_79B9_7F4A_7C15);
+        let mut generator = SessionGenerator::new(self.seed);
+        let slot = if self.sessions == 0 {
+            0.0
+        } else {
+            self.arrival_spread_s / self.sessions as f64
+        };
+        let mut plans: Vec<SessionPlan> = (0..self.sessions)
+            .map(|id| {
+                // Staggered: one slot per session, jittered within it.
+                let jitter = if slot > 0.0 {
+                    arrival_rng.gen_range(0.0..slot)
+                } else {
+                    0.0
+                };
+                SessionPlan {
+                    id,
+                    arrival_s: id as f64 * slot + jitter,
+                    events: generator.session(self.turns),
+                }
+            })
+            .collect();
+        plans.sort_by(|a, b| a.arrival_s.total_cmp(&b.arrival_s));
+        plans
+    }
+}
+
+/// One planned session: when it arrives and what it will do.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionPlan {
+    /// Stable session id (assigned before arrival sorting).
+    pub id: usize,
+    /// Wall-clock arrival time (seconds).
+    pub arrival_s: f64,
+    /// The session's event stream (frames, questions, answers).
+    pub events: Vec<SessionEvent>,
+}
+
+impl SessionPlan {
+    /// Total video frames across the session.
+    pub fn total_frames(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, SessionEvent::Frame))
+            .count()
+    }
+
+    /// Total KV-cache tokens this session will ever append on top of
+    /// its initial context: frames × tokens-per-frame plus every
+    /// question and answer token. The serving scheduler uses this as
+    /// the worst-case per-stream footprint for admission control.
+    pub fn total_cache_growth_tokens(&self, tokens_per_frame: usize) -> usize {
+        self.events
+            .iter()
+            .map(|e| match e {
+                SessionEvent::Frame => tokens_per_frame,
+                SessionEvent::Question { tokens } | SessionEvent::Answer { tokens } => *tokens,
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = TrafficConfig::paper_average(6, 42);
+        assert_eq!(cfg.generate(), cfg.generate());
+    }
+
+    #[test]
+    fn arrivals_are_sorted_and_within_the_window() {
+        let cfg = TrafficConfig {
+            sessions: 16,
+            turns: 1,
+            arrival_spread_s: 30.0,
+            seed: 3,
+        };
+        let plans = cfg.generate();
+        assert_eq!(plans.len(), 16);
+        for w in plans.windows(2) {
+            assert!(w[0].arrival_s <= w[1].arrival_s);
+        }
+        assert!(plans.iter().all(|p| (0.0..30.0).contains(&p.arrival_s)));
+        // Staggering spreads arrivals: not everyone in the first slot.
+        assert!(plans.last().unwrap().arrival_s > 15.0);
+    }
+
+    #[test]
+    fn zero_spread_arrives_at_t0() {
+        let cfg = TrafficConfig {
+            sessions: 3,
+            turns: 1,
+            arrival_spread_s: 0.0,
+            seed: 9,
+        };
+        assert!(cfg.generate().iter().all(|p| p.arrival_s == 0.0));
+    }
+
+    #[test]
+    fn cache_growth_counts_every_event() {
+        let plan = SessionPlan {
+            id: 0,
+            arrival_s: 0.0,
+            events: vec![
+                SessionEvent::Frame,
+                SessionEvent::Frame,
+                SessionEvent::Question { tokens: 5 },
+                SessionEvent::Answer { tokens: 7 },
+            ],
+        };
+        assert_eq!(plan.total_frames(), 2);
+        assert_eq!(plan.total_cache_growth_tokens(10), 2 * 10 + 5 + 7);
+    }
+
+    #[test]
+    fn sessions_have_requested_turn_count() {
+        let plans = TrafficConfig {
+            sessions: 4,
+            turns: 3,
+            arrival_spread_s: 5.0,
+            seed: 1,
+        }
+        .generate();
+        for p in &plans {
+            let questions = p
+                .events
+                .iter()
+                .filter(|e| matches!(e, SessionEvent::Question { .. }))
+                .count();
+            assert_eq!(questions, 3);
+        }
+    }
+}

@@ -18,9 +18,11 @@
 //! * [`retrieval`] — FlexGen / InfiniGen / InfiniGenP / ReKV / Oaken
 //!   baselines;
 //! * [`hwsim`] — DRAM, SSD, PCIe, GPU and V-Rex-core hardware models;
-//! * [`workload`] — COIN-like tasks, sessions, and the accuracy proxy;
-//! * [`system`] — Table I platforms and the end-to-end latency/energy
-//!   model behind every figure.
+//! * [`workload`] — COIN-like tasks, sessions, multi-session traffic,
+//!   and the accuracy proxy;
+//! * [`system`] — Table I platforms, the end-to-end latency/energy
+//!   model behind every figure, and the multi-session serving
+//!   scheduler (continuous batching + admission control).
 //!
 //! ## Quickstart
 //!
@@ -43,6 +45,37 @@
 //! println!("retrieval ratio: {:.1}%", stats.overall_ratio() * 100.0);
 //! assert!(stats.overall_ratio() < 1.0);
 //! ```
+//!
+//! ## Serving quickstart
+//!
+//! Offer a fleet of concurrent streaming sessions to a platform and ask
+//! how many stay real-time (the capacity question behind
+//! `serve_capacity`):
+//!
+//! ```
+//! use vrex::model::ModelConfig;
+//! use vrex::system::{serve, Method, PlatformSpec, ServeConfig, SystemModel};
+//! use vrex::workload::TrafficConfig;
+//!
+//! let sys = SystemModel::new(PlatformSpec::vrex48(), Method::ReSV);
+//! let model = ModelConfig::llama3_8b();
+//! let plans = TrafficConfig {
+//!     sessions: 3,
+//!     turns: 1,
+//!     arrival_spread_s: 5.0,
+//!     seed: 7,
+//! }
+//! .generate();
+//! let report = serve(&sys, &model, &plans, &ServeConfig::real_time(8_000));
+//! assert_eq!(report.admitted + report.rejected, 3);
+//! println!(
+//!     "{}: {}/{} real-time, p99 frame lag {:.3}s",
+//!     sys.label(),
+//!     report.real_time_sessions,
+//!     report.admitted,
+//!     report.frame_lag_p99_s,
+//! );
+//! ```
 
 pub use vrex_core as core;
 pub use vrex_hwsim as hwsim;
@@ -51,3 +84,6 @@ pub use vrex_retrieval as retrieval;
 pub use vrex_system as system;
 pub use vrex_tensor as tensor;
 pub use vrex_workload as workload;
+
+pub use vrex_system::{serve, ServeConfig, ServeReport};
+pub use vrex_workload::{SessionPlan, TrafficConfig};
