@@ -1,0 +1,260 @@
+//! Tiered-memory serving sweep: does spilling cold KV down the
+//! HBM → host-DRAM → SSD hierarchy beat rejecting sessions?
+//!
+//! `serve_capacity` asks how many streams a platform sustains when
+//! overflow sessions are *rejected*. This sweep re-asks the question
+//! under the tiered admission policy: overflow sessions are admitted
+//! and the coldest streams' resident KV is spilled to host DRAM / SSD
+//! (`vrex_system::memory`), with restores either demand-fetched or
+//! speculatively prefetched (InfiniGen-style) so the migration overlaps
+//! the wait window and the step's compute.
+//!
+//! Axes: fleet size × cache length × device-memory budget (full vs.
+//! halved HBM at equal hierarchy) × admission policy (reject-only /
+//! tiered demand / tiered + prefetch).
+//!
+//! Usage: `tier_capacity [--smoke]` — `--smoke` shrinks the sweep for
+//! CI and asserts the headline result: at equal device memory, at
+//! least one configuration admits **more real-time streams** under
+//! tiering than under reject-only admission.
+
+use vrex_bench::report::{banner, f, Table};
+use vrex_model::ModelConfig;
+use vrex_system::memory::AdmissionPolicy;
+use vrex_system::{serve, Method, PlatformSpec, ServeConfig, ServeReport, SystemModel};
+use vrex_workload::traffic::TrafficConfig;
+
+struct Policy {
+    label: &'static str,
+    admission: AdmissionPolicy,
+}
+
+fn policies() -> [Policy; 3] {
+    [
+        Policy {
+            label: "reject-only",
+            admission: AdmissionPolicy::RejectOnly,
+        },
+        Policy {
+            label: "tiered demand",
+            admission: AdmissionPolicy::tiered_demand(),
+        },
+        Policy {
+            label: "tiered+prefetch",
+            admission: AdmissionPolicy::tiered_speculative(),
+        },
+    ]
+}
+
+/// One platform under test, with a device-memory budget label.
+struct Config {
+    sys: SystemModel,
+    budget: &'static str,
+}
+
+fn halve_hbm(mut p: PlatformSpec) -> PlatformSpec {
+    p.mem_capacity /= 2;
+    p
+}
+
+/// A serving-oriented residency policy: keep up to 32K tokens hot per
+/// stream (the whole sweep cache), trading device memory for per-step
+/// fetch traffic. This is the configuration where tiering matters —
+/// fleets of wide windows overflow the device long before compute
+/// saturates.
+fn wide_window(mut p: PlatformSpec) -> PlatformSpec {
+    p.hot_window_tokens = 32_768;
+    p
+}
+
+fn configs(smoke: bool) -> Vec<Config> {
+    // The headline config: ReSV with a wide resident window. Each
+    // stream demands ~4 GiB of device memory, so the halved-HBM box
+    // fits only ~5 windows — but a spilled stream restores just the
+    // *selected* share of its window (32.7% for frames, 2.5% for
+    // decode), cheap enough that tiering admits real-time streams
+    // reject-only admission turns away.
+    let mut v = vec![Config {
+        sys: SystemModel::new(wide_window(halve_hbm(PlatformSpec::vrex48())), Method::ReSV),
+        budget: "half HBM, 32K window",
+    }];
+    if !smoke {
+        v.push(Config {
+            sys: SystemModel::new(wide_window(PlatformSpec::vrex48()), Method::ReSV),
+            budget: "full HBM, 32K window",
+        });
+        // In-memory methods must restore their *whole* spilled cache
+        // every step: tiering admits them but thrashes the link — the
+        // FlexGen regime the paper argues against.
+        v.push(Config {
+            sys: SystemModel::new(halve_hbm(PlatformSpec::vrex48()), Method::VanillaInMemory),
+            budget: "half HBM",
+        });
+        v.push(Config {
+            sys: SystemModel::new(halve_hbm(PlatformSpec::vrex48()), Method::Oaken),
+            budget: "half HBM",
+        });
+        v.push(Config {
+            sys: SystemModel::new(
+                wide_window(halve_hbm(PlatformSpec::a100())),
+                Method::InfiniGen,
+            ),
+            budget: "half HBM, 32K window",
+        });
+        // Edge box: unified memory, so the SSD is the only spill tier.
+        v.push(Config {
+            sys: SystemModel::new(PlatformSpec::agx_orin(), Method::VanillaInMemory),
+            budget: "full LPDDR",
+        });
+        // Three-tier server: halved HBM, host DDR4, plus an NVMe drive.
+        v.push(Config {
+            sys: SystemModel::new(
+                halve_hbm(PlatformSpec::vrex48()).with_nvme_tier(),
+                Method::VanillaInMemory,
+            ),
+            budget: "half HBM+NVMe",
+        });
+    }
+    v
+}
+
+fn run(
+    sys: &SystemModel,
+    model: &ModelConfig,
+    cache: usize,
+    sessions: usize,
+    admission: AdmissionPolicy,
+) -> ServeReport {
+    // Two-turn sessions arriving in a 10 s burst: long enough that a
+    // session out-waiting its 10 s patience behind a full device is
+    // genuinely rejected rather than sneaking in at the first retire.
+    let plans = TrafficConfig {
+        sessions,
+        turns: 2,
+        arrival_spread_s: 10.0,
+        seed: 42,
+    }
+    .generate();
+    let cfg = ServeConfig {
+        admission,
+        ..ServeConfig::real_time(cache)
+    };
+    serve(sys, model, &plans, &cfg)
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let model = ModelConfig::llama3_8b();
+    let caches: &[usize] = if smoke { &[32_000] } else { &[16_000, 32_000] };
+    let fleets: &[usize] = if smoke {
+        &[4, 8, 12]
+    } else {
+        &[2, 4, 8, 12, 16, 24]
+    };
+
+    let mut best_gain: i64 = i64::MIN;
+    let mut best_label = String::new();
+    let mut summary = Table::new([
+        "System",
+        "Device budget",
+        "Cache",
+        "RT streams (reject)",
+        "RT (tiered demand)",
+        "RT (tiered+prefetch)",
+    ]);
+
+    for cfg in configs(smoke) {
+        for &cache in caches {
+            banner(&format!(
+                "{} [{}] at {}K cache tokens",
+                cfg.sys.label(),
+                cfg.budget,
+                cache / 1000
+            ));
+            let mut t = Table::new([
+                "Policy",
+                "Offered",
+                "Admitted",
+                "Rejected",
+                "Real-time",
+                "p99 lag (s)",
+                "Spilled",
+                "Restored GiB",
+                "Exposed (s)",
+                "Hidden (s)",
+            ]);
+            // Most real-time streams any offered fleet size achieved,
+            // per policy (same order as `policies()`).
+            let mut rt = [0usize; 3];
+            for (pi, policy) in policies().iter().enumerate() {
+                for &n in fleets {
+                    let r = run(&cfg.sys, &model, cache, n, policy.admission);
+                    rt[pi] = rt[pi].max(r.real_time_sessions);
+                    let (spilled, restored, exposed, hidden) = match &r.tiering {
+                        Some(tr) => (
+                            tr.spilled_sessions.to_string(),
+                            f(tr.restored_bytes as f64 / (1u64 << 30) as f64, 1),
+                            f(tr.exposed_s, 2),
+                            f(tr.hidden_s, 2),
+                        ),
+                        None => ("-".into(), "-".into(), "-".into(), "-".into()),
+                    };
+                    t.row([
+                        policy.label.to_string(),
+                        n.to_string(),
+                        r.admitted.to_string(),
+                        r.rejected.to_string(),
+                        format!("{}/{}", r.real_time_sessions, r.admitted),
+                        f(r.frame_lag_p99_s, 3),
+                        spilled,
+                        restored,
+                        exposed,
+                        hidden,
+                    ]);
+                }
+            }
+            t.print();
+
+            let gain = rt[2] as i64 - rt[0] as i64;
+            if gain > best_gain {
+                best_gain = gain;
+                best_label = format!(
+                    "{} [{}] at {}K: {} real-time streams tiered+prefetch vs {} reject-only",
+                    cfg.sys.label(),
+                    cfg.budget,
+                    cache / 1000,
+                    rt[2],
+                    rt[0]
+                );
+            }
+            summary.row([
+                cfg.sys.label(),
+                cfg.budget.to_string(),
+                format!("{}K", cache / 1000),
+                rt[0].to_string(),
+                rt[1].to_string(),
+                rt[2].to_string(),
+            ]);
+        }
+    }
+
+    banner("Real-time stream capacity by admission policy");
+    summary.print();
+    println!("\nBest tiering gain: {best_label}");
+    println!(
+        "Rejecting a session that would not fit device memory wastes the rest \
+         of the hierarchy; spilling the coldest stream's resident KV to host \
+         DRAM (or the SSD on the edge box) admits it instead, and speculative \
+         prefetch hides most of the restore behind the queue wait and the \
+         step's layer-by-layer compute."
+    );
+    assert!(
+        best_gain >= 1,
+        "tiered admission should beat reject-only somewhere in the sweep \
+         (best gain {best_gain})"
+    );
+    println!(
+        "OK: tiering admits {best_gain} more real-time stream(s) than \
+         reject-only at equal device memory."
+    );
+}

@@ -22,9 +22,13 @@
 //!   WTU, matching the paper's per-core 6.66 TFLOPS;
 //! * [`kvmu`] — the functional KV-cache management unit (hierarchical
 //!   residency + cluster-contiguous mapping + transaction coalescing);
+//! * [`tier`] — the HBM → host-DRAM → SSD memory-tier topology and
+//!   bulk-migration pricing behind the tiered serving path;
 //! * [`area_power`] — Table III area/power constants and composition;
 //! * [`energy`] — per-component energy accounting;
 //! * [`roofline`] — roofline-analysis helpers (Fig. 18).
+
+#![warn(missing_docs)]
 
 pub mod area_power;
 pub mod dram;
@@ -35,9 +39,11 @@ pub mod kvmu;
 pub mod pcie;
 pub mod roofline;
 pub mod ssd;
+pub mod tier;
 pub mod time;
 pub mod vrexunits;
 
 pub use energy::EnergyMeter;
 pub use engine::{Engine, ResourceId, TaskId};
+pub use tier::{MemTier, TierCapacities, TierPath};
 pub use time::{cycles_to_ps, ps_to_seconds, seconds_to_ps, PS_PER_SECOND};

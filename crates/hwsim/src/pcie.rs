@@ -153,6 +153,34 @@ mod tests {
     }
 
     #[test]
+    fn chunk_larger_than_total_is_one_dma_descriptor() {
+        // 1 KiB sent with a 1 MiB chunk size: a single chunk, so one
+        // DMA setup; 4 full TLPs for the payload + 1 for the chunk
+        // boundary → 5·24 B of framing on the wire.
+        let cfg = PcieConfig::gen3_x4();
+        let t = cfg.transfer_ps(1024, 1 << 20);
+        let wire_bytes = 1024 + 5 * 24;
+        let expected = seconds_to_ps(wire_bytes as f64 / cfg.raw_bytes_per_s()) + cfg.dma_setup_ps;
+        assert_eq!(t, expected);
+    }
+
+    #[test]
+    fn single_sub_payload_transfer_still_pays_setup() {
+        // 8 bytes: one TLP + one boundary TLP, one descriptor. The DMA
+        // setup dominates by orders of magnitude.
+        let cfg = PcieConfig::gen3_x4();
+        let t = cfg.transfer_ps(8, 4096);
+        assert!(t >= cfg.dma_setup_ps);
+        assert!(t < 2 * cfg.dma_setup_ps, "tiny payload ≈ one setup: {t}");
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk size must be positive")]
+    fn zero_chunk_with_nonzero_bytes_panics() {
+        let _ = PcieConfig::gen3_x4().transfer_ps(4096, 0);
+    }
+
+    #[test]
     fn transfer_time_monotone_in_bytes() {
         let cfg = PcieConfig::gen3_x4();
         let t1 = cfg.transfer_ps(1 << 20, 64 << 10);

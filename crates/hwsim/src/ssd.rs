@@ -25,6 +25,9 @@ pub struct SsdConfig {
     pub page_read_ps: u64,
     /// Per-channel transfer bandwidth (bytes/s).
     pub channel_bytes_per_s: f64,
+    /// Usable drive capacity (bytes) — the spill budget the tiered
+    /// serving path may fill with cold KV.
+    pub capacity_bytes: u64,
     /// Active power (W) while serving I/O.
     pub active_w: f64,
     /// Idle power (W).
@@ -42,6 +45,7 @@ impl SsdConfig {
             page_bytes: 16 * 1024,
             page_read_ps: 50_000_000, // 50 µs tR
             channel_bytes_per_s: 1.2e9,
+            capacity_bytes: 512u64 << 30,
             active_w: 4.1,
             idle_w: 0.3,
         }
@@ -208,6 +212,39 @@ mod tests {
         let e = ssd.energy_joules(busy_s + 1.0);
         let expected = cfg.active_w * busy_s + cfg.idle_w * 1.0;
         assert!((e - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scattered_zero_request_count_and_zero_bytes_are_free() {
+        let mut ssd = Ssd::new(SsdConfig::bg6_class());
+        assert_eq!(ssd.read_scattered(0, 4096), 0);
+        assert_eq!(ssd.read_scattered(16, 0), 0);
+        assert_eq!(ssd.bytes_read(), 0, "free reads must not count bytes");
+    }
+
+    #[test]
+    fn scattered_single_request_pays_one_page_read_plus_transfer() {
+        // One sub-page request: 1 page on 1 die (array = 1·tR), 1 page
+        // over 1 channel, plus the pipeline-fill tR.
+        let cfg = SsdConfig::bg6_class();
+        let mut ssd = Ssd::new(cfg.clone());
+        let t = ssd.read_scattered(1, 512);
+        let transfer = transfer_ps(cfg.page_bytes, cfg.channel_bytes_per_s);
+        assert_eq!(t, cfg.page_read_ps.max(transfer) + cfg.page_read_ps);
+        assert_eq!(ssd.bytes_read(), 512);
+    }
+
+    #[test]
+    fn scattered_request_larger_than_a_page_spans_pages() {
+        // A request of 2.5 pages rounds up to 3 pages; 16 requests of
+        // 3 pages spread 48 pages over 16 dies → 3 serial tRs.
+        let cfg = SsdConfig::bg6_class();
+        let mut ssd = Ssd::new(cfg.clone());
+        let bytes_each = cfg.page_bytes * 5 / 2;
+        let t = ssd.read_scattered(16, bytes_each);
+        let pages_per_channel = 48u64.div_ceil(cfg.channels as u64);
+        let transfer = transfer_ps(pages_per_channel * cfg.page_bytes, cfg.channel_bytes_per_s);
+        assert_eq!(t, (3 * cfg.page_read_ps).max(transfer) + cfg.page_read_ps);
     }
 
     #[test]

@@ -1,0 +1,293 @@
+//! Memory-tier topology and migration pricing (HBM → host DRAM → SSD).
+//!
+//! The serving path outgrows device memory long before it outgrows the
+//! box: a 32K-token Llama-3 8B stream pins 4 GiB of KV, so a fleet of
+//! them exhausts HBM while host DRAM and the NVMe drive sit idle. This
+//! module prices *migrations* between the three tiers the evaluation
+//! platforms actually have:
+//!
+//! * **Device** — HBM2e / LPDDR5 behind the compute engine;
+//! * **Host** — CPU DDR4 across the PCIe link (server platforms);
+//! * **Ssd** — the NVMe drive, also across PCIe (edge platforms).
+//!
+//! A migration streams bulk KV blocks, so every leg is priced with the
+//! existing substrate models ([`PcieConfig`], [`Ssd`], [`Dram`]) and the
+//! legs pipeline: the slowest stage bounds the transfer, exactly like
+//! the per-step fetch path in `vrex-system`. Spill (down) and restore
+//! (up) use the same timing — flash-program asymmetry is deliberately
+//! ignored because spills run off the critical path (asynchronous
+//! writeback behind compute) while restores are latency-critical.
+//!
+//! Capacity bookkeeping ([`TierCapacities`]) and pricing ([`TierPath`])
+//! live here in `vrex-hwsim`; *policy* — who gets spilled, when to
+//! prefetch — lives in `vrex_system::memory`, next to the scheduler
+//! that exercises it.
+
+use crate::dram::{Dram, DramConfig};
+use crate::pcie::PcieConfig;
+use crate::ssd::{Ssd, SsdConfig};
+
+/// One level of the KV-cache memory hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum MemTier {
+    /// Device memory (HBM2e / LPDDR5): zero-cost hits.
+    Device,
+    /// Host CPU DRAM across the PCIe link.
+    Host,
+    /// NVMe flash across the PCIe link.
+    Ssd,
+}
+
+impl MemTier {
+    /// All tiers, fastest first.
+    pub const ALL: [MemTier; 3] = [MemTier::Device, MemTier::Host, MemTier::Ssd];
+
+    /// Display label used in reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            MemTier::Device => "device",
+            MemTier::Host => "host-dram",
+            MemTier::Ssd => "ssd",
+        }
+    }
+}
+
+impl std::fmt::Display for MemTier {
+    fn fmt(&self, fm: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        fm.write_str(self.label())
+    }
+}
+
+/// Byte budgets per tier. A zero budget means the tier is absent on the
+/// platform (the AGX has no discrete host tier; the A100 box in Table I
+/// has no NVMe spill target unless one is added).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TierCapacities {
+    /// Device bytes available to KV (capacity minus weights/headroom).
+    pub device_bytes: u64,
+    /// Host-DRAM bytes available to KV.
+    pub host_bytes: u64,
+    /// SSD bytes available to KV.
+    pub ssd_bytes: u64,
+}
+
+impl TierCapacities {
+    /// Budget of one tier.
+    pub fn capacity(&self, tier: MemTier) -> u64 {
+        match tier {
+            MemTier::Device => self.device_bytes,
+            MemTier::Host => self.host_bytes,
+            MemTier::Ssd => self.ssd_bytes,
+        }
+    }
+
+    /// Total bytes across every tier.
+    pub fn total_bytes(&self) -> u64 {
+        self.device_bytes + self.host_bytes + self.ssd_bytes
+    }
+
+    /// Whether the tier exists (has a nonzero budget).
+    pub fn has(&self, tier: MemTier) -> bool {
+        self.capacity(tier) > 0
+    }
+
+    /// The tiers below `tier`, nearest first, skipping absent ones.
+    pub fn below(&self, tier: MemTier) -> impl Iterator<Item = MemTier> + '_ {
+        MemTier::ALL
+            .into_iter()
+            .filter(move |&t| t > tier && self.has(t))
+    }
+}
+
+/// The links connecting the tiers, used to price migrations.
+///
+/// `host_dram` / `ssd` may be `None` when the platform lacks the tier;
+/// pricing a migration through a missing tier panics (the capacities
+/// guard should have kept policy code away from it).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TierPath {
+    /// The PCIe link every off-device byte crosses.
+    pub pcie: PcieConfig,
+    /// Host CPU DRAM (server offload target), if present.
+    pub host_dram: Option<DramConfig>,
+    /// NVMe drive (edge offload target), if present.
+    pub ssd: Option<SsdConfig>,
+}
+
+impl TierPath {
+    /// Duration (ps) of migrating `bytes` from `from` to `to`, streamed
+    /// in DMA chunks of `chunk_bytes`. Every stage the transfer crosses
+    /// (PCIe link, host DRAM, SSD flash array) runs as a pipeline, so
+    /// the slowest stage bounds the duration. Zero bytes or a same-tier
+    /// move are free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint tier is not configured on this path, or if
+    /// `chunk_bytes == 0` while `bytes > 0`.
+    pub fn migrate_ps(&self, from: MemTier, to: MemTier, bytes: u64, chunk_bytes: u64) -> u64 {
+        if bytes == 0 || from == to {
+            return 0;
+        }
+        let mut stages = vec![self.pcie.transfer_ps(bytes, chunk_bytes)];
+        for tier in [from, to] {
+            match tier {
+                MemTier::Device => {} // device DRAM is priced inside the step model
+                MemTier::Host => {
+                    let cfg = self
+                        .host_dram
+                        .as_ref()
+                        .expect("host tier not configured on this path");
+                    stages.push(Dram::new(cfg.clone()).access(0, bytes));
+                }
+                MemTier::Ssd => {
+                    let cfg = self
+                        .ssd
+                        .as_ref()
+                        .expect("ssd tier not configured on this path");
+                    let mut ssd = Ssd::new(cfg.clone());
+                    // Bulk migrations stream contiguous blocks; small
+                    // chunks degenerate into scattered page reads.
+                    stages.push(if chunk_bytes >= 64 * 1024 {
+                        ssd.read_contiguous(bytes)
+                    } else {
+                        ssd.read_scattered(bytes.div_ceil(chunk_bytes), chunk_bytes)
+                    });
+                }
+            }
+        }
+        stages.into_iter().max().expect("at least the PCIe stage")
+    }
+
+    /// Duration (ps) of restoring `host_bytes` from host DRAM and
+    /// `ssd_bytes` from the SSD up to the device. Both sources share
+    /// the one PCIe link, so the two migrations serialise.
+    pub fn restore_ps(&self, host_bytes: u64, ssd_bytes: u64, chunk_bytes: u64) -> u64 {
+        self.migrate_ps(MemTier::Host, MemTier::Device, host_bytes, chunk_bytes)
+            + self.migrate_ps(MemTier::Ssd, MemTier::Device, ssd_bytes, chunk_bytes)
+    }
+
+    /// Sustained migration bandwidth (bytes/s) between two tiers at a
+    /// chunk size, measured over a 64 MiB transfer.
+    pub fn bandwidth_bytes_per_s(&self, from: MemTier, to: MemTier, chunk_bytes: u64) -> f64 {
+        let total = 64u64 << 20;
+        let ps = self.migrate_ps(from, to, total, chunk_bytes);
+        if ps == 0 {
+            f64::INFINITY
+        } else {
+            total as f64 / (ps as f64 / 1e12)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::seconds_to_ps;
+
+    fn server_path() -> TierPath {
+        TierPath {
+            pcie: PcieConfig::gen4_x16(),
+            host_dram: Some(DramConfig::ddr4_cpu()),
+            ssd: Some(SsdConfig::bg6_class()),
+        }
+    }
+
+    fn edge_path() -> TierPath {
+        TierPath {
+            pcie: PcieConfig::gen3_x4(),
+            host_dram: None,
+            ssd: Some(SsdConfig::bg6_class()),
+        }
+    }
+
+    #[test]
+    fn zero_bytes_and_same_tier_moves_are_free() {
+        let p = server_path();
+        assert_eq!(p.migrate_ps(MemTier::Host, MemTier::Device, 0, 1 << 20), 0);
+        assert_eq!(
+            p.migrate_ps(MemTier::Host, MemTier::Host, 1 << 30, 1 << 20),
+            0
+        );
+    }
+
+    #[test]
+    fn host_restore_is_pcie_bound_hand_computed_oracle() {
+        // Host → device, 1 MiB in 256 KiB chunks on PCIe 4.0 ×16
+        // (32 GB/s raw, 256 B max payload, 24 B TLP overhead, 0.4 µs
+        // per DMA descriptor). By hand:
+        //   chunks = 4;  TLPs = 1 MiB/256 + 4 = 4096 + 4 = 4100
+        //   wire bytes = 1 MiB + 4100·24 = 1_048_576 + 98_400 = 1_146_976
+        //   wire ps    = wire_bytes / 32e9 · 1e12
+        //   total      = wire ps + 4 · 400_000 ps
+        // DDR4 streams 1 MiB at ~102 GB/s — faster than the link, so
+        // the pipelined max is the PCIe leg exactly.
+        let p = server_path();
+        let bytes: u64 = 1 << 20;
+        let chunk: u64 = 256 << 10;
+        let tlps = bytes / 256 + 4;
+        let wire_bytes = bytes + tlps * 24;
+        let expected = seconds_to_ps(wire_bytes as f64 / 32.0e9) + 4 * 400_000;
+        assert_eq!(
+            p.migrate_ps(MemTier::Host, MemTier::Device, bytes, chunk),
+            expected
+        );
+    }
+
+    #[test]
+    fn edge_ssd_restore_is_slower_than_server_host_restore() {
+        let bytes = 1u64 << 30;
+        let chunk = 256u64 << 10;
+        let edge = edge_path().migrate_ps(MemTier::Ssd, MemTier::Device, bytes, chunk);
+        let server = server_path().migrate_ps(MemTier::Host, MemTier::Device, bytes, chunk);
+        assert!(
+            edge > 4 * server,
+            "SSD restore {edge} should be much slower than host restore {server}"
+        );
+    }
+
+    #[test]
+    fn host_to_ssd_pays_the_slowest_of_all_three_stages() {
+        let p = server_path();
+        let bytes = 256u64 << 20;
+        let chunk = 1u64 << 20;
+        let down = p.migrate_ps(MemTier::Host, MemTier::Ssd, bytes, chunk);
+        let host_only = p.migrate_ps(MemTier::Host, MemTier::Device, bytes, chunk);
+        // The SSD flash array is the slowest stage, so demoting host →
+        // SSD is slower than a pure host ↔ device move.
+        assert!(down > host_only, "{down} vs {host_only}");
+    }
+
+    #[test]
+    fn tiny_chunks_degrade_migration_bandwidth() {
+        let p = edge_path();
+        let bulk = p.bandwidth_bytes_per_s(MemTier::Ssd, MemTier::Device, 1 << 20);
+        let scattered = p.bandwidth_bytes_per_s(MemTier::Ssd, MemTier::Device, 4096);
+        assert!(
+            scattered < 0.5 * bulk,
+            "4 KiB chunks {scattered:.2e} should underperform 1 MiB {bulk:.2e}"
+        );
+    }
+
+    #[test]
+    fn capacities_describe_the_hierarchy() {
+        let caps = TierCapacities {
+            device_bytes: 4,
+            host_bytes: 0,
+            ssd_bytes: 9,
+        };
+        assert_eq!(caps.total_bytes(), 13);
+        assert!(caps.has(MemTier::Device));
+        assert!(!caps.has(MemTier::Host));
+        let below: Vec<MemTier> = caps.below(MemTier::Device).collect();
+        assert_eq!(below, vec![MemTier::Ssd], "absent host tier skipped");
+        assert_eq!(caps.below(MemTier::Ssd).count(), 0);
+    }
+
+    #[test]
+    fn tier_ordering_is_fastest_first() {
+        assert!(MemTier::Device < MemTier::Host);
+        assert!(MemTier::Host < MemTier::Ssd);
+        assert_eq!(MemTier::Ssd.to_string(), "ssd");
+    }
+}

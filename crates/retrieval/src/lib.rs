@@ -16,14 +16,23 @@
 //! WiCSum thresholding removes (paper §III-C). Their selection ratios
 //! are configurable because the paper calibrates each method's ratio to
 //! match baseline accuracy (§VI-B).
+//!
+//! The [`prefetch`] module adds the *timing* half of the retrieval
+//! story: the [`PrefetchPolicy`] seam decides whether spilled KV is
+//! demand-fetched ([`NoPrefetch`]) or speculatively streamed up ahead
+//! of the step ([`SpeculativePrefetch`], InfiniGen-style) — the hook
+//! the tiered serving scheduler in `vrex-system` prices migrations
+//! through.
 
 pub mod flexgen;
 pub mod infinigen;
 pub mod oaken;
+pub mod prefetch;
 pub mod rekv;
 pub mod scoring;
 
 pub use flexgen::FlexGenPolicy;
 pub use infinigen::{InfiniGenPPolicy, InfiniGenPolicy};
 pub use oaken::OakenModel;
+pub use prefetch::{NoPrefetch, PrefetchPolicy, SpeculativePrefetch};
 pub use rekv::RekvPolicy;

@@ -1,0 +1,178 @@
+//! Speculative KV-prefetch policy seam (InfiniGen-style).
+//!
+//! When a session's resident KV has been spilled to a lower memory tier
+//! (host DRAM or SSD), the next inference step must stream the spilled
+//! part of its working set back across PCIe. *When* that stream starts
+//! is a retrieval-policy decision:
+//!
+//! * **demand** fetching ([`NoPrefetch`]) waits until the step executes
+//!   and pays the full migration latency on the critical path — the
+//!   FlexGen regime;
+//! * **speculative** prefetching ([`SpeculativePrefetch`]) predicts the
+//!   working set ahead of the step (InfiniGen predicts next-layer
+//!   attention inputs from the current layer's partial computation) and
+//!   issues the migration early, so the transfer overlaps the wait
+//!   window and the step's own layer-by-layer compute. Mispredicted
+//!   tokens still demand-fetch.
+//!
+//! The seam is deliberately tiny: the serving scheduler in
+//! `vrex-system` describes the step ([`PrefetchRequest`]) and the
+//! policy answers with how many bytes it will have in flight before the
+//! step starts and how accurate the speculation is ([`PrefetchPlan`]).
+//! The scheduler turns the plan into overlapped-vs-exposed migration
+//! time; the policy never sees scheduler state, so new policies (e.g.
+//! cluster-aware prefetch over the ReSV hash table) drop in without
+//! touching the scheduler.
+
+/// One upcoming inference step, as the prefetcher sees it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrefetchRequest {
+    /// Bytes of this session's resident KV currently below the device
+    /// tier (spilled to host DRAM / SSD).
+    pub cold_bytes: u64,
+    /// Fraction of the cache the step's retrieval method will actually
+    /// attend to (the method's calibrated selection ratio).
+    pub selection_ratio: f64,
+    /// `true` for a text-generation (decode) step.
+    pub generation: bool,
+}
+
+impl PrefetchRequest {
+    /// Bytes the step needs from below the device tier: the selected
+    /// share of the spilled residency.
+    pub fn needed_bytes(&self) -> u64 {
+        (self.cold_bytes as f64 * self.selection_ratio.clamp(0.0, 1.0)).ceil() as u64
+    }
+}
+
+/// What a prefetch policy promises to have in flight before the step.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrefetchPlan {
+    /// Bytes speculatively issued ahead of the step (0 = pure demand).
+    pub bytes: u64,
+    /// Fraction of the issued bytes that turn out to be the right ones;
+    /// the rest are re-fetched on demand.
+    pub accuracy: f64,
+}
+
+impl PrefetchPlan {
+    /// A plan that prefetches nothing.
+    pub fn demand() -> Self {
+        Self {
+            bytes: 0,
+            accuracy: 0.0,
+        }
+    }
+
+    /// Fraction of `needed` bytes this plan hides ahead of the step.
+    pub fn coverage(&self, needed: u64) -> f64 {
+        if needed == 0 {
+            return 0.0;
+        }
+        (self.bytes.min(needed) as f64 / needed as f64) * self.accuracy.clamp(0.0, 1.0)
+    }
+}
+
+/// Decides how much spilled KV to stream up *before* a step executes.
+pub trait PrefetchPolicy {
+    /// Display name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Plans the speculative transfer for one step.
+    fn plan(&self, req: &PrefetchRequest) -> PrefetchPlan;
+}
+
+/// Pure demand fetching: nothing moves until the step needs it.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoPrefetch;
+
+impl PrefetchPolicy for NoPrefetch {
+    fn name(&self) -> &'static str {
+        "demand"
+    }
+
+    fn plan(&self, _req: &PrefetchRequest) -> PrefetchPlan {
+        PrefetchPlan::demand()
+    }
+}
+
+/// InfiniGen-style speculation: issue the predicted working set (the
+/// selected share of the spilled bytes) ahead of the step, with a
+/// calibrated prediction accuracy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpeculativePrefetch {
+    /// Fraction of speculated bytes that are the right ones (InfiniGen
+    /// reports ~90% attention recall from partial-computation
+    /// speculation).
+    pub accuracy: f64,
+}
+
+impl SpeculativePrefetch {
+    /// The calibrated InfiniGen-style default (90% speculation
+    /// accuracy).
+    pub fn infinigen_default() -> Self {
+        Self { accuracy: 0.9 }
+    }
+}
+
+impl PrefetchPolicy for SpeculativePrefetch {
+    fn name(&self) -> &'static str {
+        "speculative"
+    }
+
+    fn plan(&self, req: &PrefetchRequest) -> PrefetchPlan {
+        PrefetchPlan {
+            bytes: req.needed_bytes(),
+            accuracy: self.accuracy,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(cold: u64, ratio: f64) -> PrefetchRequest {
+        PrefetchRequest {
+            cold_bytes: cold,
+            selection_ratio: ratio,
+            generation: false,
+        }
+    }
+
+    #[test]
+    fn needed_bytes_is_the_selected_share_of_the_spill() {
+        assert_eq!(req(1000, 0.25).needed_bytes(), 250);
+        assert_eq!(req(1000, 1.0).needed_bytes(), 1000);
+        assert_eq!(req(0, 0.5).needed_bytes(), 0);
+        // Ratios are clamped into [0, 1].
+        assert_eq!(req(1000, 7.0).needed_bytes(), 1000);
+    }
+
+    #[test]
+    fn demand_policy_covers_nothing() {
+        let plan = NoPrefetch.plan(&req(4096, 0.5));
+        assert_eq!(plan.bytes, 0);
+        assert_eq!(plan.coverage(2048), 0.0);
+        assert_eq!(NoPrefetch.name(), "demand");
+    }
+
+    #[test]
+    fn speculative_policy_covers_needed_bytes_at_its_accuracy() {
+        let policy = SpeculativePrefetch::infinigen_default();
+        let r = req(10_000, 0.3);
+        let plan = policy.plan(&r);
+        assert_eq!(plan.bytes, r.needed_bytes());
+        assert!((plan.coverage(r.needed_bytes()) - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn coverage_saturates_at_the_needed_bytes() {
+        let plan = PrefetchPlan {
+            bytes: 1_000_000,
+            accuracy: 1.0,
+        };
+        assert!((plan.coverage(10) - 1.0).abs() < 1e-12);
+        assert_eq!(plan.coverage(0), 0.0);
+    }
+}

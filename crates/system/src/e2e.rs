@@ -6,11 +6,16 @@
 //! GOPS/W (Figs. 13, 16).
 
 use vrex_hwsim::area_power::{vrex_core_breakdown, vrex_core_total};
+use vrex_hwsim::tier::{TierCapacities, TierPath};
 use vrex_model::ModelConfig;
 
 use crate::method::Method;
 use crate::pipeline::{layer_costs, LayerCosts, Workload};
 use crate::platform::{ComputeSpec, PlatformSpec};
+
+/// Activation / workspace headroom reserved out of device memory before
+/// any KV is admitted (~1 GiB).
+pub const DEVICE_HEADROOM_BYTES: u64 = 1 << 30;
 
 /// Energy of one step, broken down by component (joules).
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -116,17 +121,72 @@ impl SystemModel {
     /// Whether this configuration runs out of device memory at
     /// `cache_tokens` per stream × `batch` (Fig. 15's OOM points).
     pub fn is_oom(&self, model: &ModelConfig, cache_tokens: usize, batch: usize) -> bool {
-        let profile = self.method.profile();
         let weights = model.param_bytes() as u64 + self.platform.vision_bytes;
+        let kv = self.resident_demand_bytes(model, cache_tokens) * batch as u64;
+        weights + kv + DEVICE_HEADROOM_BYTES > self.platform.mem_capacity
+    }
+
+    /// Device bytes one stream at `cache_tokens` *must* keep resident:
+    /// the full (method-scaled) cache for in-memory methods, or just
+    /// the hot window for offloading methods. This is the per-stream
+    /// demand both [`Self::is_oom`] and the tiered serving path charge
+    /// against the device budget.
+    pub fn resident_demand_bytes(&self, model: &ModelConfig, cache_tokens: usize) -> u64 {
+        let profile = self.method.profile();
         let kv_per_token = (model.kv_bytes_per_token() as f64 * profile.kv_bytes_scale) as u64;
         let resident_tokens = if profile.offloads {
             self.platform.hot_window_tokens.min(cache_tokens)
         } else {
             cache_tokens
         };
-        let kv = resident_tokens as u64 * kv_per_token * batch as u64;
-        // ~1 GiB of activations / workspace headroom.
-        weights + kv + (1 << 30) > self.platform.mem_capacity
+        resident_tokens as u64 * kv_per_token
+    }
+
+    /// Device bytes left for KV after weights, the vision tower, and
+    /// the activation headroom.
+    pub fn device_kv_budget_bytes(&self, model: &ModelConfig) -> u64 {
+        let weights = model.param_bytes() as u64 + self.platform.vision_bytes;
+        self.platform
+            .mem_capacity
+            .saturating_sub(weights + DEVICE_HEADROOM_BYTES)
+    }
+
+    /// KV byte budgets of the platform's memory tiers: the device
+    /// budget plus whatever host-DRAM and SSD spill capacity the
+    /// platform carries (zero = tier absent).
+    pub fn kv_tier_capacities(&self, model: &ModelConfig) -> TierCapacities {
+        TierCapacities {
+            device_bytes: self.device_kv_budget_bytes(model),
+            host_bytes: if self.platform.offload_dram.is_some() {
+                self.platform.host_mem_capacity
+            } else {
+                0
+            },
+            ssd_bytes: self
+                .platform
+                .storage
+                .as_ref()
+                .map_or(0, |s| s.capacity_bytes),
+        }
+    }
+
+    /// The migration path connecting the platform's memory tiers.
+    pub fn tier_path(&self) -> TierPath {
+        TierPath {
+            pcie: self.platform.pcie.clone(),
+            host_dram: self.platform.offload_dram.clone(),
+            ssd: self.platform.storage.clone(),
+        }
+    }
+
+    /// Tier-miss latency (ps): restoring `host_bytes` from host DRAM
+    /// and `ssd_bytes` from the SSD to the device, streamed in
+    /// `chunk_bytes` blocks. The two sources share one PCIe link, so
+    /// their transfers serialise ([`TierPath::restore_ps`] — the same
+    /// pricing the tiered serving path charges per step).
+    pub fn restore_migration_ps(&self, host_bytes: u64, ssd_bytes: u64, chunk_bytes: u64) -> u64 {
+        self.tier_path()
+            .restore_ps(host_bytes, ssd_bytes, chunk_bytes)
     }
 
     fn vision_ps(&self, batch: usize) -> u64 {
@@ -454,5 +514,55 @@ mod tests {
     fn labels_are_informative() {
         let sys = SystemModel::new(PlatformSpec::vrex8(), Method::ReSV);
         assert_eq!(sys.label(), "V-Rex8 + ReSV");
+    }
+
+    #[test]
+    fn oom_is_budget_exhaustion() {
+        // is_oom must agree with the budget/demand decomposition the
+        // tiered serving path uses.
+        let model = llama();
+        for method in [Method::VanillaInMemory, Method::ReSV, Method::Oaken] {
+            let sys = SystemModel::new(PlatformSpec::agx_orin(), method);
+            for cache in [1_000usize, 10_000, 40_000] {
+                for batch in [1usize, 8, 32] {
+                    let decomposed = sys.resident_demand_bytes(&model, cache) * batch as u64
+                        > sys.device_kv_budget_bytes(&model);
+                    assert_eq!(sys.is_oom(&model, cache, batch), decomposed);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tier_capacities_follow_the_platform() {
+        let model = llama();
+        let server = SystemModel::new(PlatformSpec::vrex48(), Method::VanillaInMemory);
+        let caps = server.kv_tier_capacities(&model);
+        // 80 GiB minus ~17 GiB of weights/vision/headroom.
+        assert!(caps.device_bytes > 55 << 30 && caps.device_bytes < 65 << 30);
+        assert_eq!(caps.host_bytes, 256u64 << 30);
+        assert_eq!(caps.ssd_bytes, 0, "Table I server has no spill drive");
+
+        let three_tier = SystemModel::new(
+            PlatformSpec::vrex48().with_nvme_tier(),
+            Method::VanillaInMemory,
+        );
+        assert!(three_tier.kv_tier_capacities(&model).ssd_bytes > 0);
+
+        let edge = SystemModel::new(PlatformSpec::agx_orin(), Method::VanillaInMemory);
+        let edge_caps = edge.kv_tier_capacities(&model);
+        assert_eq!(edge_caps.host_bytes, 0, "unified memory: no host tier");
+        assert!(edge_caps.ssd_bytes > 0);
+    }
+
+    #[test]
+    fn restore_migration_serialises_both_sources() {
+        let sys = SystemModel::new(PlatformSpec::vrex48().with_nvme_tier(), Method::ReSV);
+        let chunk = 256 << 10;
+        let host_only = sys.restore_migration_ps(1 << 28, 0, chunk);
+        let ssd_only = sys.restore_migration_ps(0, 1 << 28, chunk);
+        let both = sys.restore_migration_ps(1 << 28, 1 << 28, chunk);
+        assert_eq!(both, host_only + ssd_only);
+        assert_eq!(sys.restore_migration_ps(0, 0, chunk), 0);
     }
 }

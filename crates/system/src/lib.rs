@@ -10,16 +10,29 @@
 //! The split of responsibilities:
 //!
 //! * `vrex-core` / `vrex-retrieval` decide *which tokens* are selected
-//!   (functional behaviour, measured ratios);
-//! * `vrex-hwsim` prices individual hardware operations;
+//!   (functional behaviour, measured ratios) and *when* spilled KV is
+//!   streamed back (the prefetch-policy seam);
+//! * `vrex-hwsim` prices individual hardware operations, including
+//!   tier-to-tier bulk migrations;
 //! * this crate composes them into end-to-end executions with the
 //!   paper's overlap rules: baselines predict/prefetch during the
 //!   previous layer on the *same* GPU (prediction steals compute),
 //!   while V-Rex's DRE runs prediction concurrently and its KVMU
 //!   fetches cluster-contiguous chunks (higher link efficiency).
+//!
+//! On top of the per-step model sit two serving layers: [`memory`]
+//! tracks fleet-wide KV residency across the device → host-DRAM → SSD
+//! hierarchy (LRU spill, off-critical-path promotion,
+//! prefetch-overlapped restore pricing), and [`mod@serve`] drives the
+//! continuous-batching scheduler whose admission control either
+//! rejects overflow sessions (PR 2 behaviour) or spills them down the
+//! hierarchy ([`AdmissionPolicy`]).
+
+#![warn(missing_docs)]
 
 pub mod ablation;
 pub mod e2e;
+pub mod memory;
 pub mod method;
 pub mod pipeline;
 pub mod platform;
@@ -28,6 +41,7 @@ pub mod realtime;
 pub mod serve;
 
 pub use e2e::{EnergyBreakdown, StepResult, SystemModel};
+pub use memory::{AdmissionPolicy, PrefetchMode, RestoreOutcome, TierStats, TieredKvManager};
 pub use method::{Method, MethodProfile};
 pub use platform::{ComputeSpec, PlatformSpec};
-pub use serve::{serve, ServeConfig, ServeReport, SessionServeReport};
+pub use serve::{serve, ServeConfig, ServeReport, SessionServeReport, TierReport};

@@ -1,0 +1,575 @@
+//! Tiered KV-cache residency policy for the serving scheduler.
+//!
+//! `vrex-hwsim`'s [`tier`](vrex_hwsim::tier) module knows how fast
+//! bytes move between device HBM, host DRAM, and the SSD; this module
+//! decides **whose** bytes move and **when**:
+//!
+//! * every stream's *resident demand* (its full cache for in-memory
+//!   methods, its hot window for offloading methods — the same bytes
+//!   [`SystemModel::is_oom`] counts) is tracked against the device
+//!   budget;
+//! * when the device overflows, the **coldest** streams (longest since
+//!   they last ran) are spilled down — host DRAM first, then SSD.
+//!   Spill writebacks stream behind compute and are not charged to the
+//!   critical path;
+//! * a spilled stream that reaches the front of the scheduler pays a
+//!   **tier miss**: the selected share of its spilled bytes must be
+//!   restored before its step. With a speculative [`PrefetchPolicy`]
+//!   the restore is issued when the work item becomes visible, so the
+//!   transfer overlaps the queue wait and the step's own layer-by-layer
+//!   compute; only the exposed remainder extends the step;
+//! * when a stream retires, its device bytes free up and the hottest
+//!   spilled streams are promoted back (asynchronously, off the
+//!   critical path).
+//!
+//! The manager is deterministic: victims and promotions order by
+//! (last-active time, session id), and every duration comes from the
+//! closed-form hardware models.
+
+use std::collections::BTreeMap;
+
+use vrex_hwsim::tier::{MemTier, TierCapacities, TierPath};
+use vrex_model::ModelConfig;
+use vrex_retrieval::prefetch::{NoPrefetch, PrefetchPolicy, PrefetchRequest, SpeculativePrefetch};
+
+use crate::e2e::SystemModel;
+
+/// DMA chunk size for bulk tier migrations (spills and restores move
+/// whole resident-window blocks, so they stream at FlexGen-like
+/// granularity regardless of the method's per-step fetch chunk).
+pub const MIGRATION_CHUNK_BYTES: u64 = 256 * 1024;
+
+/// How the serving scheduler treats streams that do not fit in device
+/// memory.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AdmissionPolicy {
+    /// PR 2 behaviour: wait FIFO for device memory, reject on timeout.
+    RejectOnly,
+    /// Spill cold streams' KV down the memory hierarchy instead of
+    /// rejecting; reject only when even the *whole* hierarchy is full.
+    Tiered {
+        /// How restores are scheduled (demand vs. speculative).
+        prefetch: PrefetchMode,
+    },
+}
+
+impl AdmissionPolicy {
+    /// Tiered admission with InfiniGen-style speculative prefetch.
+    pub fn tiered_speculative() -> Self {
+        AdmissionPolicy::Tiered {
+            prefetch: PrefetchMode::Speculative { accuracy: 0.9 },
+        }
+    }
+
+    /// Tiered admission with pure demand fetching.
+    pub fn tiered_demand() -> Self {
+        AdmissionPolicy::Tiered {
+            prefetch: PrefetchMode::Demand,
+        }
+    }
+}
+
+/// When restore migrations are issued, relative to the step that needs
+/// them.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PrefetchMode {
+    /// Restores start when the step starts; nothing is hidden.
+    Demand,
+    /// Restores are issued as soon as the work item is visible
+    /// (InfiniGen-style speculation at the given accuracy), hiding the
+    /// transfer behind the wait window and the step's compute.
+    Speculative {
+        /// Fraction of speculated bytes that are the right ones.
+        accuracy: f64,
+    },
+}
+
+impl PrefetchMode {
+    /// The retrieval-crate policy implementing this mode.
+    pub fn policy(&self) -> Box<dyn PrefetchPolicy> {
+        match self {
+            PrefetchMode::Demand => Box::new(NoPrefetch),
+            PrefetchMode::Speculative { accuracy } => Box::new(SpeculativePrefetch {
+                accuracy: *accuracy,
+            }),
+        }
+    }
+}
+
+/// Where one stream's resident KV currently lives.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Residency {
+    /// Bytes in device memory.
+    pub device_bytes: u64,
+    /// Bytes spilled to host DRAM.
+    pub host_bytes: u64,
+    /// Bytes spilled to the SSD.
+    pub ssd_bytes: u64,
+    /// Simulation time this stream last executed (spill coldness key).
+    pub last_active_s: f64,
+}
+
+impl Residency {
+    /// Total tracked bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.device_bytes + self.host_bytes + self.ssd_bytes
+    }
+
+    /// Bytes below the device tier.
+    pub fn spilled_bytes(&self) -> u64 {
+        self.host_bytes + self.ssd_bytes
+    }
+}
+
+/// Outcome of pricing one step's tier restore.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RestoreOutcome {
+    /// Total time the restore occupies the shared PCIe link (ps),
+    /// hidden or not — the caller charges this against the link
+    /// budget shared by a batch.
+    pub miss_ps: u64,
+    /// Migration time left exposed on the critical path (ps).
+    pub exposed_ps: u64,
+}
+
+/// Aggregate tiering statistics over a serving run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TierStats {
+    /// Bytes demoted below the device tier.
+    pub spilled_bytes: u64,
+    /// Bytes promoted back into freed device space (off-critical-path).
+    pub promoted_bytes: u64,
+    /// Bytes restored on the critical path for steps (tier misses).
+    pub restored_bytes: u64,
+    /// Per-stream step executions (one [`TieredKvManager::step_restore`]
+    /// call, i.e. one batch member) that ran fully device-resident.
+    pub tier_hit_steps: u64,
+    /// Per-stream step executions that needed a restore migration.
+    pub tier_miss_steps: u64,
+    /// Migration time hidden behind prefetch overlap (ps).
+    pub hidden_ps: u64,
+    /// Migration time exposed on the critical path (ps).
+    pub exposed_ps: u64,
+}
+
+/// Fleet-wide tier residency tracker and migration pricer.
+#[derive(Debug)]
+pub struct TieredKvManager {
+    caps: TierCapacities,
+    path: TierPath,
+    chunk_bytes: u64,
+    sessions: BTreeMap<usize, Residency>,
+    ever_spilled: std::collections::BTreeSet<usize>,
+    stats: TierStats,
+}
+
+impl TieredKvManager {
+    /// Creates a manager over explicit capacities and links.
+    pub fn new(caps: TierCapacities, path: TierPath) -> Self {
+        Self {
+            caps,
+            path,
+            chunk_bytes: MIGRATION_CHUNK_BYTES,
+            sessions: BTreeMap::new(),
+            ever_spilled: std::collections::BTreeSet::new(),
+            stats: TierStats::default(),
+        }
+    }
+
+    /// Creates the manager for a platform + method pair: device budget
+    /// from the memory left after weights, spill tiers from the
+    /// platform's host DRAM / SSD.
+    pub fn for_system(sys: &SystemModel, model: &ModelConfig) -> Self {
+        Self::new(sys.kv_tier_capacities(model), sys.tier_path())
+    }
+
+    /// The tier budgets.
+    pub fn capacities(&self) -> TierCapacities {
+        self.caps
+    }
+
+    /// Total KV capacity across every tier.
+    pub fn total_capacity_bytes(&self) -> u64 {
+        self.caps.total_bytes()
+    }
+
+    /// Bytes currently resident in one tier, fleet-wide.
+    pub fn used_bytes(&self, tier: MemTier) -> u64 {
+        self.sessions.values().map(|r| tier_bytes(r, tier)).sum()
+    }
+
+    /// One stream's residency, if tracked.
+    pub fn residency(&self, id: usize) -> Option<&Residency> {
+        self.sessions.get(&id)
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> TierStats {
+        self.stats
+    }
+
+    /// Streams that were ever (partially) spilled below the device.
+    pub fn ever_spilled_sessions(&self) -> usize {
+        self.ever_spilled.len()
+    }
+
+    /// Whether a stream was ever (partially) spilled below the device.
+    pub fn was_ever_spilled(&self, id: usize) -> bool {
+        self.ever_spilled.contains(&id)
+    }
+
+    /// Admits a stream with `bytes` of resident demand, placed in
+    /// device memory; colder streams are spilled down if the device
+    /// overflows.
+    pub fn admit(&mut self, id: usize, bytes: u64, now_s: f64) {
+        let r = self.sessions.entry(id).or_default();
+        r.device_bytes += bytes;
+        r.last_active_s = now_s;
+        self.spill_down();
+    }
+
+    /// Grows a stream's resident demand by `delta` bytes (new KV lands
+    /// in device memory) and marks it active.
+    pub fn grow(&mut self, id: usize, delta: u64, now_s: f64) {
+        if let Some(r) = self.sessions.get_mut(&id) {
+            r.device_bytes += delta;
+            r.last_active_s = now_s;
+        }
+        self.spill_down();
+    }
+
+    /// Marks a stream active (it just executed) without growing it.
+    pub fn touch(&mut self, id: usize, now_s: f64) {
+        if let Some(r) = self.sessions.get_mut(&id) {
+            r.last_active_s = now_s;
+        }
+    }
+
+    /// Retires a stream, freeing its bytes, then promotes the hottest
+    /// spilled streams into the freed device space.
+    pub fn release(&mut self, id: usize) {
+        self.sessions.remove(&id);
+        self.promote_into_free();
+    }
+
+    /// Prices the tier miss of one step and applies prefetch overlap.
+    ///
+    /// `ratio` is the method's selection ratio for the step's stage —
+    /// the share of the stream's spilled bytes the step must restore.
+    /// `window_ps` is how long the restore could have been in flight
+    /// before the step's results are needed: queue wait plus the
+    /// step's own compute (which the transfer pipelines with layer by
+    /// layer), *minus* whatever of that window other streams' restores
+    /// have already claimed on the shared link — the caller owns that
+    /// accounting via [`RestoreOutcome::miss_ps`].
+    pub fn step_restore(
+        &mut self,
+        id: usize,
+        ratio: f64,
+        generation: bool,
+        window_ps: u64,
+        prefetch: &dyn PrefetchPolicy,
+    ) -> RestoreOutcome {
+        let Some(r) = self.sessions.get(&id) else {
+            return RestoreOutcome::default();
+        };
+        let ratio = ratio.clamp(0.0, 1.0);
+        let need_host = (r.host_bytes as f64 * ratio).ceil() as u64;
+        let need_ssd = (r.ssd_bytes as f64 * ratio).ceil() as u64;
+        let miss_ps = self.path.restore_ps(need_host, need_ssd, self.chunk_bytes);
+        if miss_ps == 0 {
+            self.stats.tier_hit_steps += 1;
+            return RestoreOutcome::default();
+        }
+        let plan = prefetch.plan(&PrefetchRequest {
+            cold_bytes: r.spilled_bytes(),
+            selection_ratio: ratio,
+            generation,
+        });
+        let coverage = plan.coverage(need_host + need_ssd);
+        let hidden = ((miss_ps as f64 * coverage) as u64).min(window_ps);
+        self.stats.tier_miss_steps += 1;
+        self.stats.restored_bytes += need_host + need_ssd;
+        self.stats.hidden_ps += hidden;
+        self.stats.exposed_ps += miss_ps - hidden;
+        RestoreOutcome {
+            miss_ps,
+            exposed_ps: miss_ps - hidden,
+        }
+    }
+
+    /// Demotes coldest-stream bytes until device and host budgets hold.
+    fn spill_down(&mut self) {
+        self.spill_tier(MemTier::Device);
+        self.spill_tier(MemTier::Host);
+    }
+
+    fn spill_tier(&mut self, tier: MemTier) {
+        loop {
+            let used = self.used_bytes(tier);
+            let cap = self.caps.capacity(tier);
+            if used <= cap {
+                return;
+            }
+            let overflow = used - cap;
+            // Coldest stream holding bytes in this tier.
+            let Some(victim) = self
+                .sessions
+                .iter()
+                .filter(|(_, r)| tier_bytes(r, tier) > 0)
+                .min_by(|(ia, ra), (ib, rb)| {
+                    ra.last_active_s
+                        .total_cmp(&rb.last_active_s)
+                        .then(ia.cmp(ib))
+                })
+                .map(|(&id, _)| id)
+            else {
+                return;
+            };
+            // Nearest lower tier with room.
+            let Some((dest, room)) = self
+                .caps
+                .below(tier)
+                .map(|t| (t, self.caps.capacity(t).saturating_sub(self.used_bytes(t))))
+                .find(|&(_, room)| room > 0)
+            else {
+                // Hierarchy full: leave the tier over budget (admission
+                // control is responsible for not letting this happen).
+                return;
+            };
+            let r = self.sessions.get_mut(&victim).expect("victim exists");
+            let moved = tier_bytes(r, tier).min(overflow).min(room);
+            *tier_bytes_mut(r, tier) -= moved;
+            *tier_bytes_mut(r, dest) += moved;
+            self.stats.spilled_bytes += moved;
+            self.ever_spilled.insert(victim);
+        }
+    }
+
+    /// Promotes hottest-stream spilled bytes into free device space.
+    fn promote_into_free(&mut self) {
+        let mut free = self
+            .caps
+            .device_bytes
+            .saturating_sub(self.used_bytes(MemTier::Device));
+        if free == 0 {
+            return;
+        }
+        // Hottest first; ties broken by id for determinism.
+        let mut order: Vec<usize> = self
+            .sessions
+            .iter()
+            .filter(|(_, r)| r.spilled_bytes() > 0)
+            .map(|(&id, _)| id)
+            .collect();
+        order.sort_by(|a, b| {
+            let ra = self.sessions[a].last_active_s;
+            let rb = self.sessions[b].last_active_s;
+            rb.total_cmp(&ra).then(a.cmp(b))
+        });
+        for id in order {
+            if free == 0 {
+                break;
+            }
+            let r = self.sessions.get_mut(&id).expect("listed above");
+            for tier in [MemTier::Host, MemTier::Ssd] {
+                let moved = tier_bytes(r, tier).min(free);
+                *tier_bytes_mut(r, tier) -= moved;
+                r.device_bytes += moved;
+                free -= moved;
+                self.stats.promoted_bytes += moved;
+            }
+        }
+    }
+}
+
+fn tier_bytes(r: &Residency, tier: MemTier) -> u64 {
+    match tier {
+        MemTier::Device => r.device_bytes,
+        MemTier::Host => r.host_bytes,
+        MemTier::Ssd => r.ssd_bytes,
+    }
+}
+
+fn tier_bytes_mut(r: &mut Residency, tier: MemTier) -> &mut u64 {
+    match tier {
+        MemTier::Device => &mut r.device_bytes,
+        MemTier::Host => &mut r.host_bytes,
+        MemTier::Ssd => &mut r.ssd_bytes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vrex_hwsim::dram::DramConfig;
+    use vrex_hwsim::pcie::PcieConfig;
+    use vrex_hwsim::seconds_to_ps;
+    use vrex_hwsim::ssd::SsdConfig;
+
+    const GIB: u64 = 1 << 30;
+
+    fn server_manager(device: u64, host: u64, ssd: u64) -> TieredKvManager {
+        TieredKvManager::new(
+            TierCapacities {
+                device_bytes: device,
+                host_bytes: host,
+                ssd_bytes: ssd,
+            },
+            TierPath {
+                pcie: PcieConfig::gen4_x16(),
+                host_dram: Some(DramConfig::ddr4_cpu()),
+                ssd: Some(SsdConfig::bg6_class()),
+            },
+        )
+    }
+
+    #[test]
+    fn streams_stay_device_resident_until_the_budget_trips() {
+        let mut m = server_manager(4 * GIB, 8 * GIB, 0);
+        m.admit(0, 2 * GIB, 0.0);
+        m.admit(1, 2 * GIB, 1.0);
+        assert_eq!(m.used_bytes(MemTier::Device), 4 * GIB);
+        assert_eq!(m.used_bytes(MemTier::Host), 0);
+        assert_eq!(m.ever_spilled_sessions(), 0);
+    }
+
+    #[test]
+    fn overflow_spills_the_coldest_stream_first() {
+        let mut m = server_manager(4 * GIB, 8 * GIB, 0);
+        m.admit(0, 2 * GIB, 0.0); // coldest
+        m.admit(1, 2 * GIB, 1.0);
+        m.admit(2, 2 * GIB, 2.0); // 2 GiB over budget
+        let r0 = *m.residency(0).unwrap();
+        assert_eq!(r0.host_bytes, 2 * GIB, "stream 0 spilled: {r0:?}");
+        assert_eq!(m.residency(2).unwrap().host_bytes, 0, "newcomer stays hot");
+        assert_eq!(m.used_bytes(MemTier::Device), 4 * GIB);
+        assert_eq!(m.stats().spilled_bytes, 2 * GIB);
+        assert_eq!(m.ever_spilled_sessions(), 1);
+    }
+
+    #[test]
+    fn host_overflow_cascades_to_the_ssd() {
+        let mut m = server_manager(GIB, GIB, 64 * GIB);
+        m.admit(0, GIB, 0.0);
+        m.admit(1, GIB, 1.0);
+        m.admit(2, GIB, 2.0);
+        // 3 GiB of demand into 1 GiB device + 1 GiB host: the coldest
+        // stream's spill lands on the SSD.
+        assert_eq!(m.used_bytes(MemTier::Device), GIB);
+        assert_eq!(m.used_bytes(MemTier::Host), GIB);
+        assert_eq!(m.used_bytes(MemTier::Ssd), GIB);
+    }
+
+    #[test]
+    fn release_promotes_the_hottest_spilled_stream() {
+        let mut m = server_manager(4 * GIB, 8 * GIB, 0);
+        m.admit(0, 2 * GIB, 0.0);
+        m.admit(1, 2 * GIB, 1.0);
+        m.admit(2, 2 * GIB, 2.0); // spills 0
+        assert_eq!(m.residency(0).unwrap().host_bytes, 2 * GIB);
+        m.release(1); // frees 2 GiB of device
+        let r0 = *m.residency(0).unwrap();
+        assert_eq!(r0.host_bytes, 0, "stream 0 promoted back: {r0:?}");
+        assert_eq!(r0.device_bytes, 2 * GIB);
+        assert_eq!(m.stats().promoted_bytes, 2 * GIB);
+    }
+
+    #[test]
+    fn device_resident_steps_are_tier_hits() {
+        let mut m = server_manager(4 * GIB, 8 * GIB, 0);
+        m.admit(0, GIB, 0.0);
+        let p = m.step_restore(0, 1.0, false, 0, &NoPrefetch);
+        assert_eq!(p, RestoreOutcome::default());
+        assert_eq!(m.stats().tier_hit_steps, 1);
+        assert_eq!(m.stats().tier_miss_steps, 0);
+    }
+
+    #[test]
+    fn spill_then_prefetch_matches_hand_computed_migration() {
+        // One full spill → prefetch round trip, hand-computed.
+        //
+        // Stream 0 (2 GiB) goes cold and is spilled to host DRAM by the
+        // admissions of streams 1 and 2. Its next frame step (selection
+        // ratio 1.0) must restore all 2 GiB over PCIe 4.0 ×16 in
+        // 256 KiB chunks. By hand (DDR4 at ~102 GB/s outruns the link,
+        // so the pipelined migration equals the PCIe leg):
+        //   bytes   = 2^31;  chunks = 2^31 / 2^18 = 8192
+        //   TLPs    = 2^31/256 + 8192 = 8_388_608 + 8_192 = 8_396_800
+        //   wire    = 2^31 + 8_396_800·24 = 2_349_006_848 B
+        //   wire ps = 2_349_006_848 / 32e9 · 1e12 ≈ 73_406_464_000
+        //   total   = wire ps + 8192·400_000 ≈ 76_683_264_000 ps
+        // Demand fetch exposes all of it; speculative prefetch at 90%
+        // accuracy with an ample overlap window hides 90% and exposes
+        // exactly the mispredicted 10%.
+        let mut m = server_manager(4 * GIB, 8 * GIB, 0);
+        m.admit(0, 2 * GIB, 0.0);
+        m.admit(1, 2 * GIB, 1.0);
+        m.admit(2, 2 * GIB, 2.0);
+        assert_eq!(m.residency(0).unwrap().host_bytes, 2 * GIB);
+
+        let bytes = 2 * GIB;
+        let chunks = bytes / MIGRATION_CHUNK_BYTES;
+        let tlps = bytes / 256 + chunks;
+        let wire_bytes = bytes + tlps * 24;
+        let miss_ps = seconds_to_ps(wire_bytes as f64 / 32.0e9) + chunks * 400_000;
+
+        let demand = m.step_restore(0, 1.0, false, u64::MAX, &NoPrefetch);
+        assert_eq!(demand.miss_ps, miss_ps);
+        assert_eq!(demand.exposed_ps, miss_ps);
+
+        let spec = SpeculativePrefetch { accuracy: 0.9 };
+        let out = m.step_restore(0, 1.0, false, u64::MAX, &spec);
+        assert_eq!(out.miss_ps, miss_ps);
+        assert_eq!(out.exposed_ps, miss_ps - (miss_ps as f64 * 0.9) as u64);
+        assert_eq!(m.stats().tier_miss_steps, 2);
+        assert_eq!(m.stats().restored_bytes, 2 * bytes);
+    }
+
+    #[test]
+    fn narrow_window_bounds_what_prefetch_can_hide() {
+        let mut m = server_manager(GIB, 8 * GIB, 0);
+        m.admit(0, GIB, 0.0);
+        m.admit(1, GIB, 1.0); // spills 0 entirely
+        let spec = SpeculativePrefetch { accuracy: 1.0 };
+        let full = m.step_restore(0, 1.0, false, 0, &spec).exposed_ps;
+        let window = full / 2;
+        let half = m.step_restore(0, 1.0, false, window, &spec).exposed_ps;
+        assert_eq!(half, full - window, "only the window is hidden");
+    }
+
+    #[test]
+    fn selection_ratio_scales_the_restore() {
+        let mut m = server_manager(GIB, 8 * GIB, 0);
+        m.admit(0, GIB, 0.0);
+        m.admit(1, GIB, 1.0);
+        let full = m.step_restore(0, 1.0, false, 0, &NoPrefetch).exposed_ps;
+        let tenth = m.step_restore(0, 0.1, false, 0, &NoPrefetch).exposed_ps;
+        assert!(tenth < full / 5, "ratio 0.1 restore {tenth} vs full {full}");
+        assert!(tenth > 0);
+    }
+
+    #[test]
+    fn grow_keeps_the_growing_stream_hot() {
+        let mut m = server_manager(2 * GIB, 8 * GIB, 0);
+        m.admit(0, GIB, 0.0);
+        m.admit(1, GIB, 1.0);
+        // Stream 1 grows past the budget at t=2: stream 0 (colder)
+        // takes the spill even though 1 caused the overflow.
+        m.grow(1, GIB, 2.0);
+        assert_eq!(m.residency(0).unwrap().host_bytes, GIB);
+        assert_eq!(m.residency(1).unwrap().spilled_bytes(), 0);
+    }
+
+    #[test]
+    fn untracked_streams_cost_nothing() {
+        let mut m = server_manager(GIB, GIB, 0);
+        assert_eq!(
+            m.step_restore(99, 1.0, true, 0, &NoPrefetch),
+            RestoreOutcome::default()
+        );
+        m.touch(99, 5.0);
+        m.release(99);
+        assert_eq!(m.stats(), TierStats::default());
+    }
+}

@@ -43,6 +43,10 @@ pub struct PlatformSpec {
     pub storage: Option<SsdConfig>,
     /// CPU-memory offload target (server platforms).
     pub offload_dram: Option<DramConfig>,
+    /// Host-DRAM capacity (bytes) available as a KV spill tier behind
+    /// `offload_dram`. Zero on edge platforms, whose LPDDR is unified
+    /// with the device — there the SSD is the only lower tier.
+    pub host_mem_capacity: u64,
     /// Hot-window: recent KV tokens kept resident in device memory per
     /// stream (the hierarchical KVMU residency; GPUs run the same
     /// recent-window policy under FlexGen-style offloading).
@@ -73,6 +77,7 @@ impl PlatformSpec {
             pcie: PcieConfig::gen3_x4(),
             storage: Some(SsdConfig::bg6_class()),
             offload_dram: None,
+            host_mem_capacity: 0,
             hot_window_tokens: 8192,
             frame_overhead_ps: 20_000_000_000, // 20 ms decode+preproc
             vision_flops: VISION_FLOPS,
@@ -91,6 +96,7 @@ impl PlatformSpec {
             pcie: PcieConfig::gen4_x16(),
             storage: None,
             offload_dram: Some(DramConfig::ddr4_cpu()),
+            host_mem_capacity: 256u64 << 30,
             hot_window_tokens: 8192,
             frame_overhead_ps: 4_000_000_000, // 4 ms
             vision_flops: VISION_FLOPS,
@@ -109,6 +115,7 @@ impl PlatformSpec {
             pcie: PcieConfig::gen3_x4(),
             storage: Some(SsdConfig::bg6_class()),
             offload_dram: None,
+            host_mem_capacity: 0,
             hot_window_tokens: 8192,
             frame_overhead_ps: 20_000_000_000,
             vision_flops: VISION_FLOPS,
@@ -128,6 +135,7 @@ impl PlatformSpec {
             pcie: PcieConfig::gen4_x16(),
             storage: None,
             offload_dram: Some(DramConfig::ddr4_cpu()),
+            host_mem_capacity: 256u64 << 30,
             hot_window_tokens: 8192,
             frame_overhead_ps: 4_000_000_000,
             vision_flops: VISION_FLOPS,
@@ -139,6 +147,15 @@ impl PlatformSpec {
     /// Whether this platform carries a DRE (dynamic retrieval engine).
     pub fn has_dre(&self) -> bool {
         matches!(self.compute, ComputeSpec::VRex(_))
+    }
+
+    /// This platform with an NVMe drive added behind its PCIe link —
+    /// the third level of the HBM → host-DRAM → SSD hierarchy for the
+    /// tiered-serving experiments (Table I server boxes ship without a
+    /// spill drive).
+    pub fn with_nvme_tier(mut self) -> Self {
+        self.storage = Some(SsdConfig::bg6_class());
+        self
     }
 
     /// Offload-path sustained source bandwidth (bytes/s): SSD peak for
@@ -193,6 +210,21 @@ mod tests {
         assert!(PlatformSpec::vrex8().storage.is_some());
         assert!(PlatformSpec::a100().offload_dram.is_some());
         assert!(PlatformSpec::vrex48().offload_dram.is_some());
+    }
+
+    #[test]
+    fn host_tier_exists_only_on_server_platforms() {
+        assert_eq!(PlatformSpec::agx_orin().host_mem_capacity, 0);
+        assert_eq!(PlatformSpec::vrex8().host_mem_capacity, 0);
+        assert!(PlatformSpec::a100().host_mem_capacity > 0);
+        assert!(PlatformSpec::vrex48().host_mem_capacity > 0);
+    }
+
+    #[test]
+    fn nvme_tier_can_be_added_to_a_server_box() {
+        let p = PlatformSpec::vrex48().with_nvme_tier();
+        assert!(p.storage.is_some());
+        assert!(p.offload_dram.is_some(), "host tier kept");
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! tokens) arrive on a wall clock, get serviced some time later, and
 //! the user-visible cost is the lag between the two. The single-session
 //! transient simulation ([`crate::realtime`]) and the multi-session
-//! serving scheduler ([`crate::serve`]) both record into a
+//! serving scheduler ([`mod@crate::serve`]) both record into a
 //! [`QueueLedger`] so their queue-depth and lag semantics cannot drift
 //! apart.
 

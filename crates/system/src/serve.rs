@@ -12,27 +12,41 @@
 //!
 //! The scheduler is a discrete-event continuous-batching loop:
 //!
-//! 1. **Admission.** An arriving session is admitted only if the device
-//!    survives its worst-case KV footprint at the grown fleet size
-//!    ([`SystemModel::is_oom`]). Sessions that never fit alone are
-//!    rejected outright; sessions that don't fit *now* wait FIFO in an
-//!    admission queue (their camera starts on admission) and are
-//!    rejected once they out-wait [`ServeConfig::max_wait_s`].
+//! 1. **Admission.** What happens when the fleet outgrows device
+//!    memory is a policy choice ([`AdmissionPolicy`]):
+//!    * [`AdmissionPolicy::RejectOnly`] (PR 2 behaviour) — a session is
+//!      admitted only if the device survives its worst-case KV
+//!      footprint at the grown fleet size ([`SystemModel::is_oom`]).
+//!      Sessions that never fit alone are rejected outright; sessions
+//!      that don't fit *now* wait FIFO in an admission queue (their
+//!      camera starts on admission) and are rejected once they
+//!      out-wait [`ServeConfig::max_wait_s`].
+//!    * [`AdmissionPolicy::Tiered`] — the same checks run against the
+//!      *whole* memory hierarchy (device + host DRAM + SSD,
+//!      [`TieredKvManager`]): overflow sessions are admitted and the
+//!      coldest streams' resident KV is spilled down instead. A
+//!      spilled stream pays a tier-miss restore before each step,
+//!      overlapped with its wait window and the step's compute when
+//!      speculative prefetch is on ([`crate::memory::PrefetchMode`]).
 //! 2. **Batching.** Whenever the engine is free, ready head-of-line
 //!    work items are grouped by kind (frame prefill / question prefill
 //!    / decode); the largest group executes as one batched step priced
-//!    at the batch's worst-case cache length. Per-session work stays
+//!    at the batch's worst-case cache length, plus the batch's exposed
+//!    tier-restore time under tiered admission. Per-session work stays
 //!    FIFO — a question cannot overtake the frames before it.
 //! 3. **Accounting.** Every frame's arrival→completion pair lands in
 //!    the same [`QueueLedger`] the single-session simulation uses, so
 //!    lag semantics are shared, plus TTFT (question asked → first
-//!    answer token) and TPOT (between answer tokens) samples.
+//!    answer token) and TPOT (between answer tokens) samples, plus the
+//!    per-session and fleet tiering counters ([`TierReport`]).
 
 use vrex_model::ModelConfig;
+use vrex_retrieval::prefetch::{NoPrefetch, PrefetchPolicy};
 use vrex_workload::traffic::SessionPlan;
 use vrex_workload::SessionEvent;
 
 use crate::e2e::SystemModel;
+use crate::memory::{AdmissionPolicy, TieredKvManager};
 use crate::queueing::{percentile, QueueLedger};
 
 /// Scheduler parameters.
@@ -43,19 +57,31 @@ pub struct ServeConfig {
     /// KV-cache tokens each session starts with (the "cache length"
     /// axis of the capacity sweep).
     pub initial_cache_tokens: usize,
-    /// How long an arriving session may wait for device memory before
-    /// being rejected (seconds). 0 rejects immediately when full.
+    /// How long an arriving session may wait for memory before being
+    /// rejected (seconds). 0 rejects immediately when full.
     pub max_wait_s: f64,
+    /// What to do with sessions that do not fit in device memory.
+    pub admission: AdmissionPolicy,
 }
 
 impl ServeConfig {
     /// The paper's real-time setting: 2 FPS camera, 10 s admission
-    /// patience.
+    /// patience, reject-only admission.
     pub fn real_time(initial_cache_tokens: usize) -> Self {
         Self {
             fps: 2.0,
             initial_cache_tokens,
             max_wait_s: 10.0,
+            admission: AdmissionPolicy::RejectOnly,
+        }
+    }
+
+    /// The real-time setting with tiered spill admission and
+    /// InfiniGen-style speculative prefetch.
+    pub fn real_time_tiered(initial_cache_tokens: usize) -> Self {
+        Self {
+            admission: AdmissionPolicy::tiered_speculative(),
+            ..Self::real_time(initial_cache_tokens)
         }
     }
 }
@@ -105,6 +131,17 @@ pub struct SessionServeReport {
     pub tpot_s: Vec<f64>,
     /// KV-cache tokens at session end.
     pub final_cache_tokens: usize,
+    /// Whether any of this session's resident KV was ever spilled
+    /// below the device tier (always `false` under
+    /// [`AdmissionPolicy::RejectOnly`]).
+    pub spilled: bool,
+    /// Total tier-restore time that delayed this session's steps
+    /// (seconds). A batch completes as one unit, so this includes
+    /// exposed restores of *co-batched* streams — a device-resident
+    /// session can accrue delay here without ever spilling. Summing
+    /// this across sessions therefore over-counts shared delays; use
+    /// [`TierReport::exposed_s`] for the fleet total by cause.
+    pub tier_exposed_s: f64,
 }
 
 /// Fleet-level serving report.
@@ -134,9 +171,35 @@ pub struct ServeReport {
     pub tpot_p99_s: f64,
     /// Wall-clock time until the last admitted session finished.
     pub makespan_s: f64,
+    /// Memory-hierarchy accounting; `None` under
+    /// [`AdmissionPolicy::RejectOnly`].
+    pub tiering: Option<TierReport>,
     /// Per-session detail, in completion/rejection order (match by
     /// [`SessionServeReport::id`] to pair with the offered plans).
     pub sessions: Vec<SessionServeReport>,
+}
+
+/// Fleet-level memory-hierarchy accounting for one tiered serving run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TierReport {
+    /// Sessions whose resident KV was ever spilled below the device.
+    pub spilled_sessions: usize,
+    /// Bytes demoted below the device tier.
+    pub spilled_bytes: u64,
+    /// Bytes promoted back into freed device space.
+    pub promoted_bytes: u64,
+    /// Bytes restored on the critical path for steps.
+    pub restored_bytes: u64,
+    /// Per-stream step executions (one count per batch member) that
+    /// ran fully device-resident.
+    pub tier_hit_steps: u64,
+    /// Per-stream step executions (one count per batch member) that
+    /// needed a restore migration.
+    pub tier_miss_steps: u64,
+    /// Restore time hidden behind prefetch overlap (seconds).
+    pub hidden_s: f64,
+    /// Restore time exposed on the critical path (seconds).
+    pub exposed_s: f64,
 }
 
 impl ServeReport {
@@ -197,6 +260,8 @@ struct Stream {
     tpot_s: Vec<f64>,
     question_asked_s: f64,
     last_token_completion_s: f64,
+    spilled: bool,
+    tier_exposed_s: f64,
 }
 
 impl Stream {
@@ -236,6 +301,8 @@ impl Stream {
             tpot_s: Vec::new(),
             question_asked_s: now,
             last_token_completion_s: now,
+            spilled: false,
+            tier_exposed_s: 0.0,
         }
     }
 
@@ -277,6 +344,8 @@ impl Stream {
             ttft_s: self.ttft_s,
             tpot_s: self.tpot_s,
             final_cache_tokens: self.cache_tokens,
+            spilled: self.spilled,
+            tier_exposed_s: self.tier_exposed_s,
         }
     }
 }
@@ -300,6 +369,8 @@ fn rejected_report(plan: &SessionPlan, waited_s: f64) -> SessionServeReport {
         ttft_s: Vec::new(),
         tpot_s: Vec::new(),
         final_cache_tokens: 0,
+        spilled: false,
+        tier_exposed_s: 0.0,
     }
 }
 
@@ -314,6 +385,16 @@ pub fn serve(
     cfg: &ServeConfig,
 ) -> ServeReport {
     assert!(cfg.fps > 0.0, "fps must be positive");
+    // Tiered admission: track fleet residency across the hierarchy and
+    // the prefetch policy that schedules restores.
+    let mut tiers: Option<TieredKvManager> = match cfg.admission {
+        AdmissionPolicy::RejectOnly => None,
+        AdmissionPolicy::Tiered { .. } => Some(TieredKvManager::for_system(sys, model)),
+    };
+    let prefetch: Box<dyn PrefetchPolicy> = match cfg.admission {
+        AdmissionPolicy::Tiered { prefetch } => prefetch.policy(),
+        AdmissionPolicy::RejectOnly => Box::new(NoPrefetch),
+    };
     // `bool` = "a fit check has refused this session at least once":
     // only such sessions count as memory-queued (arriving between two
     // scheduler ticks is not admission queueing).
@@ -333,24 +414,55 @@ pub fn serve(
                 break; // sorted: nobody later has arrived yet
             }
             let proj = projected_cache(&pending[i].0, cfg, model);
-            if sys.is_oom(model, proj, 1) {
+            // Reject-only admission asks "does the device survive?";
+            // tiered admission asks the same of the whole hierarchy.
+            let (never_fits, fits_now) = match &tiers {
+                None => {
+                    let fleet_cache = active
+                        .iter()
+                        .map(|s| s.projected_cache_tokens)
+                        .fold(proj, usize::max);
+                    (
+                        sys.is_oom(model, proj, 1),
+                        !sys.is_oom(model, fleet_cache, active.len() + 1),
+                    )
+                }
+                Some(mgr) => {
+                    let demand = sys.resident_demand_bytes(model, proj);
+                    let fleet_demand: u64 = active
+                        .iter()
+                        .map(|s| sys.resident_demand_bytes(model, s.projected_cache_tokens))
+                        .sum();
+                    (
+                        demand > mgr.total_capacity_bytes(),
+                        fleet_demand + demand <= mgr.total_capacity_bytes(),
+                    )
+                }
+            };
+            if never_fits {
                 // Will never fit, even alone: reject outright.
                 let (p, _) = pending.remove(i);
                 reports.push(rejected_report(&p, now - p.arrival_s));
                 continue;
             }
-            let fleet_cache = active
-                .iter()
-                .map(|s| s.projected_cache_tokens)
-                .fold(proj, usize::max);
-            let fits_now = !sys.is_oom(model, fleet_cache, active.len() + 1);
             if fits_now && !head_blocked {
                 let (p, was_refused) = pending.remove(i);
                 let mut stream = Stream::admit(&p, cfg, model, now);
                 stream.memory_waited = was_refused;
+                if let Some(mgr) = tiers.as_mut() {
+                    mgr.admit(
+                        stream.id,
+                        sys.resident_demand_bytes(model, stream.cache_tokens),
+                        now,
+                    );
+                }
                 if stream.items.is_empty() {
                     // Degenerate plan with no events: admit and retire
                     // on the spot so it still appears in the report.
+                    if let Some(mgr) = tiers.as_mut() {
+                        stream.spilled = mgr.was_ever_spilled(stream.id);
+                        mgr.release(stream.id);
+                    }
                     reports.push(stream.into_report(cfg.fps));
                 } else {
                     active.push(stream);
@@ -360,7 +472,12 @@ pub fn serve(
             // Cannot admit now: memory pressure (or FIFO order behind
             // someone waiting on memory).
             pending[i].1 = true;
-            if now - pending[i].0.arrival_s >= cfg.max_wait_s {
+            // The deadline must be the *same float expression* the idle
+            // branch advances `now` to (`arrival + max_wait`): writing
+            // it as `now - arrival >= max_wait` rounds differently and
+            // can leave an out-waited session unrejected while time
+            // refuses to pass its deadline — a scheduler livelock.
+            if now >= pending[i].0.arrival_s + cfg.max_wait_s {
                 let (p, _) = pending.remove(i);
                 reports.push(rejected_report(&p, now - p.arrival_s));
                 continue;
@@ -441,11 +558,51 @@ pub fn serve(
             }
             Kind::Decode => sys.decode_step(model, max_cache, batch),
         };
-        let completion = now + step.latency_ps as f64 / 1e12;
+        // --- Tier misses: spilled members must restore the selected
+        // share of their spilled KV before attending. A restore can be
+        // in flight from the moment the work item became visible (its
+        // ready time) and pipelines with the step's own layer-by-layer
+        // compute; speculative prefetch hides up to that window,
+        // demand fetching hides nothing. All members share ONE PCIe
+        // link, so each restore — hidden or not — consumes link time
+        // that shrinks what later members' prefetches can hide
+        // (`link_busy_ps`), and the exposed remainders serialise onto
+        // the step. ---
+        let mut penalty_ps = 0u64;
+        if let Some(mgr) = tiers.as_mut() {
+            let generation = kind == Kind::Decode;
+            let ratio = sys.method.ratio(generation);
+            let mut link_busy_ps = 0u64;
+            for &i in &members {
+                let ready_s = active[i]
+                    .head_ready_s()
+                    .expect("batch member has a head item");
+                let window_ps = (((now - ready_s).max(0.0) * 1e12) as u64 + step.latency_ps)
+                    .saturating_sub(link_busy_ps);
+                let restore = mgr.step_restore(
+                    active[i].id,
+                    ratio,
+                    generation,
+                    window_ps,
+                    prefetch.as_ref(),
+                );
+                link_busy_ps += restore.miss_ps;
+                penalty_ps += restore.exposed_ps;
+            }
+            // The batch completes as one unit: every member's critical
+            // path is stretched by the batch's total exposed restore
+            // time, including co-members' restores.
+            for &i in &members {
+                active[i].tier_exposed_s += penalty_ps as f64 / 1e12;
+            }
+        }
+        let completion = now + (step.latency_ps + penalty_ps) as f64 / 1e12;
 
         // --- Complete one work item per batch member. ---
+        let mut growths: Vec<(usize, u64)> = Vec::new();
         for &i in &members {
             let s = &mut active[i];
+            let demand_before = sys.resident_demand_bytes(model, s.cache_tokens);
             match s.items.pop_front().expect("ready stream has a head") {
                 Work::Frame { avail_s } => {
                     s.frames.record(avail_s, completion);
@@ -466,6 +623,28 @@ pub fn serve(
                 }
             }
             s.last_completion_s = completion;
+            if tiers.is_some() {
+                let growth = sys
+                    .resident_demand_bytes(model, s.cache_tokens)
+                    .saturating_sub(demand_before);
+                growths.push((s.id, growth));
+            }
+        }
+        if let Some(mgr) = tiers.as_mut() {
+            // Mark every batch member hot *before* applying growth:
+            // growth spills the coldest stream, and a member of this
+            // very batch must never be the victim of a co-member's
+            // growth just because its touch had not landed yet.
+            for &(id, _) in &growths {
+                mgr.touch(id, completion);
+            }
+            // New KV lands in device memory, possibly spilling colder
+            // (non-member) streams.
+            for &(id, growth) in &growths {
+                if growth > 0 {
+                    mgr.grow(id, growth, completion);
+                }
+            }
         }
         now = completion;
         makespan_s = makespan_s.max(completion);
@@ -474,7 +653,11 @@ pub fn serve(
         let mut i = 0;
         while i < active.len() {
             if active[i].items.is_empty() {
-                let s = active.remove(i);
+                let mut s = active.remove(i);
+                if let Some(mgr) = tiers.as_mut() {
+                    s.spilled = mgr.was_ever_spilled(s.id);
+                    mgr.release(s.id);
+                }
                 reports.push(s.into_report(cfg.fps));
             } else {
                 i += 1;
@@ -515,6 +698,19 @@ pub fn serve(
         tpot_p50_s: percentile(&tpot_samples, 50.0),
         tpot_p99_s: percentile(&tpot_samples, 99.0),
         makespan_s,
+        tiering: tiers.map(|mgr| {
+            let s = mgr.stats();
+            TierReport {
+                spilled_sessions: mgr.ever_spilled_sessions(),
+                spilled_bytes: s.spilled_bytes,
+                promoted_bytes: s.promoted_bytes,
+                restored_bytes: s.restored_bytes,
+                tier_hit_steps: s.tier_hit_steps,
+                tier_miss_steps: s.tier_miss_steps,
+                hidden_s: s.hidden_ps as f64 / 1e12,
+                exposed_s: s.exposed_ps as f64 / 1e12,
+            }
+        }),
         sessions: reports,
     }
 }
@@ -522,6 +718,7 @@ pub fn serve(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::memory::PrefetchMode;
     use crate::method::Method;
     use crate::platform::PlatformSpec;
     use vrex_workload::traffic::TrafficConfig;
@@ -587,6 +784,7 @@ mod tests {
             fps: 2.0,
             initial_cache_tokens: 30_000,
             max_wait_s: 0.0,
+            admission: AdmissionPolicy::RejectOnly,
         };
         let r = serve(&sys, &llama(), &fleet(6, 1, 3.0, 5), &cfg);
         assert!(r.admitted >= 1, "at least one stream fits: {r:?}");
@@ -604,6 +802,7 @@ mod tests {
             fps: 2.0,
             initial_cache_tokens: 30_000,
             max_wait_s: 1e6,
+            admission: AdmissionPolicy::RejectOnly,
         };
         let r = serve(&sys, &llama(), &fleet(6, 1, 3.0, 5), &cfg);
         assert_eq!(r.admitted, 6, "everyone admitted eventually: {r:?}");
@@ -686,5 +885,141 @@ mod tests {
         assert_eq!(r.admitted, 0);
         assert!(!r.sustained_real_time());
         assert_eq!(r.makespan_s, 0.0);
+        assert!(r.tiering.is_none(), "reject-only runs carry no tiering");
+    }
+
+    /// The memory squeeze of `admission_control_rejects_when_memory_is_full`
+    /// under tiered admission: nobody is rejected, the overflow streams
+    /// are spilled instead, and the hierarchy accounting shows it.
+    #[test]
+    fn tiered_admission_spills_instead_of_rejecting() {
+        let sys = SystemModel::new(PlatformSpec::agx_orin(), Method::VanillaInMemory);
+        let reject_cfg = ServeConfig {
+            fps: 2.0,
+            initial_cache_tokens: 30_000,
+            max_wait_s: 0.0,
+            admission: AdmissionPolicy::RejectOnly,
+        };
+        let tier_cfg = ServeConfig {
+            admission: AdmissionPolicy::tiered_speculative(),
+            ..reject_cfg
+        };
+        let plans = fleet(6, 1, 3.0, 5);
+        let rejecting = serve(&sys, &llama(), &plans, &reject_cfg);
+        let tiered = serve(&sys, &llama(), &plans, &tier_cfg);
+        assert!(
+            rejecting.rejected >= 1,
+            "baseline must reject: {rejecting:?}"
+        );
+        assert_eq!(tiered.rejected, 0, "tiering admits everyone: {tiered:?}");
+        assert_eq!(tiered.admitted, 6);
+        let t = tiered.tiering.expect("tiered run reports tiering");
+        assert!(t.spilled_sessions >= 1, "someone was spilled: {t:?}");
+        assert!(t.spilled_bytes > 0);
+        assert!(t.tier_miss_steps > 0, "spilled streams pay misses: {t:?}");
+        assert!(
+            tiered.sessions.iter().any(|s| s.spilled),
+            "per-session spill flags surface"
+        );
+        // Conservation: exposed + hidden is the total restore time.
+        assert!(t.exposed_s >= 0.0 && t.hidden_s >= 0.0);
+    }
+
+    #[test]
+    fn tiered_admission_is_a_noop_when_everything_fits() {
+        // A fleet far under the device budget must behave identically
+        // under both admission policies (modulo the tiering report).
+        let sys = SystemModel::new(PlatformSpec::vrex48(), Method::ReSV);
+        let plans = fleet(4, 1, 6.0, 11);
+        let model = llama();
+        let reject = serve(&sys, &model, &plans, &ServeConfig::real_time(8_000));
+        let tiered = serve(&sys, &model, &plans, &ServeConfig::real_time_tiered(8_000));
+        let t = tiered.tiering.expect("tiering report present");
+        assert_eq!(t.spilled_bytes, 0);
+        assert_eq!(t.tier_miss_steps, 0);
+        assert_eq!(t.exposed_s, 0.0);
+        assert_eq!(reject.admitted, tiered.admitted);
+        assert_eq!(reject.frame_lag_p99_s, tiered.frame_lag_p99_s);
+        assert_eq!(reject.makespan_s, tiered.makespan_s);
+    }
+
+    #[test]
+    fn speculative_prefetch_beats_demand_fetch_under_pressure() {
+        let sys = SystemModel::new(PlatformSpec::vrex48(), Method::VanillaInMemory);
+        let cfg = |prefetch| ServeConfig {
+            fps: 2.0,
+            initial_cache_tokens: 30_000,
+            max_wait_s: 10.0,
+            admission: AdmissionPolicy::Tiered { prefetch },
+        };
+        let plans = fleet(20, 1, 10.0, 7);
+        let model = llama();
+        let demand = serve(&sys, &model, &plans, &cfg(PrefetchMode::Demand));
+        let spec = serve(
+            &sys,
+            &model,
+            &plans,
+            &cfg(PrefetchMode::Speculative { accuracy: 0.9 }),
+        );
+        let td = demand.tiering.unwrap();
+        let ts = spec.tiering.unwrap();
+        assert!(td.tier_miss_steps > 0, "pressure must cause misses: {td:?}");
+        assert_eq!(td.hidden_s, 0.0, "demand fetch hides nothing");
+        assert!(ts.hidden_s > 0.0, "speculation hides transfer time");
+        assert!(
+            ts.exposed_s < td.exposed_s,
+            "prefetch must cut exposed restore time: {} vs {}",
+            ts.exposed_s,
+            td.exposed_s
+        );
+        assert!(
+            spec.frame_lag_p99_s <= demand.frame_lag_p99_s,
+            "hidden restores cannot worsen lag: {} vs {}",
+            spec.frame_lag_p99_s,
+            demand.frame_lag_p99_s
+        );
+    }
+
+    /// Regression: the idle branch advances `now` to the float value
+    /// `arrival + max_wait`, so the timeout must test `now >= arrival +
+    /// max_wait` with the *same* rounding. The old `now - arrival >=
+    /// max_wait` form disagreed for fractional arrivals, leaving this
+    /// exact fleet's out-waited sessions unrejected while simulated
+    /// time refused to pass their deadline — an infinite loop.
+    #[test]
+    fn out_waited_sessions_reject_despite_float_imprecise_deadlines() {
+        let mut platform = PlatformSpec::vrex48();
+        platform.mem_capacity /= 2;
+        platform.hot_window_tokens = 32_768;
+        let sys = SystemModel::new(platform, Method::ReSV);
+        let r = serve(
+            &sys,
+            &llama(),
+            &fleet(16, 2, 10.0, 42),
+            &ServeConfig::real_time(16_000),
+        );
+        assert_eq!(r.admitted + r.rejected, 16);
+        assert!(r.rejected >= 1, "memory squeeze must reject: {r:?}");
+    }
+
+    #[test]
+    fn tiered_rejects_only_when_the_whole_hierarchy_is_full() {
+        // Shrink every tier so one 30K-token stream (≈3.7 GiB) cannot
+        // fit anywhere: tiered admission must still reject it.
+        let mut platform = PlatformSpec::agx_orin();
+        platform.mem_capacity = 18u64 << 30; // ~1.4 GiB KV budget
+        if let Some(ssd) = platform.storage.as_mut() {
+            ssd.capacity_bytes = 1 << 30;
+        }
+        let sys = SystemModel::new(platform, Method::VanillaInMemory);
+        let cfg = ServeConfig {
+            fps: 2.0,
+            initial_cache_tokens: 30_000,
+            max_wait_s: 0.0,
+            admission: AdmissionPolicy::tiered_speculative(),
+        };
+        let r = serve(&sys, &llama(), &fleet(2, 1, 3.0, 5), &cfg);
+        assert_eq!(r.admitted, 0, "nothing fits the whole hierarchy: {r:?}");
+        assert_eq!(r.rejected, 2);
     }
 }

@@ -181,4 +181,46 @@ proptest! {
             prop_assert!(s.max_frame_lag_s >= s.mean_frame_lag_s);
         }
     }
+
+    /// Tiered admission never admits fewer sessions than reject-only
+    /// at the same device memory, conserves sessions, and its tiering
+    /// accounting is self-consistent (hits + misses cover every spill,
+    /// hidden time only exists under speculation).
+    #[test]
+    fn tiered_admission_dominates_reject_only(
+        sessions in 1usize..8,
+        seed in 0u64..200,
+        method_idx in 0usize..6,
+    ) {
+        let plans = TrafficConfig {
+            sessions,
+            turns: 1,
+            arrival_spread_s: 6.0,
+            seed,
+        }
+        .generate();
+        let sys = SystemModel::new(PlatformSpec::agx_orin(), METHODS[method_idx]);
+        let model = ModelConfig::llama3_8b();
+        let reject = serve(&sys, &model, &plans, &ServeConfig::real_time(30_000));
+        let tiered = serve(&sys, &model, &plans, &ServeConfig::real_time_tiered(30_000));
+        prop_assert_eq!(tiered.admitted + tiered.rejected, tiered.offered);
+        prop_assert!(
+            tiered.admitted >= reject.admitted,
+            "tiering admitted {} < reject-only {}",
+            tiered.admitted,
+            reject.admitted
+        );
+        let t = tiered.tiering.expect("tiered run reports tiering");
+        prop_assert!(t.exposed_s >= 0.0 && t.hidden_s >= 0.0);
+        if t.spilled_bytes == 0 {
+            prop_assert_eq!(t.tier_miss_steps, 0);
+            prop_assert_eq!(t.spilled_sessions, 0);
+        }
+        for s in &tiered.sessions {
+            prop_assert!(s.tier_exposed_s >= 0.0);
+            if s.outcome == SessionOutcome::Rejected {
+                prop_assert!(!s.spilled);
+            }
+        }
+    }
 }

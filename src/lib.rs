@@ -17,12 +17,15 @@
 //!   thresholding + early-exit sorting (the paper's contribution);
 //! * [`retrieval`] — FlexGen / InfiniGen / InfiniGenP / ReKV / Oaken
 //!   baselines;
-//! * [`hwsim`] — DRAM, SSD, PCIe, GPU and V-Rex-core hardware models;
+//! * [`hwsim`] — DRAM, SSD, PCIe, GPU and V-Rex-core hardware models,
+//!   plus the HBM → host-DRAM → SSD tier topology and migration
+//!   pricing;
 //! * [`workload`] — COIN-like tasks, sessions, multi-session traffic,
 //!   and the accuracy proxy;
 //! * [`system`] — Table I platforms, the end-to-end latency/energy
-//!   model behind every figure, and the multi-session serving
-//!   scheduler (continuous batching + admission control).
+//!   model behind every figure, the multi-session serving scheduler
+//!   (continuous batching + admission control), and the tiered
+//!   KV-cache memory hierarchy with prefetch-overlapped serving.
 //!
 //! ## Quickstart
 //!
@@ -76,6 +79,52 @@
 //!     report.frame_lag_p99_s,
 //! );
 //! ```
+//!
+//! ## Tiered-memory serving quickstart
+//!
+//! When a fleet's resident KV outgrows device memory, reject-only
+//! admission turns streams away while host DRAM and the SSD sit idle.
+//! Tiered admission spills the coldest streams down the hierarchy
+//! instead and hides most of the restore traffic behind speculative
+//! prefetch (the `tier_capacity` sweep):
+//!
+//! ```
+//! use vrex::model::ModelConfig;
+//! use vrex::system::{serve, Method, PlatformSpec, ServeConfig, SystemModel};
+//! use vrex::workload::TrafficConfig;
+//!
+//! // Halve the device memory and keep a wide resident window per
+//! // stream: the fleet now overflows HBM long before compute
+//! // saturates.
+//! let mut platform = PlatformSpec::vrex48();
+//! platform.mem_capacity /= 2;
+//! platform.hot_window_tokens = 32_768;
+//! let sys = SystemModel::new(platform, Method::ReSV);
+//! let model = ModelConfig::llama3_8b();
+//! let plans = TrafficConfig {
+//!     sessions: 8,
+//!     turns: 2,
+//!     arrival_spread_s: 10.0,
+//!     seed: 42,
+//! }
+//! .generate();
+//!
+//! let rejecting = serve(&sys, &model, &plans, &ServeConfig::real_time(32_000));
+//! let tiered = serve(&sys, &model, &plans, &ServeConfig::real_time_tiered(32_000));
+//! assert!(rejecting.rejected > 0, "device memory turns streams away");
+//! assert_eq!(tiered.rejected, 0, "spilling admits the whole fleet");
+//!
+//! let hierarchy = tiered.tiering.expect("tiered runs account the hierarchy");
+//! assert!(hierarchy.spilled_sessions > 0);
+//! assert!(hierarchy.hidden_s > 0.0, "prefetch hides restore time");
+//! println!(
+//!     "tiered: {}/{} real-time, {} spilled, {:.2}s of restores hidden",
+//!     tiered.real_time_sessions,
+//!     tiered.admitted,
+//!     hierarchy.spilled_sessions,
+//!     hierarchy.hidden_s,
+//! );
+//! ```
 
 pub use vrex_core as core;
 pub use vrex_hwsim as hwsim;
@@ -85,5 +134,5 @@ pub use vrex_system as system;
 pub use vrex_tensor as tensor;
 pub use vrex_workload as workload;
 
-pub use vrex_system::{serve, ServeConfig, ServeReport};
+pub use vrex_system::{serve, AdmissionPolicy, PrefetchMode, ServeConfig, ServeReport, TierReport};
 pub use vrex_workload::{SessionPlan, TrafficConfig};
