@@ -9,10 +9,18 @@
 //!
 //! Usage: `serve_capacity [--smoke]` — `--smoke` shrinks the sweep for
 //! CI smoke runs.
+//!
+//! Each platform × cache-length unit runs on its own sweep worker
+//! ([`vrex_bench::par`]), sharing one [`StepPriceCache`] across its
+//! fleet sizes; tables print in grid order afterwards so stdout stays
+//! deterministic.
 
+use vrex_bench::par::par_map;
 use vrex_bench::report::{banner, f, Table};
 use vrex_model::ModelConfig;
-use vrex_system::{serve, Method, PlatformSpec, ServeConfig, ServeReport, SystemModel};
+use vrex_system::{
+    serve_with_cache, Method, PlatformSpec, ServeConfig, ServeReport, StepPriceCache, SystemModel,
+};
 use vrex_workload::traffic::TrafficConfig;
 
 struct SweepPoint {
@@ -27,6 +35,9 @@ fn sweep(
     fleet_sizes: &[usize],
     turns: usize,
 ) -> Vec<SweepPoint> {
+    // One price cache across the fleet sizes: the growing fleets
+    // replay the same per-session cache trajectories.
+    let mut prices = StepPriceCache::new(sys, model);
     fleet_sizes
         .iter()
         .map(|&sessions| {
@@ -38,7 +49,7 @@ fn sweep(
                 seed: 42,
             }
             .generate();
-            let report = serve(sys, model, &plans, &ServeConfig::real_time(cache));
+            let report = serve_with_cache(&mut prices, &plans, &ServeConfig::real_time(cache));
             SweepPoint { sessions, report }
         })
         .collect()
@@ -72,6 +83,16 @@ fn main() {
     let turns = if smoke { 1 } else { 2 };
 
     let mut summary = Table::new(["System", "Cache", "Sustained real-time sessions"]);
+    // Fan the (cache, platform) grid out across sweep workers, then
+    // render in grid order.
+    let units: Vec<(usize, &SystemModel)> = caches
+        .iter()
+        .flat_map(|&cache| systems.iter().map(move |sys| (cache, sys)))
+        .collect();
+    let results = par_map(&units, |&(cache, sys)| {
+        sweep(sys, &model, cache, fleet_sizes, turns)
+    });
+    let mut results = results.into_iter();
     for &cache in caches {
         banner(&format!(
             "Serving sweep at {}K cache tokens ({} turns/session, 2 FPS)",
@@ -91,7 +112,7 @@ fn main() {
             "p99 TPOT (s)",
         ]);
         for sys in &systems {
-            let points = sweep(sys, &model, cache, fleet_sizes, turns);
+            let points = results.next().expect("one sweep per grid unit");
             for p in &points {
                 let r = &p.report;
                 t.row([

@@ -6,6 +6,7 @@
 //! quantifying the trade-offs behind the paper's chosen
 //! `N_hp = 32, Th_hd = 7, Th_wics = 0.3`.
 
+use vrex_bench::par::par_map;
 use vrex_bench::report::{banner, f, Table};
 use vrex_core::resv::{ResvConfig, ResvPolicy};
 use vrex_model::{ModelConfig, RunStats, StreamingVideoLlm, VideoStream};
@@ -34,16 +35,21 @@ fn main() {
 
     banner("ReSV sweep: hash-bit width N_hp (Th_hd scaled proportionally)");
     let mut t = Table::new(["N_hp", "Th_hd", "ratio %", "recall", "tokens/cluster"]);
-    for n_hp in [8usize, 16, 32, 64] {
+    let widths = [8usize, 16, 32, 64];
+    for (n_hp, (th_hd, (ratio, recall, occ))) in widths.iter().zip(par_map(&widths, |&n_hp| {
         let th_hd = ((7.0 / 32.0) * n_hp as f64).round() as u32;
-        let (ratio, recall, occ) = measure(
-            &cfg,
-            ResvConfig {
-                n_hyperplanes: n_hp,
-                hamming_threshold: th_hd.max(1),
-                ..base
-            },
-        );
+        (
+            th_hd,
+            measure(
+                &cfg,
+                ResvConfig {
+                    n_hyperplanes: n_hp,
+                    hamming_threshold: th_hd.max(1),
+                    ..base
+                },
+            ),
+        )
+    })) {
         t.row([
             n_hp.to_string(),
             th_hd.to_string(),
@@ -57,14 +63,16 @@ fn main() {
 
     banner("ReSV sweep: Hamming threshold Th_hd @ N_hp = 32");
     let mut t = Table::new(["Th_hd", "ratio %", "recall", "tokens/cluster"]);
-    for th in [1u32, 3, 5, 7, 9, 13] {
-        let (ratio, recall, occ) = measure(
+    let thresholds = [1u32, 3, 5, 7, 9, 13];
+    for (th, (ratio, recall, occ)) in thresholds.iter().zip(par_map(&thresholds, |&th| {
+        measure(
             &cfg,
             ResvConfig {
                 hamming_threshold: th,
                 ..base
             },
-        );
+        )
+    })) {
         t.row([th.to_string(), f(ratio, 1), f(recall, 3), f(occ, 1)]);
     }
     t.print();
@@ -72,16 +80,18 @@ fn main() {
 
     banner("ReSV sweep: WiCSum threshold Th_r-wics");
     let mut t = Table::new(["Th_wics", "ratio %", "recall", "recall/ratio"]);
-    for th in [0.05f32, 0.1, 0.2, 0.3, 0.5, 0.7, 0.9] {
-        let (ratio, recall, _) = measure(
+    let wics = [0.05f32, 0.1, 0.2, 0.3, 0.5, 0.7, 0.9];
+    for (th, (ratio, recall, _)) in wics.iter().zip(par_map(&wics, |&th| {
+        measure(
             &cfg,
             ResvConfig {
                 th_wics: th,
                 ..base
             },
-        );
+        )
+    })) {
         t.row([
-            f(th as f64, 2),
+            f(*th as f64, 2),
             f(ratio, 1),
             f(recall, 3),
             f(recall / (ratio / 100.0), 2),
@@ -92,23 +102,25 @@ fn main() {
 
     banner("ReSV sweep: clustering on/off x early-exit on/off (cross-check)");
     let mut t = Table::new(["clustering", "early-exit", "ratio %", "recall"]);
-    for clustering in [true, false] {
-        for early in [true, false] {
-            let (ratio, recall, _) = measure(
+    let modes = [(true, true), (true, false), (false, true), (false, false)];
+    for ((clustering, early), (ratio, recall, _)) in
+        modes.iter().zip(par_map(&modes, |&(clustering, early)| {
+            measure(
                 &cfg,
                 ResvConfig {
                     clustering_enabled: clustering,
                     use_early_exit: early,
                     ..base
                 },
-            );
-            t.row([
-                clustering.to_string(),
-                early.to_string(),
-                f(ratio, 1),
-                f(recall, 3),
-            ]);
-        }
+            )
+        }))
+    {
+        t.row([
+            clustering.to_string(),
+            early.to_string(),
+            f(ratio, 1),
+            f(recall, 3),
+        ]);
     }
     t.print();
     println!("Early exit is bit-exact (identical ratio/recall per clustering mode);\nonly the hardware work count changes.");

@@ -17,11 +17,23 @@
 //! CI and asserts the headline result: at equal device memory, at
 //! least one configuration admits **more real-time streams** under
 //! tiering than under reject-only admission.
+//!
+//! Each platform × cache-length unit runs on its own sweep worker
+//! ([`vrex_bench::par`]) and shares one [`StepPriceCache`] across its
+//! 3 policies × 6 fleet sizes, so a repeated batch shape is priced
+//! once per unit rather than once per serve. Tables print in grid
+//! order afterwards — stdout is byte-identical to the sequential
+//! sweep; the wall-clock line goes to stderr.
 
+use std::time::Instant;
+
+use vrex_bench::par::{par_map, workers};
 use vrex_bench::report::{banner, f, Table};
 use vrex_model::ModelConfig;
 use vrex_system::memory::AdmissionPolicy;
-use vrex_system::{serve, Method, PlatformSpec, ServeConfig, ServeReport, SystemModel};
+use vrex_system::{
+    serve_with_cache, Method, PlatformSpec, ServeConfig, ServeReport, StepPriceCache, SystemModel,
+};
 use vrex_workload::traffic::TrafficConfig;
 
 struct Policy {
@@ -47,6 +59,7 @@ fn policies() -> [Policy; 3] {
 }
 
 /// One platform under test, with a device-memory budget label.
+#[derive(Clone)]
 struct Config {
     sys: SystemModel,
     budget: &'static str,
@@ -119,8 +132,7 @@ fn configs(smoke: bool) -> Vec<Config> {
 }
 
 fn run(
-    sys: &SystemModel,
-    model: &ModelConfig,
+    prices: &mut StepPriceCache,
     cache: usize,
     sessions: usize,
     admission: AdmissionPolicy,
@@ -139,12 +151,77 @@ fn run(
         admission,
         ..ServeConfig::real_time(cache)
     };
-    serve(sys, model, &plans, &cfg)
+    serve_with_cache(prices, &plans, &cfg)
+}
+
+/// One (platform, cache length) grid unit's rendered output and
+/// per-policy best real-time stream counts.
+struct UnitResult {
+    heading: String,
+    table: Table,
+    rt: [usize; 3],
+}
+
+fn sweep_unit(sys: &SystemModel, budget: &str, cache: usize, fleets: &[usize]) -> UnitResult {
+    let model = ModelConfig::llama3_8b();
+    // One price cache for the whole unit: every policy and fleet size
+    // replays the same per-session cache trajectories.
+    let mut prices = StepPriceCache::new(sys, &model);
+    let mut t = Table::new([
+        "Policy",
+        "Offered",
+        "Admitted",
+        "Rejected",
+        "Real-time",
+        "p99 lag (s)",
+        "Spilled",
+        "Restored GiB",
+        "Exposed (s)",
+        "Hidden (s)",
+    ]);
+    // Most real-time streams any offered fleet size achieved, per
+    // policy (same order as `policies()`).
+    let mut rt = [0usize; 3];
+    for (pi, policy) in policies().iter().enumerate() {
+        for &n in fleets {
+            let r = run(&mut prices, cache, n, policy.admission);
+            rt[pi] = rt[pi].max(r.real_time_sessions);
+            let (spilled, restored, exposed, hidden) = match &r.tiering {
+                Some(tr) => (
+                    tr.spilled_sessions.to_string(),
+                    f(tr.restored_bytes as f64 / (1u64 << 30) as f64, 1),
+                    f(tr.exposed_s, 2),
+                    f(tr.hidden_s, 2),
+                ),
+                None => ("-".into(), "-".into(), "-".into(), "-".into()),
+            };
+            t.row([
+                policy.label.to_string(),
+                n.to_string(),
+                r.admitted.to_string(),
+                r.rejected.to_string(),
+                format!("{}/{}", r.real_time_sessions, r.admitted),
+                f(r.frame_lag_p99_s, 3),
+                spilled,
+                restored,
+                exposed,
+                hidden,
+            ]);
+        }
+    }
+    UnitResult {
+        heading: format!(
+            "{} [{budget}] at {}K cache tokens",
+            sys.label(),
+            cache / 1000
+        ),
+        table: t,
+        rt,
+    }
 }
 
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
-    let model = ModelConfig::llama3_8b();
     let caches: &[usize] = if smoke { &[32_000] } else { &[16_000, 32_000] };
     let fleets: &[usize] = if smoke {
         &[4, 8, 12]
@@ -163,79 +240,42 @@ fn main() {
         "RT (tiered+prefetch)",
     ]);
 
-    for cfg in configs(smoke) {
-        for &cache in caches {
-            banner(&format!(
-                "{} [{}] at {}K cache tokens",
+    // Fan the (platform, cache) grid units out across sweep workers,
+    // then render in grid order.
+    let sweep_clock = Instant::now();
+    let units: Vec<(Config, usize)> = configs(smoke)
+        .into_iter()
+        .flat_map(|cfg| caches.iter().map(move |&cache| (cfg.clone(), cache)))
+        .collect();
+    let results = par_map(&units, |(cfg, cache)| {
+        sweep_unit(&cfg.sys, cfg.budget, *cache, fleets)
+    });
+    let sweep_s = sweep_clock.elapsed().as_secs_f64();
+
+    for ((cfg, cache), unit) in units.iter().zip(results) {
+        banner(&unit.heading);
+        unit.table.print();
+        let rt = unit.rt;
+        let gain = rt[2] as i64 - rt[0] as i64;
+        if gain > best_gain {
+            best_gain = gain;
+            best_label = format!(
+                "{} [{}] at {}K: {} real-time streams tiered+prefetch vs {} reject-only",
                 cfg.sys.label(),
                 cfg.budget,
-                cache / 1000
-            ));
-            let mut t = Table::new([
-                "Policy",
-                "Offered",
-                "Admitted",
-                "Rejected",
-                "Real-time",
-                "p99 lag (s)",
-                "Spilled",
-                "Restored GiB",
-                "Exposed (s)",
-                "Hidden (s)",
-            ]);
-            // Most real-time streams any offered fleet size achieved,
-            // per policy (same order as `policies()`).
-            let mut rt = [0usize; 3];
-            for (pi, policy) in policies().iter().enumerate() {
-                for &n in fleets {
-                    let r = run(&cfg.sys, &model, cache, n, policy.admission);
-                    rt[pi] = rt[pi].max(r.real_time_sessions);
-                    let (spilled, restored, exposed, hidden) = match &r.tiering {
-                        Some(tr) => (
-                            tr.spilled_sessions.to_string(),
-                            f(tr.restored_bytes as f64 / (1u64 << 30) as f64, 1),
-                            f(tr.exposed_s, 2),
-                            f(tr.hidden_s, 2),
-                        ),
-                        None => ("-".into(), "-".into(), "-".into(), "-".into()),
-                    };
-                    t.row([
-                        policy.label.to_string(),
-                        n.to_string(),
-                        r.admitted.to_string(),
-                        r.rejected.to_string(),
-                        format!("{}/{}", r.real_time_sessions, r.admitted),
-                        f(r.frame_lag_p99_s, 3),
-                        spilled,
-                        restored,
-                        exposed,
-                        hidden,
-                    ]);
-                }
-            }
-            t.print();
-
-            let gain = rt[2] as i64 - rt[0] as i64;
-            if gain > best_gain {
-                best_gain = gain;
-                best_label = format!(
-                    "{} [{}] at {}K: {} real-time streams tiered+prefetch vs {} reject-only",
-                    cfg.sys.label(),
-                    cfg.budget,
-                    cache / 1000,
-                    rt[2],
-                    rt[0]
-                );
-            }
-            summary.row([
-                cfg.sys.label(),
-                cfg.budget.to_string(),
-                format!("{}K", cache / 1000),
-                rt[0].to_string(),
-                rt[1].to_string(),
-                rt[2].to_string(),
-            ]);
+                cache / 1000,
+                rt[2],
+                rt[0]
+            );
         }
+        summary.row([
+            cfg.sys.label(),
+            cfg.budget.to_string(),
+            format!("{}K", cache / 1000),
+            rt[0].to_string(),
+            rt[1].to_string(),
+            rt[2].to_string(),
+        ]);
     }
 
     banner("Real-time stream capacity by admission policy");
@@ -256,5 +296,12 @@ fn main() {
     println!(
         "OK: tiering admits {best_gain} more real-time stream(s) than \
          reject-only at equal device memory."
+    );
+    // Perf trajectory (stderr keeps stdout deterministic); bench_serve
+    // records the full process wall-clock into BENCH_serve.json.
+    eprintln!(
+        "sweep wall-clock: {sweep_s:.3} s across {} worker(s), {} grid unit(s)",
+        workers(),
+        units.len()
     );
 }

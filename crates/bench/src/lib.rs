@@ -22,4 +22,5 @@
 //! (sessions × cache length × method; `--smoke` for the CI-sized run),
 //! and `scaling` / `sweep_resv_params` explore parameter spaces.
 
+pub mod par;
 pub mod report;

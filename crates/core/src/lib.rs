@@ -48,6 +48,7 @@ pub mod earlyexit;
 pub mod hashbit;
 pub mod hctable;
 pub mod resv;
+pub mod time;
 pub mod wicsum;
 
 pub use hashbit::{HashBitVector, HyperplaneSet};

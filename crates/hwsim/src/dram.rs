@@ -100,6 +100,64 @@ impl DramConfig {
     pub fn peak_bytes_per_s(&self) -> f64 {
         self.channel_bytes_per_s * self.channels as f64
     }
+
+    /// Duration (ps) of streaming `bytes` from address 0 on a *fresh*
+    /// device (all rows closed) — exactly what
+    /// `Dram::new(cfg).access(0, bytes)` returns, but in O(channels)
+    /// arithmetic with no allocation or open-row bookkeeping.
+    ///
+    /// Fetch pricing and tier-migration pricing construct a fresh
+    /// [`Dram`] per call and immediately discard it, so no row can be
+    /// open and the stateful walk collapses to this closed form. It is
+    /// the hot leaf of the serving scheduler's step pricing; the
+    /// `stream_read_matches_fresh_access` oracle test pins the
+    /// equivalence over the preset configurations.
+    pub fn stream_read_ps(&self, bytes: u64) -> u64 {
+        if bytes == 0 {
+            return 0;
+        }
+        if self.row_bytes % self.burst_bytes != 0 {
+            // Exotic geometry: defer to the reference walk.
+            return Dram::new(self.clone()).access(0, bytes);
+        }
+        let b = self.burst_bytes;
+        let channels = self.channels as u64;
+        let n_bursts = bytes.div_ceil(b);
+        let bursts_per_row = self.row_bytes / b;
+        let r_last = (n_bursts - 1) / bursts_per_row;
+        let n_rows = r_last + 1;
+        let k_first = bursts_per_row.min(n_bursts);
+        let k_last = if n_rows >= 2 {
+            n_bursts - k_first - (n_rows - 2) * bursts_per_row
+        } else {
+            0
+        };
+        let burst_transfer = transfer_ps(b, self.channel_bytes_per_s);
+        // Rows cycle the channels round-robin from row 0; no row hit is
+        // possible on a fresh device, so every row costs one activation
+        // slot. Per channel, data transfer serialises on the bus while
+        // activations pipeline across banks — the max of the two bounds
+        // the channel, and the slowest channel bounds the access.
+        let mut per_channel_max = 0u64;
+        for ch in 0..channels {
+            let rows = if ch <= r_last {
+                (r_last - ch) / channels + 1
+            } else {
+                0
+            };
+            let mut transfer_bursts = rows * bursts_per_row;
+            if ch == 0 {
+                transfer_bursts -= bursts_per_row - k_first;
+            }
+            if n_rows >= 2 && ch == r_last % channels {
+                transfer_bursts -= bursts_per_row - k_last;
+            }
+            let t = transfer_bursts * burst_transfer;
+            let a = rows * self.act_interval_ps;
+            per_channel_max = per_channel_max.max(t.max(a));
+        }
+        per_channel_max + self.row_miss_ps
+    }
 }
 
 /// Stateful DRAM model (open-row tracking per bank).
@@ -371,6 +429,50 @@ mod tests {
             );
             assert!(bw <= peak * 1.01, "{}: exceeded peak", cfg.name);
         }
+    }
+
+    #[test]
+    fn stream_read_matches_fresh_access() {
+        // The allocation-free fast path must be bit-identical to a
+        // fresh stateful device streaming from address 0 — every size
+        // class: sub-burst, exact burst, row straggler, one full
+        // channel cycle, a full slot cycle, and bulk multi-GiB moves
+        // (the tier-restore regime).
+        for cfg in [
+            DramConfig::lpddr5_204gb(),
+            DramConfig::hbm2e_1935gb(),
+            DramConfig::ddr4_cpu(),
+        ] {
+            let slots = cfg.channels as u64 * cfg.banks_per_channel as u64;
+            let sizes = [
+                1,
+                cfg.burst_bytes - 1,
+                cfg.burst_bytes,
+                cfg.burst_bytes + 1,
+                cfg.row_bytes - 1,
+                cfg.row_bytes,
+                cfg.row_bytes + 1,
+                cfg.row_bytes * cfg.channels as u64,
+                cfg.row_bytes * cfg.channels as u64 + 100,
+                cfg.row_bytes * slots + 1,
+                (1 << 20) + 12_345,
+                1 << 28,
+                (2u64 << 30) + 7,
+            ];
+            for bytes in sizes {
+                assert_eq!(
+                    cfg.stream_read_ps(bytes),
+                    Dram::new(cfg.clone()).access(0, bytes),
+                    "{}: stream_read_ps({bytes}) diverged",
+                    cfg.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stream_read_of_zero_bytes_is_free() {
+        assert_eq!(DramConfig::ddr4_cpu().stream_read_ps(0), 0);
     }
 
     #[test]

@@ -56,6 +56,48 @@ impl SsdConfig {
     pub fn peak_bytes_per_s(&self) -> f64 {
         self.channel_bytes_per_s * self.channels as f64
     }
+
+    /// Duration (ps) of a contiguous read of `bytes` on an otherwise
+    /// idle drive — exactly [`Ssd::read_contiguous`] on a fresh model,
+    /// without constructing the stateful wrapper. Tier-migration
+    /// pricing calls this per batch member, so it must stay
+    /// allocation-free; the `stream_read_matches_fresh_ssd` oracle
+    /// test pins the equivalence.
+    pub fn stream_read_ps(&self, bytes: u64) -> u64 {
+        if bytes == 0 {
+            return 0;
+        }
+        let pages = bytes.div_ceil(self.page_bytes);
+        let n_dies = (self.channels * self.dies_per_channel) as u64;
+        let pages_per_die = pages.div_ceil(n_dies);
+        let array_ps = pages_per_die * self.page_read_ps;
+        let pages_per_channel = pages.div_ceil(self.channels as u64);
+        let transfer = transfer_ps(
+            pages_per_channel * self.page_bytes,
+            self.channel_bytes_per_s,
+        );
+        array_ps.max(transfer) + self.page_read_ps
+    }
+
+    /// Duration (ps) of `n_requests` scattered reads of `bytes_each`
+    /// on an otherwise idle drive — [`Ssd::read_scattered`] on a fresh
+    /// model, allocation-free (see [`Self::stream_read_ps`]).
+    pub fn scattered_read_ps(&self, n_requests: u64, bytes_each: u64) -> u64 {
+        if n_requests == 0 || bytes_each == 0 {
+            return 0;
+        }
+        let pages_per_req = bytes_each.div_ceil(self.page_bytes);
+        let total_pages = n_requests * pages_per_req;
+        let n_dies = (self.channels * self.dies_per_channel) as u64;
+        let pages_per_die = total_pages.div_ceil(n_dies);
+        let array_ps = pages_per_die * self.page_read_ps;
+        let pages_per_channel = total_pages.div_ceil(self.channels as u64);
+        let transfer = transfer_ps(
+            pages_per_channel * self.page_bytes,
+            self.channel_bytes_per_s,
+        );
+        array_ps.max(transfer) + self.page_read_ps
+    }
 }
 
 /// Stateless timing model (queueing is computed per request batch).
@@ -160,6 +202,27 @@ impl Ssd {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn stream_read_matches_fresh_ssd() {
+        let cfg = SsdConfig::bg6_class();
+        for bytes in [1u64, 4096, 16 << 10, (16 << 10) + 1, 1 << 20, 1 << 30] {
+            assert_eq!(
+                cfg.stream_read_ps(bytes),
+                Ssd::new(cfg.clone()).read_contiguous(bytes),
+                "contiguous {bytes}"
+            );
+        }
+        for (n, each) in [(1u64, 512u64), (7, 4096), (1000, 16 << 10), (64, 100)] {
+            assert_eq!(
+                cfg.scattered_read_ps(n, each),
+                Ssd::new(cfg.clone()).read_scattered(n, each),
+                "scattered {n}x{each}"
+            );
+        }
+        assert_eq!(cfg.stream_read_ps(0), 0);
+        assert_eq!(cfg.scattered_read_ps(0, 4096), 0);
+    }
 
     #[test]
     fn large_contiguous_read_achieves_near_peak() {

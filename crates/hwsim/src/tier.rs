@@ -11,21 +11,23 @@
 //! * **Ssd** — the NVMe drive, also across PCIe (edge platforms).
 //!
 //! A migration streams bulk KV blocks, so every leg is priced with the
-//! existing substrate models ([`PcieConfig`], [`Ssd`], [`Dram`]) and the
-//! legs pipeline: the slowest stage bounds the transfer, exactly like
-//! the per-step fetch path in `vrex-system`. Spill (down) and restore
-//! (up) use the same timing — flash-program asymmetry is deliberately
-//! ignored because spills run off the critical path (asynchronous
-//! writeback behind compute) while restores are latency-critical.
+//! existing substrate models ([`PcieConfig`], [`SsdConfig`],
+//! [`DramConfig`] — via their allocation-free fresh-device closed
+//! forms) and the legs pipeline: the slowest stage bounds the
+//! transfer, exactly like the per-step fetch path in `vrex-system`.
+//! Spill (down) and restore (up) use the same timing — flash-program
+//! asymmetry is deliberately ignored because spills run off the
+//! critical path (asynchronous writeback behind compute) while
+//! restores are latency-critical.
 //!
 //! Capacity bookkeeping ([`TierCapacities`]) and pricing ([`TierPath`])
 //! live here in `vrex-hwsim`; *policy* — who gets spilled, when to
 //! prefetch — lives in `vrex_system::memory`, next to the scheduler
 //! that exercises it.
 
-use crate::dram::{Dram, DramConfig};
+use crate::dram::DramConfig;
 use crate::pcie::PcieConfig;
-use crate::ssd::{Ssd, SsdConfig};
+use crate::ssd::SsdConfig;
 
 /// One level of the KV-cache memory hierarchy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -129,34 +131,36 @@ impl TierPath {
         if bytes == 0 || from == to {
             return 0;
         }
-        let mut stages = vec![self.pcie.transfer_ps(bytes, chunk_bytes)];
+        // The slowest pipeline stage bounds the move. Stage times come
+        // from the allocation-free fresh-device closed forms — the
+        // scheduler prices a migration per tier-missing batch member,
+        // so this is a hot leaf.
+        let mut slowest = self.pcie.transfer_ps(bytes, chunk_bytes);
         for tier in [from, to] {
-            match tier {
-                MemTier::Device => {} // device DRAM is priced inside the step model
-                MemTier::Host => {
-                    let cfg = self
-                        .host_dram
-                        .as_ref()
-                        .expect("host tier not configured on this path");
-                    stages.push(Dram::new(cfg.clone()).access(0, bytes));
-                }
+            let stage = match tier {
+                MemTier::Device => 0, // device DRAM is priced inside the step model
+                MemTier::Host => self
+                    .host_dram
+                    .as_ref()
+                    .expect("host tier not configured on this path")
+                    .stream_read_ps(bytes),
                 MemTier::Ssd => {
                     let cfg = self
                         .ssd
                         .as_ref()
                         .expect("ssd tier not configured on this path");
-                    let mut ssd = Ssd::new(cfg.clone());
                     // Bulk migrations stream contiguous blocks; small
                     // chunks degenerate into scattered page reads.
-                    stages.push(if chunk_bytes >= 64 * 1024 {
-                        ssd.read_contiguous(bytes)
+                    if chunk_bytes >= 64 * 1024 {
+                        cfg.stream_read_ps(bytes)
                     } else {
-                        ssd.read_scattered(bytes.div_ceil(chunk_bytes), chunk_bytes)
-                    });
+                        cfg.scattered_read_ps(bytes.div_ceil(chunk_bytes), chunk_bytes)
+                    }
                 }
-            }
+            };
+            slowest = slowest.max(stage);
         }
-        stages.into_iter().max().expect("at least the PCIe stage")
+        slowest
     }
 
     /// Duration (ps) of restoring `host_bytes` from host DRAM and

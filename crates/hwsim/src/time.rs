@@ -1,80 +1,10 @@
 //! Simulation time: integer picoseconds.
 //!
-//! All hardware models return durations in picoseconds (`u64`), which
-//! is exact for every clock in the system (800 MHz core = 1250 ps) and
-//! overflows only after ~213 days of simulated time.
+//! The definitions moved down to [`vrex_core::time`] so the traffic
+//! generator in `vrex-workload` can stamp integer-ps arrival times
+//! without depending on the hardware models; this module re-exports
+//! them under their historical `vrex_hwsim::time` path.
 
-/// Picoseconds per second.
-pub const PS_PER_SECOND: u64 = 1_000_000_000_000;
-
-/// Converts a cycle count at `freq_hz` to picoseconds (rounding up).
-///
-/// # Panics
-///
-/// Panics if `freq_hz` is zero.
-pub fn cycles_to_ps(cycles: u64, freq_hz: u64) -> u64 {
-    assert!(freq_hz > 0, "frequency must be positive");
-    // ps = cycles * 1e12 / freq; compute with u128 to avoid overflow.
-    ((cycles as u128 * PS_PER_SECOND as u128).div_ceil(freq_hz as u128)) as u64
-}
-
-/// Converts seconds (f64) to picoseconds.
-pub fn seconds_to_ps(seconds: f64) -> u64 {
-    (seconds * PS_PER_SECOND as f64).round() as u64
-}
-
-/// Converts picoseconds to seconds (f64).
-pub fn ps_to_seconds(ps: u64) -> f64 {
-    ps as f64 / PS_PER_SECOND as f64
-}
-
-/// Converts picoseconds to milliseconds (f64).
-pub fn ps_to_ms(ps: u64) -> f64 {
-    ps as f64 / 1e9
-}
-
-/// Time to move `bytes` at `bytes_per_second`, in picoseconds.
-///
-/// # Panics
-///
-/// Panics if `bytes_per_second` is zero.
-pub fn transfer_ps(bytes: u64, bytes_per_second: f64) -> u64 {
-    assert!(bytes_per_second > 0.0, "bandwidth must be positive");
-    seconds_to_ps(bytes as f64 / bytes_per_second)
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn one_cycle_at_800mhz_is_1250ps() {
-        assert_eq!(cycles_to_ps(1, 800_000_000), 1250);
-        assert_eq!(cycles_to_ps(800_000_000, 800_000_000), PS_PER_SECOND);
-    }
-
-    #[test]
-    fn seconds_round_trip() {
-        let ps = seconds_to_ps(0.125);
-        assert_eq!(ps, PS_PER_SECOND / 8);
-        assert!((ps_to_seconds(ps) - 0.125).abs() < 1e-12);
-    }
-
-    #[test]
-    fn transfer_time_matches_bandwidth() {
-        // 1 GiB at 1 GiB/s = 1 s.
-        let ps = transfer_ps(1 << 30, (1u64 << 30) as f64);
-        assert_eq!(ps, PS_PER_SECOND);
-    }
-
-    #[test]
-    fn ms_conversion() {
-        assert!((ps_to_ms(2_500_000_000) - 2.5).abs() < 1e-12);
-    }
-
-    #[test]
-    fn cycles_rounding_is_up() {
-        // 1 cycle at 3 Hz = 333,333,333,333.33 ps -> rounds up.
-        assert_eq!(cycles_to_ps(1, 3), 333_333_333_334);
-    }
-}
+pub use vrex_core::time::{
+    cycles_to_ps, ps_to_ms, ps_to_seconds, seconds_to_ps, transfer_ps, PS_PER_SECOND,
+};

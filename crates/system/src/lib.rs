@@ -36,6 +36,7 @@ pub mod memory;
 pub mod method;
 pub mod pipeline;
 pub mod platform;
+pub mod pricing;
 pub mod queueing;
 pub mod realtime;
 pub mod serve;
@@ -44,4 +45,8 @@ pub use e2e::{EnergyBreakdown, StepResult, SystemModel};
 pub use memory::{AdmissionPolicy, PrefetchMode, RestoreOutcome, TierStats, TieredKvManager};
 pub use method::{Method, MethodProfile};
 pub use platform::{ComputeSpec, PlatformSpec};
-pub use serve::{serve, ServeConfig, ServeReport, SessionServeReport, TierReport};
+pub use pricing::StepPriceCache;
+pub use serve::{
+    serve, serve_traced, serve_with_cache, ServeConfig, ServeReport, SessionServeReport,
+    TierReport, TraceEvent, TraceKind,
+};

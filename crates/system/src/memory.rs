@@ -26,8 +26,6 @@
 //! (last-active time, session id), and every duration comes from the
 //! closed-form hardware models.
 
-use std::collections::BTreeMap;
-
 use vrex_hwsim::tier::{MemTier, TierCapacities, TierPath};
 use vrex_model::ModelConfig;
 use vrex_retrieval::prefetch::{NoPrefetch, PrefetchPolicy, PrefetchRequest, SpeculativePrefetch};
@@ -105,8 +103,9 @@ pub struct Residency {
     pub host_bytes: u64,
     /// Bytes spilled to the SSD.
     pub ssd_bytes: u64,
-    /// Simulation time this stream last executed (spill coldness key).
-    pub last_active_s: f64,
+    /// Simulation time this stream last executed (ps; spill coldness
+    /// key).
+    pub last_active_ps: u64,
 }
 
 impl Residency {
@@ -158,7 +157,14 @@ pub struct TieredKvManager {
     caps: TierCapacities,
     path: TierPath,
     chunk_bytes: u64,
-    sessions: BTreeMap<usize, Residency>,
+    /// Tracked streams, sorted by session id (the scheduler's fleets
+    /// are small, so a sorted vec beats a tree map on both lookup and
+    /// the victim/promotion scans that iterate it in id order).
+    sessions: Vec<(usize, Residency)>,
+    /// Fleet-wide resident bytes per tier (device, host, ssd), kept
+    /// incrementally so the per-step budget checks are O(1) instead of
+    /// a fleet scan (the scheduler grows streams every batch).
+    used: [u64; 3],
     ever_spilled: std::collections::BTreeSet<usize>,
     stats: TierStats,
 }
@@ -170,7 +176,8 @@ impl TieredKvManager {
             caps,
             path,
             chunk_bytes: MIGRATION_CHUNK_BYTES,
-            sessions: BTreeMap::new(),
+            sessions: Vec::new(),
+            used: [0; 3],
             ever_spilled: std::collections::BTreeSet::new(),
             stats: TierStats::default(),
         }
@@ -193,14 +200,46 @@ impl TieredKvManager {
         self.caps.total_bytes()
     }
 
-    /// Bytes currently resident in one tier, fleet-wide.
+    /// Bytes currently resident in one tier, fleet-wide (maintained
+    /// incrementally; `debug_assert`-checked against the fleet scan).
     pub fn used_bytes(&self, tier: MemTier) -> u64 {
-        self.sessions.values().map(|r| tier_bytes(r, tier)).sum()
+        debug_assert_eq!(
+            self.used[tier_index(tier)],
+            self.sessions
+                .iter()
+                .map(|(_, r)| tier_bytes(r, tier))
+                .sum::<u64>(),
+            "cached {tier} total diverged from the fleet scan"
+        );
+        self.used[tier_index(tier)]
+    }
+
+    /// Whether any resident KV currently sits below the device tier.
+    /// `false` means every tracked stream is fully device-resident, so
+    /// a step over tracked streams cannot miss — the scheduler's
+    /// fast path ([`Self::record_all_hot_steps`]).
+    pub fn any_spilled_bytes(&self) -> bool {
+        self.used[tier_index(MemTier::Host)] + self.used[tier_index(MemTier::Ssd)] > 0
+    }
+
+    /// Records `members` tier hits at once. Exactly equivalent to (and
+    /// only valid as) `members` calls to [`Self::step_restore`] for
+    /// *tracked* streams while [`Self::any_spilled_bytes`] is `false`:
+    /// each such call would price a zero-byte restore and count one
+    /// hit.
+    pub fn record_all_hot_steps(&mut self, members: u64) {
+        debug_assert!(!self.any_spilled_bytes(), "fast path requires no spill");
+        self.stats.tier_hit_steps += members;
     }
 
     /// One stream's residency, if tracked.
     pub fn residency(&self, id: usize) -> Option<&Residency> {
-        self.sessions.get(&id)
+        self.slot(id).ok().map(|i| &self.sessions[i].1)
+    }
+
+    /// Slot of `id` in the sorted session vec (`Err` = insertion point).
+    fn slot(&self, id: usize) -> Result<usize, usize> {
+        self.sessions.binary_search_by_key(&id, |&(sid, _)| sid)
     }
 
     /// Statistics so far.
@@ -221,34 +260,49 @@ impl TieredKvManager {
     /// Admits a stream with `bytes` of resident demand, placed in
     /// device memory; colder streams are spilled down if the device
     /// overflows.
-    pub fn admit(&mut self, id: usize, bytes: u64, now_s: f64) {
-        let r = self.sessions.entry(id).or_default();
+    pub fn admit(&mut self, id: usize, bytes: u64, now_ps: u64) {
+        let slot = match self.slot(id) {
+            Ok(i) => i,
+            Err(i) => {
+                self.sessions.insert(i, (id, Residency::default()));
+                i
+            }
+        };
+        let r = &mut self.sessions[slot].1;
         r.device_bytes += bytes;
-        r.last_active_s = now_s;
+        r.last_active_ps = now_ps;
+        self.used[tier_index(MemTier::Device)] += bytes;
         self.spill_down();
     }
 
     /// Grows a stream's resident demand by `delta` bytes (new KV lands
     /// in device memory) and marks it active.
-    pub fn grow(&mut self, id: usize, delta: u64, now_s: f64) {
-        if let Some(r) = self.sessions.get_mut(&id) {
+    pub fn grow(&mut self, id: usize, delta: u64, now_ps: u64) {
+        if let Ok(i) = self.slot(id) {
+            let r = &mut self.sessions[i].1;
             r.device_bytes += delta;
-            r.last_active_s = now_s;
+            r.last_active_ps = now_ps;
+            self.used[tier_index(MemTier::Device)] += delta;
         }
         self.spill_down();
     }
 
     /// Marks a stream active (it just executed) without growing it.
-    pub fn touch(&mut self, id: usize, now_s: f64) {
-        if let Some(r) = self.sessions.get_mut(&id) {
-            r.last_active_s = now_s;
+    pub fn touch(&mut self, id: usize, now_ps: u64) {
+        if let Ok(i) = self.slot(id) {
+            self.sessions[i].1.last_active_ps = now_ps;
         }
     }
 
     /// Retires a stream, freeing its bytes, then promotes the hottest
     /// spilled streams into the freed device space.
     pub fn release(&mut self, id: usize) {
-        self.sessions.remove(&id);
+        if let Ok(i) = self.slot(id) {
+            let (_, r) = self.sessions.remove(i);
+            for tier in MemTier::ALL {
+                self.used[tier_index(tier)] -= tier_bytes(&r, tier);
+            }
+        }
         self.promote_into_free();
     }
 
@@ -270,9 +324,10 @@ impl TieredKvManager {
         window_ps: u64,
         prefetch: &dyn PrefetchPolicy,
     ) -> RestoreOutcome {
-        let Some(r) = self.sessions.get(&id) else {
+        let Ok(slot) = self.slot(id) else {
             return RestoreOutcome::default();
         };
+        let r = &self.sessions[slot].1;
         let ratio = ratio.clamp(0.0, 1.0);
         let need_host = (r.host_bytes as f64 * ratio).ceil() as u64;
         let need_ssd = (r.ssd_bytes as f64 * ratio).ceil() as u64;
@@ -306,23 +361,23 @@ impl TieredKvManager {
 
     fn spill_tier(&mut self, tier: MemTier) {
         loop {
-            let used = self.used_bytes(tier);
+            let used = self.used[tier_index(tier)];
             let cap = self.caps.capacity(tier);
             if used <= cap {
                 return;
             }
             let overflow = used - cap;
-            // Coldest stream holding bytes in this tier.
+            // Coldest stream holding bytes in this tier; the vec is in
+            // id order, so min_by ties resolve to the smallest id.
             let Some(victim) = self
                 .sessions
                 .iter()
-                .filter(|(_, r)| tier_bytes(r, tier) > 0)
-                .min_by(|(ia, ra), (ib, rb)| {
-                    ra.last_active_s
-                        .total_cmp(&rb.last_active_s)
-                        .then(ia.cmp(ib))
+                .enumerate()
+                .filter(|(_, (_, r))| tier_bytes(r, tier) > 0)
+                .min_by(|(_, (ia, ra)), (_, (ib, rb))| {
+                    ra.last_active_ps.cmp(&rb.last_active_ps).then(ia.cmp(ib))
                 })
-                .map(|(&id, _)| id)
+                .map(|(i, _)| i)
             else {
                 return;
             };
@@ -330,19 +385,29 @@ impl TieredKvManager {
             let Some((dest, room)) = self
                 .caps
                 .below(tier)
-                .map(|t| (t, self.caps.capacity(t).saturating_sub(self.used_bytes(t))))
+                .map(|t| {
+                    (
+                        t,
+                        self.caps
+                            .capacity(t)
+                            .saturating_sub(self.used[tier_index(t)]),
+                    )
+                })
                 .find(|&(_, room)| room > 0)
             else {
                 // Hierarchy full: leave the tier over budget (admission
                 // control is responsible for not letting this happen).
                 return;
             };
-            let r = self.sessions.get_mut(&victim).expect("victim exists");
+            let (victim_id, r) = &mut self.sessions[victim];
             let moved = tier_bytes(r, tier).min(overflow).min(room);
             *tier_bytes_mut(r, tier) -= moved;
             *tier_bytes_mut(r, dest) += moved;
+            let victim_id = *victim_id;
+            self.used[tier_index(tier)] -= moved;
+            self.used[tier_index(dest)] += moved;
             self.stats.spilled_bytes += moved;
-            self.ever_spilled.insert(victim);
+            self.ever_spilled.insert(victim_id);
         }
     }
 
@@ -351,35 +416,43 @@ impl TieredKvManager {
         let mut free = self
             .caps
             .device_bytes
-            .saturating_sub(self.used_bytes(MemTier::Device));
+            .saturating_sub(self.used[tier_index(MemTier::Device)]);
         if free == 0 {
             return;
         }
-        // Hottest first; ties broken by id for determinism.
-        let mut order: Vec<usize> = self
-            .sessions
-            .iter()
-            .filter(|(_, r)| r.spilled_bytes() > 0)
-            .map(|(&id, _)| id)
+        // Hottest first; ties broken by id for determinism (slots are
+        // in id order).
+        let mut order: Vec<usize> = (0..self.sessions.len())
+            .filter(|&i| self.sessions[i].1.spilled_bytes() > 0)
             .collect();
-        order.sort_by(|a, b| {
-            let ra = self.sessions[a].last_active_s;
-            let rb = self.sessions[b].last_active_s;
-            rb.total_cmp(&ra).then(a.cmp(b))
+        order.sort_by(|&a, &b| {
+            let ra = self.sessions[a].1.last_active_ps;
+            let rb = self.sessions[b].1.last_active_ps;
+            rb.cmp(&ra).then(a.cmp(&b))
         });
-        for id in order {
+        for i in order {
             if free == 0 {
                 break;
             }
-            let r = self.sessions.get_mut(&id).expect("listed above");
+            let r = &mut self.sessions[i].1;
             for tier in [MemTier::Host, MemTier::Ssd] {
                 let moved = tier_bytes(r, tier).min(free);
                 *tier_bytes_mut(r, tier) -= moved;
                 r.device_bytes += moved;
+                self.used[tier_index(tier)] -= moved;
+                self.used[tier_index(MemTier::Device)] += moved;
                 free -= moved;
                 self.stats.promoted_bytes += moved;
             }
         }
+    }
+}
+
+fn tier_index(tier: MemTier) -> usize {
+    match tier {
+        MemTier::Device => 0,
+        MemTier::Host => 1,
+        MemTier::Ssd => 2,
     }
 }
 
@@ -427,8 +500,8 @@ mod tests {
     #[test]
     fn streams_stay_device_resident_until_the_budget_trips() {
         let mut m = server_manager(4 * GIB, 8 * GIB, 0);
-        m.admit(0, 2 * GIB, 0.0);
-        m.admit(1, 2 * GIB, 1.0);
+        m.admit(0, 2 * GIB, 0);
+        m.admit(1, 2 * GIB, 1);
         assert_eq!(m.used_bytes(MemTier::Device), 4 * GIB);
         assert_eq!(m.used_bytes(MemTier::Host), 0);
         assert_eq!(m.ever_spilled_sessions(), 0);
@@ -437,9 +510,9 @@ mod tests {
     #[test]
     fn overflow_spills_the_coldest_stream_first() {
         let mut m = server_manager(4 * GIB, 8 * GIB, 0);
-        m.admit(0, 2 * GIB, 0.0); // coldest
-        m.admit(1, 2 * GIB, 1.0);
-        m.admit(2, 2 * GIB, 2.0); // 2 GiB over budget
+        m.admit(0, 2 * GIB, 0); // coldest
+        m.admit(1, 2 * GIB, 1);
+        m.admit(2, 2 * GIB, 2); // 2 GiB over budget
         let r0 = *m.residency(0).unwrap();
         assert_eq!(r0.host_bytes, 2 * GIB, "stream 0 spilled: {r0:?}");
         assert_eq!(m.residency(2).unwrap().host_bytes, 0, "newcomer stays hot");
@@ -451,9 +524,9 @@ mod tests {
     #[test]
     fn host_overflow_cascades_to_the_ssd() {
         let mut m = server_manager(GIB, GIB, 64 * GIB);
-        m.admit(0, GIB, 0.0);
-        m.admit(1, GIB, 1.0);
-        m.admit(2, GIB, 2.0);
+        m.admit(0, GIB, 0);
+        m.admit(1, GIB, 1);
+        m.admit(2, GIB, 2);
         // 3 GiB of demand into 1 GiB device + 1 GiB host: the coldest
         // stream's spill lands on the SSD.
         assert_eq!(m.used_bytes(MemTier::Device), GIB);
@@ -464,9 +537,9 @@ mod tests {
     #[test]
     fn release_promotes_the_hottest_spilled_stream() {
         let mut m = server_manager(4 * GIB, 8 * GIB, 0);
-        m.admit(0, 2 * GIB, 0.0);
-        m.admit(1, 2 * GIB, 1.0);
-        m.admit(2, 2 * GIB, 2.0); // spills 0
+        m.admit(0, 2 * GIB, 0);
+        m.admit(1, 2 * GIB, 1);
+        m.admit(2, 2 * GIB, 2); // spills 0
         assert_eq!(m.residency(0).unwrap().host_bytes, 2 * GIB);
         m.release(1); // frees 2 GiB of device
         let r0 = *m.residency(0).unwrap();
@@ -478,7 +551,7 @@ mod tests {
     #[test]
     fn device_resident_steps_are_tier_hits() {
         let mut m = server_manager(4 * GIB, 8 * GIB, 0);
-        m.admit(0, GIB, 0.0);
+        m.admit(0, GIB, 0);
         let p = m.step_restore(0, 1.0, false, 0, &NoPrefetch);
         assert_eq!(p, RestoreOutcome::default());
         assert_eq!(m.stats().tier_hit_steps, 1);
@@ -503,9 +576,9 @@ mod tests {
         // accuracy with an ample overlap window hides 90% and exposes
         // exactly the mispredicted 10%.
         let mut m = server_manager(4 * GIB, 8 * GIB, 0);
-        m.admit(0, 2 * GIB, 0.0);
-        m.admit(1, 2 * GIB, 1.0);
-        m.admit(2, 2 * GIB, 2.0);
+        m.admit(0, 2 * GIB, 0);
+        m.admit(1, 2 * GIB, 1);
+        m.admit(2, 2 * GIB, 2);
         assert_eq!(m.residency(0).unwrap().host_bytes, 2 * GIB);
 
         let bytes = 2 * GIB;
@@ -529,8 +602,8 @@ mod tests {
     #[test]
     fn narrow_window_bounds_what_prefetch_can_hide() {
         let mut m = server_manager(GIB, 8 * GIB, 0);
-        m.admit(0, GIB, 0.0);
-        m.admit(1, GIB, 1.0); // spills 0 entirely
+        m.admit(0, GIB, 0);
+        m.admit(1, GIB, 1); // spills 0 entirely
         let spec = SpeculativePrefetch { accuracy: 1.0 };
         let full = m.step_restore(0, 1.0, false, 0, &spec).exposed_ps;
         let window = full / 2;
@@ -541,8 +614,8 @@ mod tests {
     #[test]
     fn selection_ratio_scales_the_restore() {
         let mut m = server_manager(GIB, 8 * GIB, 0);
-        m.admit(0, GIB, 0.0);
-        m.admit(1, GIB, 1.0);
+        m.admit(0, GIB, 0);
+        m.admit(1, GIB, 1);
         let full = m.step_restore(0, 1.0, false, 0, &NoPrefetch).exposed_ps;
         let tenth = m.step_restore(0, 0.1, false, 0, &NoPrefetch).exposed_ps;
         assert!(tenth < full / 5, "ratio 0.1 restore {tenth} vs full {full}");
@@ -552,11 +625,11 @@ mod tests {
     #[test]
     fn grow_keeps_the_growing_stream_hot() {
         let mut m = server_manager(2 * GIB, 8 * GIB, 0);
-        m.admit(0, GIB, 0.0);
-        m.admit(1, GIB, 1.0);
+        m.admit(0, GIB, 0);
+        m.admit(1, GIB, 1);
         // Stream 1 grows past the budget at t=2: stream 0 (colder)
         // takes the spill even though 1 caused the overflow.
-        m.grow(1, GIB, 2.0);
+        m.grow(1, GIB, 2);
         assert_eq!(m.residency(0).unwrap().host_bytes, GIB);
         assert_eq!(m.residency(1).unwrap().spilled_bytes(), 0);
     }
@@ -568,7 +641,7 @@ mod tests {
             m.step_restore(99, 1.0, true, 0, &NoPrefetch),
             RestoreOutcome::default()
         );
-        m.touch(99, 5.0);
+        m.touch(99, 5);
         m.release(99);
         assert_eq!(m.stats(), TierStats::default());
     }

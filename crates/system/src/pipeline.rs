@@ -277,11 +277,12 @@ fn fetch_costs(platform: &PlatformSpec, method: Method, w: &Workload) -> (u64, u
             ssd.read_scattered(bytes.div_ceil(chunk), chunk)
         }
     } else if let Some(dram) = &platform.offload_dram {
-        let mut d = vrex_hwsim::dram::Dram::new(dram.clone());
         if chunk >= 64 * 1024 {
-            d.access(0, bytes)
+            // Fresh-device streaming read in closed form — the hot
+            // leaf of step pricing (no allocation, no row state).
+            dram.stream_read_ps(bytes)
         } else {
-            d.scattered_read(bytes.div_ceil(chunk), chunk)
+            vrex_hwsim::dram::Dram::new(dram.clone()).scattered_read(bytes.div_ceil(chunk), chunk)
         }
     } else {
         0

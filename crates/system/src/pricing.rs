@@ -1,0 +1,277 @@
+//! Memoized step pricing for the serving scheduler.
+//!
+//! The analytic step model ([`SystemModel::frame_step`] /
+//! [`SystemModel::question_step`] / [`SystemModel::decode_step`]) is a
+//! pure function of `(method, model dims, cache_tokens, batch,
+//! new_tokens)` — the platform and method are fixed per cache, the rest
+//! is the key. A capacity sweep re-prices the same batch shapes
+//! millions of times (every policy and fleet size replays the same
+//! per-session cache trajectories), so [`StepPriceCache`] memoizes the
+//! full [`StepResult`] per shape: the first occurrence pays the
+//! closed-form pricing, every repeat is one hash lookup.
+//!
+//! The cache owns clones of its [`SystemModel`] and [`ModelConfig`] —
+//! one cache is valid for exactly one platform+method+model triple, so
+//! a stale-key bug cannot exist by construction. The
+//! `cached_pricing_is_bit_identical_to_uncached` oracle test (and the
+//! property test in `tests/props.rs`) pin that a cached result is
+//! bit-identical to uncached pricing.
+
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+use vrex_model::ModelConfig;
+
+use crate::e2e::{StepResult, SystemModel};
+
+/// Step kind discriminant inside a price key.
+const KIND_FRAME: u64 = 0;
+const KIND_QUESTION: u64 = 1;
+const KIND_DECODE: u64 = 2;
+
+/// A minimal multiplicative hasher (FxHash-style) for the fixed-width
+/// price keys. The default SipHash is DoS-resistant but ~5× slower;
+/// price keys are simulation-internal, so the cheap mix is safe.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct PriceKeyHasher(u64);
+
+impl Hasher for PriceKeyHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.write_u64(u64::from_le_bytes(buf));
+        }
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.0 = (self.0 ^ v).wrapping_mul(0x517c_c1b7_2722_0a95);
+    }
+
+    fn write_u128(&mut self, v: u128) {
+        self.write_u64(v as u64);
+        self.write_u64((v >> 64) as u64);
+    }
+
+    fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+}
+
+/// Packed price key: kind (2 bits) | batch (14 bits) | new_tokens
+/// (16 bits) | cache_tokens (32 bits). The serving sweeps stay far
+/// inside each field; [`StepPriceCache`] falls back to unmemoized
+/// pricing when a dimension overflows its field instead of aliasing.
+fn pack_key(kind: u64, cache_tokens: usize, batch: usize, new_tokens: usize) -> Option<u64> {
+    if batch >= (1 << 14) || new_tokens >= (1 << 16) || cache_tokens >= (1 << 32) {
+        return None;
+    }
+    Some(kind << 62 | (batch as u64) << 48 | (new_tokens as u64) << 32 | cache_tokens as u64)
+}
+
+/// Memoized [`StepResult`] pricing for one platform+method+model.
+#[derive(Debug, Clone)]
+pub struct StepPriceCache {
+    sys: SystemModel,
+    model: ModelConfig,
+    map: HashMap<u64, StepResult, BuildHasherDefault<PriceKeyHasher>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl StepPriceCache {
+    /// Creates an empty cache bound to this platform+method+model.
+    pub fn new(sys: &SystemModel, model: &ModelConfig) -> Self {
+        Self {
+            sys: sys.clone(),
+            model: model.clone(),
+            map: HashMap::default(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// The system model the cache prices for.
+    pub fn system(&self) -> &SystemModel {
+        &self.sys
+    }
+
+    /// The model configuration the cache prices for.
+    pub fn model(&self) -> &ModelConfig {
+        &self.model
+    }
+
+    /// Lookups served from the map so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookups that had to run the analytic pricing.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Distinct step shapes priced so far.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether nothing has been priced yet.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    fn priced(
+        &mut self,
+        key: Option<u64>,
+        price: impl Fn(&SystemModel, &ModelConfig) -> StepResult,
+    ) -> StepResult {
+        let Some(key) = key else {
+            // Out-of-range dimension: price unmemoized rather than
+            // alias another shape's result.
+            self.misses += 1;
+            return price(&self.sys, &self.model);
+        };
+        if let Some(r) = self.map.get(&key) {
+            self.hits += 1;
+            return *r;
+        }
+        self.misses += 1;
+        let r = price(&self.sys, &self.model);
+        self.map.insert(key, r);
+        r
+    }
+
+    /// Memoized [`SystemModel::frame_step`].
+    pub fn frame_step(&mut self, cache_tokens: usize, batch: usize) -> StepResult {
+        let key = pack_key(KIND_FRAME, cache_tokens, batch, self.model.tokens_per_frame);
+        self.priced(key, |sys, model| sys.frame_step(model, cache_tokens, batch))
+    }
+
+    /// Memoized [`SystemModel::question_step`].
+    pub fn question_step(
+        &mut self,
+        cache_tokens: usize,
+        batch: usize,
+        tokens: usize,
+    ) -> StepResult {
+        let key = pack_key(KIND_QUESTION, cache_tokens, batch, tokens);
+        self.priced(key, |sys, model| {
+            sys.question_step(model, cache_tokens, batch, tokens)
+        })
+    }
+
+    /// Memoized [`SystemModel::decode_step`].
+    pub fn decode_step(&mut self, cache_tokens: usize, batch: usize) -> StepResult {
+        let key = pack_key(KIND_DECODE, cache_tokens, batch, 1);
+        self.priced(key, |sys, model| {
+            sys.decode_step(model, cache_tokens, batch)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::method::Method;
+    use crate::platform::PlatformSpec;
+
+    #[test]
+    fn cached_pricing_is_bit_identical_to_uncached() {
+        // Oracle over a methods × platforms × cache × batch grid: the
+        // first call (miss) and the second call (hit) must both equal
+        // the direct SystemModel pricing exactly.
+        let model = ModelConfig::llama3_8b();
+        let methods = [
+            Method::FlexGen,
+            Method::InfiniGen,
+            Method::ReKV,
+            Method::ReSV,
+            Method::Oaken,
+            Method::VanillaInMemory,
+        ];
+        let platforms = [
+            PlatformSpec::agx_orin(),
+            PlatformSpec::a100(),
+            PlatformSpec::vrex8(),
+            PlatformSpec::vrex48(),
+        ];
+        for method in methods {
+            for platform in &platforms {
+                let sys = SystemModel::new(platform.clone(), method);
+                let mut cache = StepPriceCache::new(&sys, &model);
+                for cache_tokens in [1usize, 1_000, 16_000, 40_000] {
+                    for batch in [1usize, 4, 24] {
+                        for _ in 0..2 {
+                            assert_eq!(
+                                cache.frame_step(cache_tokens, batch),
+                                sys.frame_step(&model, cache_tokens, batch),
+                                "{} frame {cache_tokens}x{batch}",
+                                sys.label()
+                            );
+                            assert_eq!(
+                                cache.decode_step(cache_tokens, batch),
+                                sys.decode_step(&model, cache_tokens, batch),
+                                "{} decode {cache_tokens}x{batch}",
+                                sys.label()
+                            );
+                            assert_eq!(
+                                cache.question_step(cache_tokens, batch, 25),
+                                sys.question_step(&model, cache_tokens, batch, 25),
+                                "{} question {cache_tokens}x{batch}",
+                                sys.label()
+                            );
+                        }
+                    }
+                }
+                assert_eq!(cache.hits(), cache.misses(), "every shape hit once");
+            }
+        }
+    }
+
+    #[test]
+    fn repeated_shapes_hit_the_cache() {
+        let sys = SystemModel::new(PlatformSpec::vrex48(), Method::ReSV);
+        let model = ModelConfig::llama3_8b();
+        let mut cache = StepPriceCache::new(&sys, &model);
+        for _ in 0..100 {
+            cache.frame_step(8_000, 4);
+        }
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.hits(), 99);
+        assert_eq!(cache.len(), 1);
+        assert!(!cache.is_empty());
+    }
+
+    #[test]
+    fn distinct_kinds_never_alias() {
+        // A frame step and a decode step at the same (cache, batch)
+        // must key separately — and a question step keyed by its token
+        // count must not collide with either.
+        let sys = SystemModel::new(PlatformSpec::vrex8(), Method::ReSV);
+        let model = ModelConfig::llama3_8b();
+        let mut cache = StepPriceCache::new(&sys, &model);
+        let f = cache.frame_step(10_000, 2);
+        let d = cache.decode_step(10_000, 2);
+        let q = cache.question_step(10_000, 2, 25);
+        assert_ne!(f, d);
+        assert_ne!(f, q);
+        assert_eq!(cache.len(), 3);
+        assert_eq!(cache.frame_step(10_000, 2), f);
+    }
+
+    #[test]
+    fn out_of_range_dimensions_fall_back_to_direct_pricing() {
+        let sys = SystemModel::new(PlatformSpec::vrex48(), Method::ReSV);
+        let model = ModelConfig::llama3_8b();
+        let mut cache = StepPriceCache::new(&sys, &model);
+        let huge = 1usize << 33; // overflows the 32-bit cache field
+        assert_eq!(cache.frame_step(huge, 1), sys.frame_step(&model, huge, 1));
+        assert_eq!(cache.len(), 0, "unpackable keys are not stored");
+        assert_eq!(cache.misses(), 1);
+    }
+}

@@ -8,6 +8,13 @@
 //! serving scheduler ([`mod@crate::serve`]) both record into a
 //! [`QueueLedger`] so their queue-depth and lag semantics cannot drift
 //! apart.
+//!
+//! Every timestamp is an integer picosecond (`u64`, the same time base
+//! the hardware models in `vrex-hwsim` emit); the `*_s` accessors
+//! convert to `f64` seconds only at the reporting boundary, so no lag
+//! or deadline is ever decided by float rounding.
+
+use vrex_hwsim::ps_to_seconds;
 
 /// Arrival/completion ledger for one FIFO stream of work items.
 ///
@@ -16,8 +23,8 @@
 /// when a new item shows up (the "frames waiting" the user perceives).
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct QueueLedger {
-    arrivals: Vec<f64>,
-    completions: Vec<f64>,
+    arrivals_ps: Vec<u64>,
+    completions_ps: Vec<u64>,
     max_queue_depth: usize,
 }
 
@@ -27,30 +34,45 @@ impl QueueLedger {
         Self::default()
     }
 
-    /// Records one item's arrival and completion times (seconds).
+    /// Records one item's arrival and completion times (ps).
     ///
-    /// Arrivals must be non-decreasing across calls and `completion`
-    /// must not precede `arrival`.
-    pub fn record(&mut self, arrival: f64, completion: f64) {
-        debug_assert!(completion >= arrival, "completion before arrival");
+    /// Arrivals AND completions must be non-decreasing across calls
+    /// (FIFO service order — both recorders here satisfy it by
+    /// construction) and `completion_ps` must not precede
+    /// `arrival_ps`. Sorted completions let the queue-depth sample be
+    /// a binary search instead of a scan.
+    pub fn record(&mut self, arrival_ps: u64, completion_ps: u64) {
+        debug_assert!(completion_ps >= arrival_ps, "completion before arrival");
         debug_assert!(
-            self.arrivals.last().is_none_or(|&a| arrival >= a),
+            self.arrivals_ps.last().is_none_or(|&a| arrival_ps >= a),
             "arrivals must be non-decreasing"
         );
-        let depth = self.completions.iter().filter(|&&c| c > arrival).count();
+        debug_assert!(
+            self.completions_ps
+                .last()
+                .is_none_or(|&c| completion_ps >= c),
+            "completions must be non-decreasing (FIFO service)"
+        );
+        // Completions sorted: in-flight items are those past the
+        // partition of completions <= arrival.
+        let done = self.completions_ps.partition_point(|&c| c <= arrival_ps);
+        let depth = self.completions_ps.len() - done;
         self.max_queue_depth = self.max_queue_depth.max(depth);
-        self.arrivals.push(arrival);
-        self.completions.push(completion);
+        self.arrivals_ps.push(arrival_ps);
+        self.completions_ps.push(completion_ps);
     }
 
     /// Number of items recorded.
     pub fn offered(&self) -> usize {
-        self.arrivals.len()
+        self.arrivals_ps.len()
     }
 
-    /// Number of items completed at or before `deadline`.
-    pub fn completed_by(&self, deadline: f64) -> usize {
-        self.completions.iter().filter(|&&c| c <= deadline).count()
+    /// Number of items completed at or before `deadline_ps`.
+    pub fn completed_by(&self, deadline_ps: u64) -> usize {
+        self.completions_ps
+            .iter()
+            .filter(|&&c| c <= deadline_ps)
+            .count()
     }
 
     /// Maximum queue depth observed (sampled at arrival instants).
@@ -58,43 +80,58 @@ impl QueueLedger {
         self.max_queue_depth
     }
 
-    /// Per-item lags (completion − arrival), in record order.
-    pub fn lags(&self) -> impl Iterator<Item = f64> + '_ {
-        self.arrivals
+    /// Per-item lags (completion − arrival) in ps, in record order.
+    pub fn lags_ps(&self) -> impl Iterator<Item = u64> + '_ {
+        self.arrivals_ps
             .iter()
-            .zip(&self.completions)
+            .zip(&self.completions_ps)
             .map(|(&a, &c)| c - a)
+    }
+
+    /// Per-item lags (completion − arrival) in seconds, in record order.
+    pub fn lags(&self) -> impl Iterator<Item = f64> + '_ {
+        self.lags_ps().map(ps_to_seconds)
     }
 
     /// Mean lag in seconds (0 for an empty ledger).
     pub fn mean_lag_s(&self) -> f64 {
-        self.lags().sum::<f64>() / self.offered().max(1) as f64
+        ps_to_seconds(self.lags_ps().sum::<u64>()) / self.offered().max(1) as f64
+    }
+
+    /// Worst lag in ps (0 for an empty ledger).
+    pub fn max_lag_ps(&self) -> u64 {
+        self.lags_ps().max().unwrap_or(0)
     }
 
     /// Worst lag in seconds (0 for an empty ledger).
     pub fn max_lag_s(&self) -> f64 {
-        self.lags().fold(0.0, f64::max)
+        ps_to_seconds(self.max_lag_ps())
     }
 
-    /// Completion time of the last item (0 for an empty ledger).
+    /// Completion time of the last item in ps (0 for an empty ledger).
+    pub fn last_completion_ps(&self) -> u64 {
+        self.completions_ps.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Completion time of the last item in seconds (0 when empty).
     pub fn last_completion_s(&self) -> f64 {
-        self.completions.iter().fold(0.0, |a, &c| a.max(c))
+        ps_to_seconds(self.last_completion_ps())
     }
 }
 
 /// Drives a single-server FIFO queue and returns its ledger.
 ///
-/// Item `i` arrives at `arrivals[i]` (non-decreasing); `service(i)` is
-/// its service time in seconds, evaluated in order at the moment the
+/// Item `i` arrives at `arrivals_ps[i]` (non-decreasing); `service(i)`
+/// is its service time in ps, evaluated in order at the moment the
 /// item starts (so service models that depend on state mutated by
 /// earlier items — e.g. a growing KV cache — price correctly).
 pub fn run_fifo(
-    arrivals: impl IntoIterator<Item = f64>,
-    mut service: impl FnMut(usize) -> f64,
+    arrivals_ps: impl IntoIterator<Item = u64>,
+    mut service: impl FnMut(usize) -> u64,
 ) -> QueueLedger {
     let mut ledger = QueueLedger::new();
-    let mut server_free_at = 0.0f64;
-    for (i, arrival) in arrivals.into_iter().enumerate() {
+    let mut server_free_at = 0u64;
+    for (i, arrival) in arrivals_ps.into_iter().enumerate() {
         let start = server_free_at.max(arrival);
         let completion = start + service(i);
         server_free_at = completion;
@@ -107,13 +144,22 @@ pub fn run_fifo(
 ///
 /// Copies and sorts internally (sample sets here are small); returns 0
 /// for an empty slice. NaN-free input is assumed — times are computed,
-/// not measured.
+/// not measured. Callers reading several percentiles off one sample
+/// set should sort once and use [`percentile_sorted`] instead of
+/// re-sorting per read.
 pub fn percentile(samples: &[f64], p: f64) -> f64 {
-    if samples.is_empty() {
-        return 0.0;
-    }
     let mut sorted = samples.to_vec();
     sorted.sort_unstable_by(f64::total_cmp);
+    percentile_sorted(&sorted, p)
+}
+
+/// Nearest-rank percentile of an already ascending-sorted slice
+/// (`p` in `[0, 100]`); returns 0 for an empty slice.
+pub fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
+    debug_assert!(sorted.windows(2).all(|w| w[0] <= w[1]), "input not sorted");
+    if sorted.is_empty() {
+        return 0.0;
+    }
     let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
     sorted[rank.clamp(1, sorted.len()) - 1]
 }
@@ -121,20 +167,25 @@ pub fn percentile(samples: &[f64], p: f64) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use vrex_hwsim::PS_PER_SECOND;
+
+    const S: u64 = PS_PER_SECOND;
 
     #[test]
     fn ledger_tracks_depth_at_arrival_instants() {
         let mut l = QueueLedger::new();
         // Three items, second and third arrive while the first is
         // still in flight.
-        l.record(0.0, 3.0);
-        l.record(1.0, 4.0);
-        l.record(2.0, 5.0);
+        l.record(0, 3 * S);
+        l.record(S, 4 * S);
+        l.record(2 * S, 5 * S);
         assert_eq!(l.max_queue_depth(), 2);
         assert_eq!(l.offered(), 3);
-        assert_eq!(l.completed_by(4.0), 2);
+        assert_eq!(l.completed_by(4 * S), 2);
+        assert_eq!(l.max_lag_ps(), 3 * S);
         assert!((l.mean_lag_s() - 3.0).abs() < 1e-12);
         assert!((l.max_lag_s() - 3.0).abs() < 1e-12);
+        assert_eq!(l.last_completion_ps(), 5 * S);
         assert!((l.last_completion_s() - 5.0).abs() < 1e-12);
     }
 
@@ -145,15 +196,26 @@ mod tests {
         assert_eq!(l.max_queue_depth(), 0);
         assert_eq!(l.mean_lag_s(), 0.0);
         assert_eq!(l.max_lag_s(), 0.0);
+        assert_eq!(l.max_lag_ps(), 0);
     }
 
     #[test]
     fn fifo_with_idle_gaps_has_no_queueing() {
         // Service 0.1 s, arrivals 1 s apart: every item starts on
         // arrival, lag == service time.
-        let l = run_fifo((0..5).map(|i| i as f64), |_| 0.1);
+        let l = run_fifo((0..5).map(|i| i * S), |_| S / 10);
         assert_eq!(l.max_queue_depth(), 0);
         assert!((l.mean_lag_s() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lags_are_exact_integers() {
+        // One-third-second service: floats could not represent this
+        // exactly, integer ps keeps every lag precise.
+        let service = S / 3;
+        let l = run_fifo([0, 0, 0], |_| service);
+        let lags: Vec<u64> = l.lags_ps().collect();
+        assert_eq!(lags, vec![service, 2 * service, 3 * service]);
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! tracks queue depth and end-to-end frame lag over a session — the
 //! user-visible consequence of the prefill bottleneck.
 
+use vrex_hwsim::seconds_to_ps;
 use vrex_model::ModelConfig;
 
 use crate::e2e::SystemModel;
@@ -52,25 +53,29 @@ pub fn simulate_session(
         "fps and duration must be positive"
     );
     let frames_offered = (fps * seconds).floor() as usize;
-    let interarrival = 1.0 / fps;
+    let interarrival_ps = seconds_to_ps(1.0 / fps);
 
     // The queueing/lag semantics live in the shared FIFO core; this
     // function only supplies the arrival process (fixed FPS) and the
-    // cache-dependent service model.
+    // cache-dependent service model. Arrivals, service times, and the
+    // real-time bar are all integer ps — the step model's native unit.
     let mut cache = initial_cache_tokens;
-    let ledger = run_fifo((0..frames_offered).map(|i| i as f64 * interarrival), |_| {
-        let service = sys.frame_step(model, cache, batch).latency_ps as f64 / 1e12;
-        cache += model.tokens_per_frame;
-        service
-    });
+    let ledger = run_fifo(
+        (0..frames_offered).map(|i| i as u64 * interarrival_ps),
+        |_| {
+            let service = sys.frame_step(model, cache, batch).latency_ps;
+            cache += model.tokens_per_frame;
+            service
+        },
+    );
 
     SessionResult {
         frames_offered,
-        frames_processed: ledger.completed_by(seconds),
+        frames_processed: ledger.completed_by(seconds_to_ps(seconds)),
         max_queue_depth: ledger.max_queue_depth(),
         mean_lag_s: ledger.mean_lag_s(),
         max_lag_s: ledger.max_lag_s(),
-        real_time: ledger.max_lag_s() <= 2.0 * interarrival,
+        real_time: ledger.max_lag_ps() <= 2 * interarrival_ps,
         final_cache_tokens: cache,
     }
 }
@@ -136,10 +141,11 @@ mod tests {
         //   completed by t=2.0: frames 0 and 1 → 2
         // This pins the accounting `simulate_session` (and the serving
         // scheduler) inherit from the shared core.
-        let ledger = run_fifo((0..4).map(|i| i as f64 * 0.5), |_| 0.8);
+        let s = vrex_hwsim::PS_PER_SECOND;
+        let ledger = run_fifo((0..4).map(|i| i * s / 2), |_| 8 * s / 10);
         assert_eq!(ledger.offered(), 4);
         assert_eq!(ledger.max_queue_depth(), 2);
-        assert_eq!(ledger.completed_by(2.0), 2);
+        assert_eq!(ledger.completed_by(2 * s), 2);
         assert!((ledger.mean_lag_s() - 1.25).abs() < 1e-12);
         assert!((ledger.max_lag_s() - 1.7).abs() < 1e-12);
         assert!((ledger.last_completion_s() - 3.2).abs() < 1e-12);
@@ -154,12 +160,13 @@ mod tests {
         let r = simulate_session(&sys, &model, 10_000, 2.0, 10.0, 1);
 
         let mut cache = 10_000usize;
-        let ledger = run_fifo((0..r.frames_offered).map(|i| i as f64 * 0.5), |_| {
-            let s = sys.frame_step(&model, cache, 1).latency_ps as f64 / 1e12;
+        let half_s = vrex_hwsim::PS_PER_SECOND / 2;
+        let ledger = run_fifo((0..r.frames_offered as u64).map(|i| i * half_s), |_| {
+            let t = sys.frame_step(&model, cache, 1).latency_ps;
             cache += model.tokens_per_frame;
-            s
+            t
         });
-        assert_eq!(r.frames_processed, ledger.completed_by(10.0));
+        assert_eq!(r.frames_processed, ledger.completed_by(20 * half_s));
         assert_eq!(r.max_queue_depth, ledger.max_queue_depth());
         assert_eq!(r.mean_lag_s, ledger.mean_lag_s());
         assert_eq!(r.max_lag_s, ledger.max_lag_s());

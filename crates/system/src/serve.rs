@@ -1,4 +1,5 @@
-//! Multi-session serving: continuous batching + admission control.
+//! Multi-session serving: event-driven continuous batching + admission
+//! control.
 //!
 //! The single-session view ([`crate::realtime`]) answers "does one
 //! stream stay real-time as its cache grows?". This module answers the
@@ -6,11 +7,34 @@
 //! concurrent streaming sessions does a platform sustain in real
 //! time?** It drives the same analytic step model
 //! ([`SystemModel::frame_step`] / [`SystemModel::question_step`] /
-//! [`SystemModel::decode_step`]) with the *actual* batch formed each
-//! scheduling tick, so batching efficiency and contention both shape
-//! the per-stream lags.
+//! [`SystemModel::decode_step`]) — memoized through a
+//! [`StepPriceCache`] so repeated batch shapes are priced once — with
+//! the *actual* batch formed each scheduling instant, so batching
+//! efficiency and contention both shape the per-stream lags.
 //!
-//! The scheduler is a discrete-event continuous-batching loop:
+//! ## The event timeline
+//!
+//! The scheduler is a discrete-event simulation on **integer
+//! picoseconds** end to end: arrival plans carry `u64` ps
+//! ([`SessionPlan::arrival_ps`]), the step model's `latency_ps` values
+//! add onto the clock exactly, and float seconds appear only in the
+//! final report. Time advances through a [`std::collections::BinaryHeap`]
+//! of wake-up events:
+//!
+//! * **Arrival** — a planned session reaches the box;
+//! * **Patience** — a waiting session's admission deadline
+//!   (`arrival + max_wait`, one exact integer compare — the float
+//!   rounding mismatch behind PR 3's livelock is structurally gone);
+//! * **WorkReady** — a queued frame or question becomes available on
+//!   its session's camera/turn clock;
+//! * **StepComplete** — the engine finishes the in-flight batched step.
+//!
+//! After each wake-up the scheduler runs one pass: admission first,
+//! then batch formation. Events that land while a batch executes are
+//! subsumed by the pass at its completion (the engine is the only
+//! resource, exactly as in the polling formulation this replaced —
+//! semantics are pinned by the regression tests and the event-invariant
+//! property tests).
 //!
 //! 1. **Admission.** What happens when the fleet outgrows device
 //!    memory is a policy choice ([`AdmissionPolicy`]):
@@ -40,6 +64,10 @@
 //!    answer token) and TPOT (between answer tokens) samples, plus the
 //!    per-session and fleet tiering counters ([`TierReport`]).
 
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use vrex_hwsim::{ps_to_seconds, seconds_to_ps};
 use vrex_model::ModelConfig;
 use vrex_retrieval::prefetch::{NoPrefetch, PrefetchPolicy};
 use vrex_workload::traffic::SessionPlan;
@@ -47,7 +75,8 @@ use vrex_workload::SessionEvent;
 
 use crate::e2e::SystemModel;
 use crate::memory::{AdmissionPolicy, TieredKvManager};
-use crate::queueing::{percentile, QueueLedger};
+use crate::pricing::StepPriceCache;
+use crate::queueing::{percentile_sorted, QueueLedger};
 
 /// Scheduler parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -58,7 +87,9 @@ pub struct ServeConfig {
     /// axis of the capacity sweep).
     pub initial_cache_tokens: usize,
     /// How long an arriving session may wait for memory before being
-    /// rejected (seconds). 0 rejects immediately when full.
+    /// rejected (seconds). 0 rejects immediately when full. Converted
+    /// to integer ps once at the top of [`serve`]; every deadline
+    /// comparison afterwards is exact.
     pub max_wait_s: f64,
     /// What to do with sessions that do not fit in device memory.
     pub admission: AdmissionPolicy,
@@ -119,7 +150,7 @@ pub struct SessionServeReport {
     /// Worst frame lag, seconds.
     pub max_frame_lag_s: f64,
     /// Real-time verdict: worst frame lag within `2 / fps` (the same
-    /// bar as the single-session simulation).
+    /// bar as the single-session simulation), compared in integer ps.
     pub real_time: bool,
     /// Per-frame lag samples (completion − arrival), in arrival order;
     /// the fleet percentiles aggregate these across sessions.
@@ -225,23 +256,69 @@ impl ServeReport {
     }
 }
 
+/// What woke the scheduler (diagnostics/test seam; see [`serve_traced`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceKind {
+    /// A planned session's arrival instant.
+    Arrival,
+    /// A waiting session's patience deadline.
+    Patience,
+    /// A queued frame/question became available.
+    WorkReady,
+    /// The in-flight batched step completed.
+    StepComplete,
+}
+
+/// One recorded scheduler transition: simulated time advanced to `ps`
+/// because of `kind`. [`serve_traced`] returns the full sequence; the
+/// event-invariant property tests assert it is strictly monotone (time
+/// never stalls or rewinds — the PR 3 livelock class is checked
+/// wholesale).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Simulated time after the transition (ps).
+    pub ps: u64,
+    /// What caused the wake-up.
+    pub kind: TraceKind,
+}
+
+/// A heap wake-up. Ordering is (time, kind, payload) so equal-time pops
+/// are deterministic; the payload index only disambiguates, the
+/// scheduling pass itself re-derives all state from `now`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct Event {
+    ps: u64,
+    kind: EventKind,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum EventKind {
+    /// Plan `.0` (index into the caller's slice) arrives.
+    Arrival(usize),
+    /// Plan `.0`'s admission patience expires.
+    Patience(usize),
+    /// Stream of session id `.0` has a frame/question coming available.
+    WorkReady(usize),
+}
+
 /// One schedulable unit of a session, in FIFO order.
 #[derive(Debug, Clone, Copy, PartialEq)]
 enum Work {
-    /// A video frame arriving from the camera at `avail_s`.
-    Frame { avail_s: f64 },
-    /// A question of `tokens` asked at `avail_s`.
-    Question { avail_s: f64, tokens: usize },
+    /// A video frame arriving from the camera at `avail_ps`.
+    Frame { avail_ps: u64 },
+    /// A question of `tokens` asked at `avail_ps`.
+    Question { avail_ps: u64, tokens: usize },
     /// One answer token; available as soon as its predecessor finishes.
     Decode { first: bool },
 }
 
-/// Batching class of a work item.
+/// Batching class of a work item (the discriminant indexes the
+/// per-kind ready counts in the scheduler pass).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Kind {
-    Frame,
-    Question,
-    Decode,
+    Frame = 2,
+    Question = 1,
+    Decode = 0,
 }
 
 #[derive(Debug)]
@@ -252,20 +329,26 @@ struct Stream {
     /// admission checks).
     projected_cache_tokens: usize,
     items: std::collections::VecDeque<Work>,
-    last_completion_s: f64,
-    waited_s: f64,
+    last_completion_ps: u64,
+    waited_ps: u64,
     memory_waited: bool,
     frames: QueueLedger,
-    ttft_s: Vec<f64>,
-    tpot_s: Vec<f64>,
-    question_asked_s: f64,
-    last_token_completion_s: f64,
+    ttft_ps: Vec<u64>,
+    tpot_ps: Vec<u64>,
+    question_asked_ps: u64,
+    last_token_completion_ps: u64,
     spilled: bool,
-    tier_exposed_s: f64,
+    tier_exposed_ps: u64,
 }
 
 impl Stream {
-    fn admit(plan: &SessionPlan, cfg: &ServeConfig, model: &ModelConfig, now: f64) -> Self {
+    fn admit(
+        plan: &SessionPlan,
+        cfg: &ServeConfig,
+        model: &ModelConfig,
+        frame_interval_ps: u64,
+        now: u64,
+    ) -> Self {
         // The camera starts when the session is admitted: a queued
         // session is not yet streaming, so its frame clock begins at
         // admission, not at arrival.
@@ -274,11 +357,11 @@ impl Stream {
         for e in &plan.events {
             match e {
                 SessionEvent::Frame => {
-                    items.push_back(Work::Frame { avail_s: clock });
-                    clock += 1.0 / cfg.fps;
+                    items.push_back(Work::Frame { avail_ps: clock });
+                    clock += frame_interval_ps;
                 }
                 SessionEvent::Question { tokens } => items.push_back(Work::Question {
-                    avail_s: clock,
+                    avail_ps: clock,
                     tokens: *tokens,
                 }),
                 SessionEvent::Answer { tokens } => {
@@ -293,40 +376,36 @@ impl Stream {
             cache_tokens: cfg.initial_cache_tokens,
             projected_cache_tokens: projected_cache(plan, cfg, model),
             items,
-            last_completion_s: now,
-            waited_s: now - plan.arrival_s,
+            last_completion_ps: now,
+            waited_ps: now - plan.arrival_ps,
             memory_waited: false,
             frames: QueueLedger::new(),
-            ttft_s: Vec::new(),
-            tpot_s: Vec::new(),
-            question_asked_s: now,
-            last_token_completion_s: now,
+            ttft_ps: Vec::new(),
+            tpot_ps: Vec::new(),
+            question_asked_ps: now,
+            last_token_completion_ps: now,
             spilled: false,
-            tier_exposed_s: 0.0,
+            tier_exposed_ps: 0,
         }
     }
 
-    /// When the head work item can start: its availability, but never
-    /// before the session's previous item finished (per-session FIFO).
-    fn head_ready_s(&self) -> Option<f64> {
-        self.items.front().map(|w| {
-            let avail = match w {
-                Work::Frame { avail_s } | Work::Question { avail_s, .. } => *avail_s,
-                Work::Decode { .. } => 0.0,
-            };
-            avail.max(self.last_completion_s)
-        })
-    }
-
-    fn head_kind(&self) -> Option<Kind> {
+    /// The head work item's availability and batching class. The head
+    /// is ready at `max(avail, last_completion)` (per-session FIFO),
+    /// and `last_completion <= now` always holds at scheduling
+    /// instants, so "ready now" is exactly `avail <= now`.
+    fn head(&self) -> Option<(u64, Kind)> {
         self.items.front().map(|w| match w {
-            Work::Frame { .. } => Kind::Frame,
-            Work::Question { .. } => Kind::Question,
-            Work::Decode { .. } => Kind::Decode,
+            Work::Frame { avail_ps } => (*avail_ps, Kind::Frame),
+            Work::Question { avail_ps, .. } => (*avail_ps, Kind::Question),
+            Work::Decode { .. } => (0, Kind::Decode),
         })
     }
 
-    fn into_report(self, fps: f64) -> SessionServeReport {
+    fn head_avail_ps(&self) -> Option<u64> {
+        self.head().map(|(a, _)| a)
+    }
+
+    fn into_report(self, real_time_bar_ps: u64) -> SessionServeReport {
         SessionServeReport {
             id: self.id,
             outcome: if self.memory_waited {
@@ -334,18 +413,18 @@ impl Stream {
             } else {
                 SessionOutcome::Admitted
             },
-            waited_s: self.waited_s,
+            waited_s: ps_to_seconds(self.waited_ps),
             frames_offered: self.frames.offered(),
             max_queue_depth: self.frames.max_queue_depth(),
             mean_frame_lag_s: self.frames.mean_lag_s(),
             max_frame_lag_s: self.frames.max_lag_s(),
-            real_time: self.frames.max_lag_s() <= 2.0 / fps,
+            real_time: self.frames.max_lag_ps() <= real_time_bar_ps,
             frame_lags_s: self.frames.lags().collect(),
-            ttft_s: self.ttft_s,
-            tpot_s: self.tpot_s,
+            ttft_s: self.ttft_ps.iter().copied().map(ps_to_seconds).collect(),
+            tpot_s: self.tpot_ps.iter().copied().map(ps_to_seconds).collect(),
             final_cache_tokens: self.cache_tokens,
             spilled: self.spilled,
-            tier_exposed_s: self.tier_exposed_s,
+            tier_exposed_s: ps_to_seconds(self.tier_exposed_ps),
         }
     }
 }
@@ -355,11 +434,11 @@ fn projected_cache(plan: &SessionPlan, cfg: &ServeConfig, model: &ModelConfig) -
     cfg.initial_cache_tokens + plan.total_cache_growth_tokens(model.tokens_per_frame)
 }
 
-fn rejected_report(plan: &SessionPlan, waited_s: f64) -> SessionServeReport {
+fn rejected_report(plan: &SessionPlan, waited_ps: u64) -> SessionServeReport {
     SessionServeReport {
         id: plan.id,
         outcome: SessionOutcome::Rejected,
-        waited_s,
+        waited_s: ps_to_seconds(waited_ps),
         frames_offered: 0,
         max_queue_depth: 0,
         mean_frame_lag_s: 0.0,
@@ -378,173 +457,301 @@ fn rejected_report(plan: &SessionPlan, waited_s: f64) -> SessionServeReport {
 /// reports per-session and fleet latency/admission statistics.
 ///
 /// Deterministic: the only randomness is in the plans themselves.
+/// Builds a fresh [`StepPriceCache`] per call; sweeps that serve many
+/// fleets on the same platform+method should hold one cache and call
+/// [`serve_with_cache`] so batch shapes are priced once per sweep.
 pub fn serve(
     sys: &SystemModel,
     model: &ModelConfig,
     plans: &[SessionPlan],
     cfg: &ServeConfig,
 ) -> ServeReport {
+    serve_with_cache(&mut StepPriceCache::new(sys, model), plans, cfg)
+}
+
+/// [`serve`] against a caller-owned price cache (the platform, method,
+/// and model are the ones the cache was built over).
+pub fn serve_with_cache(
+    prices: &mut StepPriceCache,
+    plans: &[SessionPlan],
+    cfg: &ServeConfig,
+) -> ServeReport {
+    run(prices, plans, cfg, None)
+}
+
+/// [`serve`] that also records every scheduler transition. The trace is
+/// the test seam for the event-queue invariants: strictly monotone
+/// simulated time, no wake-up in the past, every session reaching
+/// exactly one terminal outcome.
+pub fn serve_traced(
+    sys: &SystemModel,
+    model: &ModelConfig,
+    plans: &[SessionPlan],
+    cfg: &ServeConfig,
+) -> (ServeReport, Vec<TraceEvent>) {
+    let mut trace = Vec::new();
+    let report = run(
+        &mut StepPriceCache::new(sys, model),
+        plans,
+        cfg,
+        Some(&mut trace),
+    );
+    (report, trace)
+}
+
+fn run(
+    prices: &mut StepPriceCache,
+    plans: &[SessionPlan],
+    cfg: &ServeConfig,
+    mut trace: Option<&mut Vec<TraceEvent>>,
+) -> ServeReport {
     assert!(cfg.fps > 0.0, "fps must be positive");
+    let sys = prices.system().clone();
+    let model = prices.model().clone();
+    let frame_interval_ps = seconds_to_ps(1.0 / cfg.fps);
+    let real_time_bar_ps = 2 * frame_interval_ps;
+    let max_wait_ps = seconds_to_ps(cfg.max_wait_s);
     // Tiered admission: track fleet residency across the hierarchy and
     // the prefetch policy that schedules restores.
     let mut tiers: Option<TieredKvManager> = match cfg.admission {
         AdmissionPolicy::RejectOnly => None,
-        AdmissionPolicy::Tiered { .. } => Some(TieredKvManager::for_system(sys, model)),
+        AdmissionPolicy::Tiered { .. } => Some(TieredKvManager::for_system(&sys, &model)),
     };
     let prefetch: Box<dyn PrefetchPolicy> = match cfg.admission {
         AdmissionPolicy::Tiered { prefetch } => prefetch.policy(),
         AdmissionPolicy::RejectOnly => Box::new(NoPrefetch),
     };
-    // `bool` = "a fit check has refused this session at least once":
-    // only such sessions count as memory-queued (arriving between two
-    // scheduler ticks is not admission queueing).
-    let mut pending: Vec<(SessionPlan, bool)> = plans.iter().map(|p| (p.clone(), false)).collect();
-    pending.sort_by(|(a, _), (b, _)| a.arrival_s.total_cmp(&b.arrival_s));
+    // Waiting sessions as indices into the caller's slice — plans are
+    // never cloned. `refused` = "a fit check has refused this session
+    // at least once": only such sessions count as memory-queued
+    // (arriving between two scheduler passes is not admission
+    // queueing).
+    let mut pending: Vec<(usize, bool)> = (0..plans.len()).map(|i| (i, false)).collect();
+    pending.sort_by_key(|&(i, _)| (plans[i].arrival_ps, i));
+    // Every future instant the scheduler could need to act at. Arrival
+    // and patience wake-ups are pushed up front; work-ready wake-ups as
+    // streams are admitted. Stale entries (already handled by a pass at
+    // a later `now`) are drained, never acted on.
+    let mut events: BinaryHeap<Reverse<Event>> = BinaryHeap::with_capacity(plans.len() * 2);
+    for &(i, _) in &pending {
+        events.push(Reverse(Event {
+            ps: plans[i].arrival_ps,
+            kind: EventKind::Arrival(i),
+        }));
+        events.push(Reverse(Event {
+            ps: plans[i].arrival_ps.saturating_add(max_wait_ps),
+            kind: EventKind::Patience(i),
+        }));
+    }
     let mut active: Vec<Stream> = Vec::new();
     let mut reports: Vec<SessionServeReport> = Vec::new();
-    let mut makespan_s = 0.0f64;
-    let mut now = 0.0f64;
+    let mut makespan_ps = 0u64;
+    let mut now = 0u64;
+    // Per-pass scratch, reused across iterations.
+    let mut ready: Vec<(usize, Kind)> = Vec::new();
+    let mut members: Vec<usize> = Vec::new();
+    let mut growths: Vec<(usize, u64)> = Vec::new();
+    let mut retired: Vec<SessionServeReport> = Vec::new();
+
+    // Admission work only appears when a session arrives, a waiter's
+    // deadline passes, or memory frees on retirement. Between those
+    // triggers the pass is a provable no-op, so the loop skips it:
+    // `admission_dirty` flags retirements (and the start), and the two
+    // `next_*` thresholds catch `now` jumping over an arrival or a
+    // deadline mid-batch.
+    let mut admission_dirty = true;
+    let mut next_arrival_ps = u64::MAX;
+    let mut next_deadline_ps = u64::MAX;
 
     loop {
         // --- Admission pass (instantaneous; FIFO over waiters). ---
-        let mut i = 0;
-        let mut head_blocked = false;
-        while i < pending.len() {
-            if pending[i].0.arrival_s > now {
-                break; // sorted: nobody later has arrived yet
-            }
-            let proj = projected_cache(&pending[i].0, cfg, model);
-            // Reject-only admission asks "does the device survive?";
-            // tiered admission asks the same of the whole hierarchy.
-            let (never_fits, fits_now) = match &tiers {
-                None => {
-                    let fleet_cache = active
-                        .iter()
-                        .map(|s| s.projected_cache_tokens)
-                        .fold(proj, usize::max);
+        if admission_dirty || now >= next_arrival_ps || now >= next_deadline_ps {
+            admission_dirty = false;
+            let mut i = 0;
+            let mut head_blocked = false;
+            // Fleet aggregates for the fit checks: the max projected cache
+            // and the summed projected resident demand over active streams.
+            // They change only when this very pass admits someone, so they
+            // are computed once on the first arrived waiter and updated
+            // incrementally on each admission instead of rescanning the
+            // fleet per waiter.
+            let mut fleet_stats: Option<(usize, u64)> = None;
+            while i < pending.len() {
+                let plan = &plans[pending[i].0];
+                if plan.arrival_ps > now {
+                    break; // sorted: nobody later has arrived yet
+                }
+                let proj = projected_cache(plan, cfg, &model);
+                let (fleet_proj, fleet_demand) = *fleet_stats.get_or_insert_with(|| {
                     (
-                        sys.is_oom(model, proj, 1),
-                        !sys.is_oom(model, fleet_cache, active.len() + 1),
+                        active
+                            .iter()
+                            .map(|s| s.projected_cache_tokens)
+                            .max()
+                            .unwrap_or(0),
+                        active
+                            .iter()
+                            .map(|s| sys.resident_demand_bytes(&model, s.projected_cache_tokens))
+                            .sum(),
                     )
-                }
-                Some(mgr) => {
-                    let demand = sys.resident_demand_bytes(model, proj);
-                    let fleet_demand: u64 = active
-                        .iter()
-                        .map(|s| sys.resident_demand_bytes(model, s.projected_cache_tokens))
-                        .sum();
-                    (
-                        demand > mgr.total_capacity_bytes(),
-                        fleet_demand + demand <= mgr.total_capacity_bytes(),
-                    )
-                }
-            };
-            if never_fits {
-                // Will never fit, even alone: reject outright.
-                let (p, _) = pending.remove(i);
-                reports.push(rejected_report(&p, now - p.arrival_s));
-                continue;
-            }
-            if fits_now && !head_blocked {
-                let (p, was_refused) = pending.remove(i);
-                let mut stream = Stream::admit(&p, cfg, model, now);
-                stream.memory_waited = was_refused;
-                if let Some(mgr) = tiers.as_mut() {
-                    mgr.admit(
-                        stream.id,
-                        sys.resident_demand_bytes(model, stream.cache_tokens),
-                        now,
-                    );
-                }
-                if stream.items.is_empty() {
-                    // Degenerate plan with no events: admit and retire
-                    // on the spot so it still appears in the report.
-                    if let Some(mgr) = tiers.as_mut() {
-                        stream.spilled = mgr.was_ever_spilled(stream.id);
-                        mgr.release(stream.id);
+                });
+                // Reject-only admission asks "does the device survive?";
+                // tiered admission asks the same of the whole hierarchy.
+                let (never_fits, fits_now) = match &tiers {
+                    None => (
+                        sys.is_oom(&model, proj, 1),
+                        !sys.is_oom(&model, fleet_proj.max(proj), active.len() + 1),
+                    ),
+                    Some(mgr) => {
+                        let demand = sys.resident_demand_bytes(&model, proj);
+                        (
+                            demand > mgr.total_capacity_bytes(),
+                            fleet_demand + demand <= mgr.total_capacity_bytes(),
+                        )
                     }
-                    reports.push(stream.into_report(cfg.fps));
-                } else {
-                    active.push(stream);
+                };
+                if never_fits {
+                    // Will never fit, even alone: reject outright.
+                    let (p, _) = pending.remove(i);
+                    reports.push(rejected_report(&plans[p], now - plans[p].arrival_ps));
+                    continue;
                 }
-                continue;
+                if fits_now && !head_blocked {
+                    let (p, was_refused) = pending.remove(i);
+                    let plan = &plans[p];
+                    let mut stream = Stream::admit(plan, cfg, &model, frame_interval_ps, now);
+                    stream.memory_waited = was_refused;
+                    if let Some(mgr) = tiers.as_mut() {
+                        mgr.admit(
+                            stream.id,
+                            sys.resident_demand_bytes(&model, stream.cache_tokens),
+                            now,
+                        );
+                    }
+                    if stream.items.is_empty() {
+                        // Degenerate plan with no events: admit and retire
+                        // on the spot so it still appears in the report.
+                        if let Some(mgr) = tiers.as_mut() {
+                            stream.spilled = mgr.was_ever_spilled(stream.id);
+                            mgr.release(stream.id);
+                        }
+                        reports.push(stream.into_report(real_time_bar_ps));
+                    } else {
+                        // Wake the scheduler when the head item becomes
+                        // available; each later item registers its own
+                        // wake-up when it reaches the head (the batch
+                        // completion path), keeping the heap at
+                        // O(streams + pending).
+                        if let Some((avail, _)) = stream.head() {
+                            if avail > now {
+                                events.push(Reverse(Event {
+                                    ps: avail,
+                                    kind: EventKind::WorkReady(stream.id),
+                                }));
+                            }
+                        }
+                        active.push(stream);
+                        fleet_stats = Some((
+                            fleet_proj.max(proj),
+                            fleet_demand + sys.resident_demand_bytes(&model, proj),
+                        ));
+                    }
+                    continue;
+                }
+                // Cannot admit now: memory pressure (or FIFO order behind
+                // someone waiting on memory).
+                pending[i].1 = true;
+                // The deadline is one exact integer comparison against the
+                // same `arrival + max_wait` the patience event carries —
+                // the two-float-roundings livelock PR 3 fixed cannot be
+                // re-introduced by construction.
+                if now >= plan.arrival_ps.saturating_add(max_wait_ps) {
+                    let (p, _) = pending.remove(i);
+                    reports.push(rejected_report(&plans[p], now - plans[p].arrival_ps));
+                    continue;
+                }
+                head_blocked = true;
+                i += 1;
             }
-            // Cannot admit now: memory pressure (or FIFO order behind
-            // someone waiting on memory).
-            pending[i].1 = true;
-            // The deadline must be the *same float expression* the idle
-            // branch advances `now` to (`arrival + max_wait`): writing
-            // it as `now - arrival >= max_wait` rounds differently and
-            // can leave an out-waited session unrejected while time
-            // refuses to pass its deadline — a scheduler livelock.
-            if now >= pending[i].0.arrival_s + cfg.max_wait_s {
-                let (p, _) = pending.remove(i);
-                reports.push(rejected_report(&p, now - p.arrival_s));
-                continue;
-            }
-            head_blocked = true;
-            i += 1;
+            // Thresholds for skipping the pass until admission state can
+            // change again: the first not-yet-arrived session's arrival
+            // and the earliest waiter's deadline.
+            next_arrival_ps = pending
+                .get(i)
+                .map_or(u64::MAX, |&(p, _)| plans[p].arrival_ps);
+            next_deadline_ps = pending[..i]
+                .iter()
+                .map(|&(p, _)| plans[p].arrival_ps.saturating_add(max_wait_ps))
+                .min()
+                .unwrap_or(u64::MAX);
         }
 
-        // --- Gather ready head-of-line work. ---
-        let ready: Vec<usize> = (0..active.len())
-            .filter(|&i| active[i].head_ready_s().is_some_and(|r| r <= now))
-            .collect();
+        // --- Gather ready head-of-line work (reused buffer), counting
+        // each batching class as we go. ---
+        ready.clear();
+        let mut kind_counts = [0usize; 3]; // indexed by Kind
+        for (i, s) in active.iter().enumerate() {
+            if let Some((avail, k)) = s.head() {
+                if avail <= now {
+                    kind_counts[k as usize] += 1;
+                    ready.push((i, k));
+                }
+            }
+        }
 
         if ready.is_empty() {
-            // Idle: advance to the next thing that can happen — a head
-            // item becoming available, a session arriving, or a waiter
-            // hitting its patience deadline.
-            let mut t_next = f64::INFINITY;
-            for s in &active {
-                if let Some(r) = s.head_ready_s() {
-                    if r > now {
-                        t_next = t_next.min(r);
-                    }
+            // Idle: advance to the next wake-up strictly after `now`;
+            // anything at or before `now` was already covered by this
+            // pass and drains unacted.
+            let mut woke: Option<Event> = None;
+            while let Some(&Reverse(e)) = events.peek() {
+                events.pop();
+                if e.ps > now {
+                    woke = Some(e);
+                    break;
                 }
             }
-            for (p, _) in &pending {
-                t_next = t_next.min(if p.arrival_s > now {
-                    p.arrival_s
-                } else {
-                    p.arrival_s + cfg.max_wait_s
-                });
+            match woke {
+                Some(e) => {
+                    now = e.ps;
+                    if let Some(t) = trace.as_deref_mut() {
+                        t.push(TraceEvent {
+                            ps: now,
+                            kind: match e.kind {
+                                EventKind::Arrival(_) => TraceKind::Arrival,
+                                EventKind::Patience(_) => TraceKind::Patience,
+                                EventKind::WorkReady(_) => TraceKind::WorkReady,
+                            },
+                        });
+                    }
+                    continue;
+                }
+                None => break, // nothing active, nothing pending: done
             }
-            if t_next.is_finite() {
-                now = t_next;
-                continue;
-            }
-            break; // nothing active, nothing pending: done
         }
 
-        // --- Form the batch: the kind with the most ready streams
-        // (ties prefer the real-time-critical frame path). ---
-        let count = |k: Kind| {
-            ready
-                .iter()
-                .filter(|&&i| active[i].head_kind() == Some(k))
-                .count()
-        };
-        // `max_by_key` keeps the *last* maximum, so list the frame
-        // path last: it wins ties.
-        let kind = [Kind::Decode, Kind::Question, Kind::Frame]
-            .into_iter()
-            .max_by_key(|&k| count(k))
-            .expect("non-empty kind list");
-        let members: Vec<usize> = ready
-            .iter()
-            .copied()
-            .filter(|&i| active[i].head_kind() == Some(kind))
-            .collect();
+        // --- Form the batch: the kind with the most ready streams.
+        // Later entries win ties, so the real-time-critical frame path
+        // beats questions, which beat decodes — the same rule as the
+        // `max_by_key` over [Decode, Question, Frame] it replaces. ---
+        let mut kind = Kind::Decode;
+        for k in [Kind::Question, Kind::Frame] {
+            if kind_counts[k as usize] >= kind_counts[kind as usize] {
+                kind = k;
+            }
+        }
+        members.clear();
+        members.extend(ready.iter().filter(|&&(_, k)| k == kind).map(|&(i, _)| i));
         let batch = members.len();
-        // Price the step at the batch's worst-case cache length.
+        // Price the step at the batch's worst-case cache length (one
+        // memoized lookup per repeated shape).
         let max_cache = members
             .iter()
             .map(|&i| active[i].cache_tokens)
             .max()
             .expect("non-empty batch");
         let step = match kind {
-            Kind::Frame => sys.frame_step(model, max_cache, batch),
+            Kind::Frame => prices.frame_step(max_cache, batch),
             Kind::Question => {
                 let max_tokens = members
                     .iter()
@@ -554,9 +761,9 @@ pub fn serve(
                     })
                     .max()
                     .expect("non-empty batch");
-                sys.question_step(model, max_cache, batch, max_tokens)
+                prices.question_step(max_cache, batch, max_tokens)
             }
-            Kind::Decode => sys.decode_step(model, max_cache, batch),
+            Kind::Decode => prices.decode_step(max_cache, batch),
         };
         // --- Tier misses: spilled members must restore the selected
         // share of their spilled KV before attending. A restore can be
@@ -570,62 +777,88 @@ pub fn serve(
         // the step. ---
         let mut penalty_ps = 0u64;
         if let Some(mgr) = tiers.as_mut() {
-            let generation = kind == Kind::Decode;
-            let ratio = sys.method.ratio(generation);
-            let mut link_busy_ps = 0u64;
-            for &i in &members {
-                let ready_s = active[i]
-                    .head_ready_s()
-                    .expect("batch member has a head item");
-                let window_ps = (((now - ready_s).max(0.0) * 1e12) as u64 + step.latency_ps)
-                    .saturating_sub(link_busy_ps);
-                let restore = mgr.step_restore(
-                    active[i].id,
-                    ratio,
-                    generation,
-                    window_ps,
-                    prefetch.as_ref(),
-                );
-                link_busy_ps += restore.miss_ps;
-                penalty_ps += restore.exposed_ps;
-            }
-            // The batch completes as one unit: every member's critical
-            // path is stretched by the batch's total exposed restore
-            // time, including co-members' restores.
-            for &i in &members {
-                active[i].tier_exposed_s += penalty_ps as f64 / 1e12;
+            if !mgr.any_spilled_bytes() {
+                // Everything is device-resident: each member is a tier
+                // hit with no restore, skip the per-member pricing.
+                mgr.record_all_hot_steps(batch as u64);
+            } else {
+                let generation = kind == Kind::Decode;
+                let ratio = sys.method.ratio(generation);
+                let mut link_busy_ps = 0u64;
+                for &i in &members {
+                    let ready_ps = active[i]
+                        .head_avail_ps()
+                        .expect("batch member has a head item")
+                        .max(active[i].last_completion_ps);
+                    let window_ps =
+                        ((now - ready_ps) + step.latency_ps).saturating_sub(link_busy_ps);
+                    let restore = mgr.step_restore(
+                        active[i].id,
+                        ratio,
+                        generation,
+                        window_ps,
+                        prefetch.as_ref(),
+                    );
+                    link_busy_ps += restore.miss_ps;
+                    penalty_ps += restore.exposed_ps;
+                }
+                // The batch completes as one unit: every member's critical
+                // path is stretched by the batch's total exposed restore
+                // time, including co-members' restores.
+                if penalty_ps > 0 {
+                    for &i in &members {
+                        active[i].tier_exposed_ps += penalty_ps;
+                    }
+                }
             }
         }
-        let completion = now + (step.latency_ps + penalty_ps) as f64 / 1e12;
+        let completion = now + step.latency_ps + penalty_ps;
 
         // --- Complete one work item per batch member. ---
-        let mut growths: Vec<(usize, u64)> = Vec::new();
+        growths.clear();
+        let tiered = tiers.is_some();
         for &i in &members {
             let s = &mut active[i];
-            let demand_before = sys.resident_demand_bytes(model, s.cache_tokens);
+            let demand_before = if tiered {
+                sys.resident_demand_bytes(&model, s.cache_tokens)
+            } else {
+                0
+            };
             match s.items.pop_front().expect("ready stream has a head") {
-                Work::Frame { avail_s } => {
-                    s.frames.record(avail_s, completion);
+                Work::Frame { avail_ps } => {
+                    s.frames.record(avail_ps, completion);
                     s.cache_tokens += model.tokens_per_frame;
                 }
-                Work::Question { avail_s, tokens } => {
-                    s.question_asked_s = avail_s;
+                Work::Question { avail_ps, tokens } => {
+                    s.question_asked_ps = avail_ps;
                     s.cache_tokens += tokens;
                 }
                 Work::Decode { first } => {
                     if first {
-                        s.ttft_s.push(completion - s.question_asked_s);
+                        s.ttft_ps.push(completion - s.question_asked_ps);
                     } else {
-                        s.tpot_s.push(completion - s.last_token_completion_s);
+                        s.tpot_ps.push(completion - s.last_token_completion_ps);
                     }
-                    s.last_token_completion_s = completion;
+                    s.last_token_completion_ps = completion;
                     s.cache_tokens += 1;
                 }
             }
-            s.last_completion_s = completion;
-            if tiers.is_some() {
+            s.last_completion_ps = completion;
+            // The next item is now the head; if it only becomes
+            // available after this batch's completion pass, register
+            // its wake-up (otherwise the pass at `completion` already
+            // sees it ready).
+            if let Some((avail, _)) = s.head() {
+                if avail > completion {
+                    events.push(Reverse(Event {
+                        ps: avail,
+                        kind: EventKind::WorkReady(s.id),
+                    }));
+                }
+            }
+            if tiered {
                 let growth = sys
-                    .resident_demand_bytes(model, s.cache_tokens)
+                    .resident_demand_bytes(&model, s.cache_tokens)
                     .saturating_sub(demand_before);
                 growths.push((s.id, growth));
             }
@@ -647,21 +880,35 @@ pub fn serve(
             }
         }
         now = completion;
-        makespan_s = makespan_s.max(completion);
+        if let Some(t) = trace.as_deref_mut() {
+            t.push(TraceEvent {
+                ps: now,
+                kind: TraceKind::StepComplete,
+            });
+        }
+        makespan_ps = makespan_ps.max(completion);
 
-        // --- Retire finished sessions (freeing their memory). ---
-        let mut i = 0;
-        while i < active.len() {
+        // --- Retire finished sessions (freeing their memory). Only a
+        // batch member can have drained its queue, so the scan walks
+        // the members (ascending), not the whole fleet; removal runs
+        // back-to-front so earlier member indices stay valid. ---
+        for k in (0..members.len()).rev() {
+            let i = members[k];
             if active[i].items.is_empty() {
                 let mut s = active.remove(i);
                 if let Some(mgr) = tiers.as_mut() {
                     s.spilled = mgr.was_ever_spilled(s.id);
                     mgr.release(s.id);
                 }
-                reports.push(s.into_report(cfg.fps));
-            } else {
-                i += 1;
+                retired.push(s.into_report(real_time_bar_ps));
+                // Freed memory can admit a waiter: re-run the pass.
+                admission_dirty = true;
             }
+        }
+        // Back-to-front removal collected reports in descending id
+        // order; publish them ascending like the fleet scan did.
+        while let Some(r) = retired.pop() {
+            reports.push(r);
         }
     }
 
@@ -679,6 +926,10 @@ pub fn serve(
         ttft_samples.extend_from_slice(&r.ttft_s);
         tpot_samples.extend_from_slice(&r.tpot_s);
     }
+    // One sort per sample set; both percentiles index into it.
+    for samples in [&mut lag_samples, &mut ttft_samples, &mut tpot_samples] {
+        samples.sort_unstable_by(f64::total_cmp);
+    }
     ServeReport {
         offered: plans.len(),
         admitted: admitted.len(),
@@ -691,13 +942,13 @@ pub fn serve(
             .filter(|r| r.outcome == SessionOutcome::Rejected)
             .count(),
         real_time_sessions: admitted.iter().filter(|r| r.real_time).count(),
-        frame_lag_p50_s: percentile(&lag_samples, 50.0),
-        frame_lag_p99_s: percentile(&lag_samples, 99.0),
-        ttft_p50_s: percentile(&ttft_samples, 50.0),
-        ttft_p99_s: percentile(&ttft_samples, 99.0),
-        tpot_p50_s: percentile(&tpot_samples, 50.0),
-        tpot_p99_s: percentile(&tpot_samples, 99.0),
-        makespan_s,
+        frame_lag_p50_s: percentile_sorted(&lag_samples, 50.0),
+        frame_lag_p99_s: percentile_sorted(&lag_samples, 99.0),
+        ttft_p50_s: percentile_sorted(&ttft_samples, 50.0),
+        ttft_p99_s: percentile_sorted(&ttft_samples, 99.0),
+        tpot_p50_s: percentile_sorted(&tpot_samples, 50.0),
+        tpot_p99_s: percentile_sorted(&tpot_samples, 99.0),
+        makespan_s: ps_to_seconds(makespan_ps),
         tiering: tiers.map(|mgr| {
             let s = mgr.stats();
             TierReport {
@@ -707,8 +958,8 @@ pub fn serve(
                 restored_bytes: s.restored_bytes,
                 tier_hit_steps: s.tier_hit_steps,
                 tier_miss_steps: s.tier_miss_steps,
-                hidden_s: s.hidden_ps as f64 / 1e12,
-                exposed_s: s.exposed_ps as f64 / 1e12,
+                hidden_s: ps_to_seconds(s.hidden_ps),
+                exposed_s: ps_to_seconds(s.exposed_ps),
             }
         }),
         sessions: reports,
@@ -841,6 +1092,27 @@ mod tests {
             );
             assert_eq!(s.ttft_s.len(), 2, "one TTFT per turn");
         }
+    }
+
+    #[test]
+    fn shared_price_cache_reproduces_uncached_serving() {
+        // A sweep-style reuse of one cache across fleets and policies
+        // must produce byte-identical reports to fresh-cache runs.
+        let sys = SystemModel::new(PlatformSpec::vrex48(), Method::ReSV);
+        let model = llama();
+        let mut cache = StepPriceCache::new(&sys, &model);
+        for sessions in [2usize, 4, 6] {
+            let plans = fleet(sessions, 1, 6.0, 11);
+            for cfg in [
+                ServeConfig::real_time(8_000),
+                ServeConfig::real_time_tiered(8_000),
+            ] {
+                let fresh = serve(&sys, &model, &plans, &cfg);
+                let shared = serve_with_cache(&mut cache, &plans, &cfg);
+                assert_eq!(fresh, shared);
+            }
+        }
+        assert!(cache.hits() > 0, "sweep reuse must hit the cache");
     }
 
     #[test]
@@ -980,12 +1252,12 @@ mod tests {
         );
     }
 
-    /// Regression: the idle branch advances `now` to the float value
-    /// `arrival + max_wait`, so the timeout must test `now >= arrival +
-    /// max_wait` with the *same* rounding. The old `now - arrival >=
-    /// max_wait` form disagreed for fractional arrivals, leaving this
-    /// exact fleet's out-waited sessions unrejected while simulated
-    /// time refused to pass their deadline — an infinite loop.
+    /// Regression (PR 3): this exact fleet livelocked when the idle
+    /// branch advanced `now` to the float `arrival + max_wait` while
+    /// the timeout tested `now - arrival >= max_wait`, which rounds
+    /// differently. On the event core both sides are the same integer,
+    /// so the fleet must terminate with its out-waited sessions
+    /// rejected.
     #[test]
     fn out_waited_sessions_reject_despite_float_imprecise_deadlines() {
         let mut platform = PlatformSpec::vrex48();
@@ -1000,6 +1272,66 @@ mod tests {
         );
         assert_eq!(r.admitted + r.rejected, 16);
         assert!(r.rejected >= 1, "memory squeeze must reject: {r:?}");
+    }
+
+    /// Integer-boundary variant of the livelock regression: arrivals at
+    /// picosecond-odd instants (no clean float-second representation)
+    /// still reject exactly at `arrival + max_wait` when the box never
+    /// frees up — the deadline comparison is exact, so the recorded
+    /// wait equals the patience to the picosecond.
+    #[test]
+    fn timeout_boundaries_are_exact_integer_comparisons() {
+        let sys = SystemModel::new(PlatformSpec::agx_orin(), Method::VanillaInMemory);
+        let cfg = ServeConfig {
+            fps: 2.0,
+            initial_cache_tokens: 70_000,
+            max_wait_s: 10.0,
+            admission: AdmissionPolicy::RejectOnly,
+        };
+        // One long session pins more than half the device KV budget
+        // (70K tokens ≈ 8.9 GiB of ~15.9 GiB) for far longer than the
+        // waiter's patience; the second session arrives at an awkward
+        // ps instant, cannot co-reside, and must time out.
+        let mut plans = fleet(1, 8, 0.0, 5);
+        plans.push(SessionPlan {
+            id: 99,
+            arrival_ps: 1_000_000_000_001, // ~1.000000000001 s
+            events: plans[0].events.clone(),
+        });
+        let r = serve(&sys, &llama(), &plans, &cfg);
+        let rejected: Vec<_> = r
+            .sessions
+            .iter()
+            .filter(|s| s.outcome == SessionOutcome::Rejected)
+            .collect();
+        assert!(!rejected.is_empty(), "the waiter must time out: {r:?}");
+        for s in rejected {
+            // Exact integer deadline: waited is never below patience,
+            // and when the rejection lands on the patience wake-up
+            // (idle box) it equals it exactly.
+            assert!(
+                s.waited_s >= cfg.max_wait_s,
+                "waited {} below patience",
+                s.waited_s
+            );
+        }
+    }
+
+    #[test]
+    fn trace_is_strictly_monotone_and_total() {
+        let sys = SystemModel::new(PlatformSpec::vrex48(), Method::ReSV);
+        let plans = fleet(6, 2, 8.0, 17);
+        let (r, trace) = serve_traced(&sys, &llama(), &plans, &ServeConfig::real_time(8_000));
+        assert_eq!(r.sessions.len(), plans.len());
+        assert!(!trace.is_empty());
+        for w in trace.windows(2) {
+            assert!(
+                w[0].ps < w[1].ps,
+                "simulated time must strictly advance: {w:?}"
+            );
+        }
+        assert!(trace.iter().any(|e| e.kind == TraceKind::StepComplete));
+        assert!(trace.iter().any(|e| e.kind == TraceKind::Arrival));
     }
 
     #[test]

@@ -5,7 +5,9 @@ use proptest::prelude::*;
 use vrex_model::ModelConfig;
 use vrex_system::pipeline::{cold_selected_tokens, layer_costs, selected_tokens, Workload};
 use vrex_system::serve::SessionOutcome;
-use vrex_system::{serve, Method, PlatformSpec, ServeConfig, SystemModel};
+use vrex_system::{
+    serve, serve_traced, Method, PlatformSpec, ServeConfig, StepPriceCache, SystemModel, TraceKind,
+};
 use vrex_workload::traffic::TrafficConfig;
 
 const METHODS: [Method; 6] = [
@@ -222,5 +224,116 @@ proptest! {
                 prop_assert!(!s.spilled);
             }
         }
+    }
+
+    /// Event-queue invariants over random fleets: simulated time is
+    /// strictly monotone (the PR 3 livelock class — time standing
+    /// still while work remains — is impossible wholesale), no
+    /// scheduler transition fires in the past, and every offered
+    /// session terminates in exactly one of admitted / rejected /
+    /// out-waited.
+    #[test]
+    fn event_queue_time_is_monotone_and_outcomes_partition(
+        sessions in 1usize..8,
+        turns in 0usize..3,
+        spread in 0.0f64..12.0,
+        max_wait in 0.0f64..12.0,
+        cache in 1_000usize..40_000,
+        seed in 0u64..300,
+        method_idx in 0usize..6,
+        tiered_admission in any::<bool>(),
+    ) {
+        let plans = TrafficConfig {
+            sessions,
+            turns,
+            arrival_spread_s: spread,
+            seed,
+        }
+        .generate();
+        let sys = SystemModel::new(PlatformSpec::agx_orin(), METHODS[method_idx]);
+        let model = ModelConfig::llama3_8b();
+        let cfg = ServeConfig {
+            max_wait_s: max_wait,
+            admission: if tiered_admission {
+                vrex_system::AdmissionPolicy::tiered_speculative()
+            } else {
+                vrex_system::AdmissionPolicy::RejectOnly
+            },
+            ..ServeConfig::real_time(cache)
+        };
+        let (r, trace) = serve_traced(&sys, &model, &plans, &cfg);
+        // Strictly monotone simulated time: every recorded transition
+        // advanced the clock, none fired at or before its predecessor
+        // (and therefore none in the past).
+        for w in trace.windows(2) {
+            prop_assert!(
+                w[0].ps < w[1].ps,
+                "time stalled or rewound: {:?} -> {:?}",
+                w[0],
+                w[1]
+            );
+        }
+        // Work implies progress: any admitted work produced at least
+        // one completed step transition.
+        if r.sessions.iter().any(|s| s.frames_offered > 0) {
+            prop_assert!(trace.iter().any(|e| e.kind == TraceKind::StepComplete));
+        }
+        // Outcome partition: every offered session reaches exactly one
+        // terminal outcome, ids are unique and drawn from the plans.
+        prop_assert_eq!(r.sessions.len(), plans.len());
+        let mut seen = std::collections::BTreeSet::new();
+        for s in &r.sessions {
+            prop_assert!(seen.insert(s.id), "session {} reported twice", s.id);
+            prop_assert!(plans.iter().any(|p| p.id == s.id));
+            // The outcome enum is the partition; rejected sessions
+            // never out-wait for free: their recorded wait respects
+            // the patience bound as the scheduler sees it — the
+            // ps-rounded deadline, which for a random f64 patience
+            // can sit just below `max_wait_s` itself.
+            let patience_floor_s =
+                vrex_hwsim::ps_to_seconds(vrex_hwsim::seconds_to_ps(cfg.max_wait_s));
+            if s.outcome == SessionOutcome::Rejected && s.waited_s > 0.0 {
+                prop_assert!(
+                    s.waited_s >= patience_floor_s,
+                    "out-waited below patience: {} < {}",
+                    s.waited_s,
+                    patience_floor_s
+                );
+            }
+        }
+        prop_assert_eq!(r.admitted + r.rejected, r.offered);
+    }
+
+    /// The memoized price cache is bit-identical to uncached
+    /// `SystemModel` pricing for arbitrary shapes, on both the miss
+    /// and the hit path.
+    #[test]
+    fn price_cache_matches_uncached_pricing(
+        cache_tokens in 1usize..80_000,
+        batch in 1usize..32,
+        question in 1usize..200,
+        method_idx in 0usize..6,
+        platform_idx in 0usize..4,
+    ) {
+        let method = METHODS[method_idx];
+        let platform = platforms()[platform_idx].clone();
+        let sys = SystemModel::new(platform, method);
+        let model = ModelConfig::llama3_8b();
+        let mut prices = StepPriceCache::new(&sys, &model);
+        for _ in 0..2 {
+            prop_assert_eq!(
+                prices.frame_step(cache_tokens, batch),
+                sys.frame_step(&model, cache_tokens, batch)
+            );
+            prop_assert_eq!(
+                prices.decode_step(cache_tokens, batch),
+                sys.decode_step(&model, cache_tokens, batch)
+            );
+            prop_assert_eq!(
+                prices.question_step(cache_tokens, batch, question),
+                sys.question_step(&model, cache_tokens, batch, question)
+            );
+        }
+        prop_assert_eq!(prices.hits(), prices.misses());
     }
 }

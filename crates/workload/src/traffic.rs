@@ -8,8 +8,14 @@
 //! ramp up the way live traffic does instead of stampeding at t=0) plus
 //! the session's event list. The serving scheduler in `vrex-system`
 //! consumes the plans; this crate stays hardware-free.
+//!
+//! Arrival timestamps are integer picoseconds ([`SessionPlan::arrival_ps`],
+//! via [`vrex_core::time`]): the event-driven scheduler compares and
+//! adds timestamps exactly, so the float jitter draw is rounded to ps
+//! once, here, and never re-enters time arithmetic.
 
 use rand::Rng;
+use vrex_core::time::{ps_to_seconds, seconds_to_ps};
 use vrex_tensor::rng::seeded_rng;
 
 use crate::session::{SessionEvent, SessionGenerator};
@@ -62,12 +68,12 @@ impl TrafficConfig {
                 };
                 SessionPlan {
                     id,
-                    arrival_s: id as f64 * slot + jitter,
+                    arrival_ps: seconds_to_ps(id as f64 * slot + jitter),
                     events: generator.session(self.turns),
                 }
             })
             .collect();
-        plans.sort_by(|a, b| a.arrival_s.total_cmp(&b.arrival_s));
+        plans.sort_by_key(|p| p.arrival_ps);
         plans
     }
 }
@@ -77,13 +83,19 @@ impl TrafficConfig {
 pub struct SessionPlan {
     /// Stable session id (assigned before arrival sorting).
     pub id: usize,
-    /// Wall-clock arrival time (seconds).
-    pub arrival_s: f64,
+    /// Wall-clock arrival time (integer picoseconds).
+    pub arrival_ps: u64,
     /// The session's event stream (frames, questions, answers).
     pub events: Vec<SessionEvent>,
 }
 
 impl SessionPlan {
+    /// Arrival time in seconds (display/report convenience; all
+    /// scheduling arithmetic stays on [`Self::arrival_ps`]).
+    pub fn arrival_s(&self) -> f64 {
+        ps_to_seconds(self.arrival_ps)
+    }
+
     /// Total video frames across the session.
     pub fn total_frames(&self) -> usize {
         self.events
@@ -110,6 +122,7 @@ impl SessionPlan {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use vrex_core::time::PS_PER_SECOND;
 
     #[test]
     fn generation_is_deterministic() {
@@ -128,11 +141,11 @@ mod tests {
         let plans = cfg.generate();
         assert_eq!(plans.len(), 16);
         for w in plans.windows(2) {
-            assert!(w[0].arrival_s <= w[1].arrival_s);
+            assert!(w[0].arrival_ps <= w[1].arrival_ps);
         }
-        assert!(plans.iter().all(|p| (0.0..30.0).contains(&p.arrival_s)));
+        assert!(plans.iter().all(|p| p.arrival_ps < 30 * PS_PER_SECOND));
         // Staggering spreads arrivals: not everyone in the first slot.
-        assert!(plans.last().unwrap().arrival_s > 15.0);
+        assert!(plans.last().unwrap().arrival_ps > 15 * PS_PER_SECOND);
     }
 
     #[test]
@@ -143,14 +156,24 @@ mod tests {
             arrival_spread_s: 0.0,
             seed: 9,
         };
-        assert!(cfg.generate().iter().all(|p| p.arrival_s == 0.0));
+        assert!(cfg.generate().iter().all(|p| p.arrival_ps == 0));
+    }
+
+    #[test]
+    fn arrival_seconds_mirror_picoseconds() {
+        let plan = SessionPlan {
+            id: 0,
+            arrival_ps: PS_PER_SECOND / 4,
+            events: Vec::new(),
+        };
+        assert_eq!(plan.arrival_s(), 0.25);
     }
 
     #[test]
     fn cache_growth_counts_every_event() {
         let plan = SessionPlan {
             id: 0,
-            arrival_s: 0.0,
+            arrival_ps: 0,
             events: vec![
                 SessionEvent::Frame,
                 SessionEvent::Frame,
