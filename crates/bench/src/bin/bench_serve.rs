@@ -44,6 +44,15 @@ fn entries(smoke: bool) -> Vec<Entry> {
             args: &["--smoke"],
             budget_s: 60.0,
         },
+        // The overlap-on row next to the overlap-off row above: the
+        // same smoke grid under resource-timeline execution (a fourth
+        // policy per unit), so the capacity delta and the cost of the
+        // engine bookkeeping are both visible in BENCH_serve.json.
+        Entry {
+            bin: "tier_capacity",
+            args: &["--smoke", "--overlap"],
+            budget_s: 60.0,
+        },
         Entry {
             bin: "fig13_latency_energy",
             args: &[],
@@ -61,6 +70,14 @@ fn entries(smoke: bool) -> Vec<Entry> {
             bin: "tier_capacity",
             args: &[],
             budget_s: 30.0,
+        });
+        // Full grid with the tiered+overlap policy row: 4 serves per
+        // fleet size instead of 3, plus the engine's reservation
+        // bookkeeping on the spill-heavy units.
+        v.push(Entry {
+            bin: "tier_capacity",
+            args: &["--overlap"],
+            budget_s: 45.0,
         });
     }
     v

@@ -10,6 +10,23 @@
 //!   resource's availability; resources serve one task at a time;
 //! * busy intervals are recorded per resource with byte annotations so
 //!   bandwidth-over-time traces (Fig. 17) fall out directly.
+//!
+//! Two scheduling disciplines coexist on the same timelines:
+//!
+//! * [`Engine::schedule`] **appends**: the task starts no earlier than
+//!   everything previously placed on the resource (FIFO order — the
+//!   right discipline for a compute queue);
+//! * [`Engine::reserve_after`] / [`Engine::schedule_after`] find the
+//!   **earliest fit**: the first gap at or after a given instant that
+//!   holds the duration, even if later work was already placed (the
+//!   right discipline for latency-critical link transfers such as tier
+//!   restores, which may claim link idle time that low-priority spill
+//!   writebacks left behind — or that lies *before* the current
+//!   simulation instant, modelling a prefetch that was issued when the
+//!   work item first became visible).
+//!
+//! [`Engine::truncate_from`] drops not-yet-started reservations from a
+//! timeline so a scheduler can re-plan after conditions change.
 
 use crate::time::ps_to_seconds;
 
@@ -37,12 +54,49 @@ pub struct BusyInterval {
 #[derive(Debug)]
 struct Resource {
     name: String,
+    /// End of the last *appended* task; [`Engine::schedule`] starts at
+    /// or after this, so appended tasks stay FIFO even when earlier
+    /// gaps exist.
     next_free: u64,
+    /// Busy intervals, kept sorted by start and non-overlapping.
     busy: Vec<BusyInterval>,
+}
+
+impl Resource {
+    /// Earliest start `>= earliest` where `duration` fits into a gap of
+    /// the (sorted, non-overlapping) timeline.
+    fn earliest_fit(&self, earliest: u64, duration: u64) -> u64 {
+        let mut candidate = earliest;
+        for b in &self.busy {
+            if b.end <= candidate {
+                continue;
+            }
+            if candidate.saturating_add(duration) <= b.start {
+                break;
+            }
+            candidate = b.end;
+        }
+        candidate
+    }
+
+    /// Inserts an interval keeping the timeline sorted by start.
+    fn insert(&mut self, iv: BusyInterval) {
+        let at = self.busy.partition_point(|b| b.start <= iv.start);
+        debug_assert!(
+            at == 0 || self.busy[at - 1].end <= iv.start,
+            "reservation overlaps its predecessor"
+        );
+        debug_assert!(
+            at == self.busy.len() || iv.end <= self.busy[at].start,
+            "reservation overlaps its successor"
+        );
+        self.busy.insert(at, iv);
+    }
 }
 
 #[derive(Debug, Clone, Copy)]
 struct Task {
+    start: u64,
     end: u64,
 }
 
@@ -83,7 +137,8 @@ impl Engine {
     }
 
     /// Schedules a task of `duration_ps` on `resource`, starting no
-    /// earlier than `deps` have finished. Zero-duration tasks are legal
+    /// earlier than `deps` have finished and everything previously
+    /// *appended* to the resource (FIFO). Zero-duration tasks are legal
     /// (pure synchronisation points). Returns the task id.
     ///
     /// # Panics
@@ -99,19 +154,119 @@ impl Engine {
     ) -> TaskId {
         let dep_ready = deps.iter().map(|d| self.tasks[d.0].end).max().unwrap_or(0);
         let res = &mut self.resources[resource.0];
-        let start = dep_ready.max(res.next_free);
+        // Appended tasks also never overlap earliest-fit reservations:
+        // reservations cap at the timeline's max end, which next_free
+        // tracks below.
+        let start = res.earliest_fit(dep_ready.max(res.next_free), duration_ps);
         let end = start + duration_ps;
-        res.next_free = end;
+        res.next_free = res.next_free.max(end);
         if duration_ps > 0 {
-            res.busy.push(BusyInterval {
+            res.insert(BusyInterval {
                 start,
                 end,
                 bytes,
                 tag: tag.to_string(),
             });
         }
-        self.tasks.push(Task { end });
+        self.tasks.push(Task { start, end });
         TaskId(self.tasks.len() - 1)
+    }
+
+    /// Reserves the **earliest fit** for `duration_ps` on `resource` at
+    /// or after `earliest_ps`: the first gap in the timeline that holds
+    /// the duration, even if that gap lies before work already placed.
+    /// This is the reservation discipline for latency-critical
+    /// transfers (tier restores, speculative prefetch) that claim link
+    /// idle time — including idle time in the simulated past, modelling
+    /// a transfer issued when its trigger first became visible.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `resource` is invalid.
+    pub fn reserve_after(
+        &mut self,
+        resource: ResourceId,
+        earliest_ps: u64,
+        duration_ps: u64,
+        tag: &str,
+        bytes: u64,
+    ) -> TaskId {
+        let res = &mut self.resources[resource.0];
+        let start = res.earliest_fit(earliest_ps, duration_ps);
+        let end = start + duration_ps;
+        res.next_free = res.next_free.max(end);
+        if duration_ps > 0 {
+            res.insert(BusyInterval {
+                start,
+                end,
+                bytes,
+                tag: tag.to_string(),
+            });
+        }
+        self.tasks.push(Task { start, end });
+        TaskId(self.tasks.len() - 1)
+    }
+
+    /// Dependency-aware earliest-fit: like [`Self::reserve_after`], but
+    /// the start is additionally bounded below by every dependency's
+    /// end time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `resource` or any dependency id is invalid.
+    pub fn schedule_after(
+        &mut self,
+        resource: ResourceId,
+        earliest_ps: u64,
+        duration_ps: u64,
+        deps: &[TaskId],
+        tag: &str,
+        bytes: u64,
+    ) -> TaskId {
+        let dep_ready = deps.iter().map(|d| self.tasks[d.0].end).max().unwrap_or(0);
+        self.reserve_after(
+            resource,
+            earliest_ps.max(dep_ready),
+            duration_ps,
+            tag,
+            bytes,
+        )
+    }
+
+    /// Drops every busy interval on `resource` that **starts at or
+    /// after** `t_ps`, returning how many were removed. In-progress
+    /// intervals (started before `t_ps`) are kept whole. The appended
+    /// frontier rewinds to the latest remaining end, so a scheduler can
+    /// re-plan the future of a timeline after conditions change.
+    ///
+    /// Task ids whose reservations were removed keep their recorded
+    /// start/end for queries, but no longer occupy the timeline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `resource` is invalid.
+    pub fn truncate_from(&mut self, resource: ResourceId, t_ps: u64) -> usize {
+        let res = &mut self.resources[resource.0];
+        let keep = res.busy.partition_point(|b| b.start < t_ps);
+        let removed = res.busy.len() - keep;
+        res.busy.truncate(keep);
+        res.next_free = res.busy.iter().map(|b| b.end).max().unwrap_or(0);
+        removed
+    }
+
+    /// The appended-task frontier of a resource: the earliest instant
+    /// [`Self::schedule`] would start a new task (the max end over
+    /// everything placed so far). Lets a caller append work that must
+    /// additionally not start before some instant — e.g. a writeback
+    /// decided *now* goes at `max(now, next_free)` so it is both
+    /// lowest-priority and causal.
+    pub fn next_free(&self, r: ResourceId) -> u64 {
+        self.resources[r.0].next_free
+    }
+
+    /// Start time (ps) of a task.
+    pub fn start_of(&self, task: TaskId) -> u64 {
+        self.tasks[task.0].start
     }
 
     /// End time (ps) of a task.
@@ -129,7 +284,7 @@ impl Engine {
         &self.resources[r.0].name
     }
 
-    /// Busy intervals recorded on a resource, in schedule order.
+    /// Busy intervals recorded on a resource, sorted by start time.
     pub fn trace(&self, r: ResourceId) -> &[BusyInterval] {
         &self.resources[r.0].busy
     }
@@ -144,6 +299,8 @@ impl Engine {
     }
 
     /// Utilisation of a resource over the makespan, in `[0, 1]`.
+    /// A resource with no recorded work — or an engine whose makespan
+    /// is zero — pins to `0.0` rather than dividing by zero.
     pub fn utilization(&self, r: ResourceId) -> f64 {
         let span = self.makespan();
         if span == 0 {
@@ -155,9 +312,13 @@ impl Engine {
 
     /// Average bandwidth (bytes/s) of a resource within `[t0, t1)`,
     /// attributing each interval's bytes uniformly over its duration.
-    /// This is the Fig. 17 bandwidth-timeline query.
+    /// This is the Fig. 17 bandwidth-timeline query. An empty window
+    /// (`t1 <= t0`) carries no bytes and pins to `0.0`; so does an
+    /// empty timeline.
     pub fn bandwidth_in_window(&self, r: ResourceId, t0: u64, t1: u64) -> f64 {
-        assert!(t1 > t0, "empty window");
+        if t1 <= t0 {
+            return 0.0;
+        }
         let mut bytes = 0.0;
         for b in &self.resources[r.0].busy {
             let overlap_start = b.start.max(t0);
@@ -206,6 +367,7 @@ mod tests {
         let a = e.schedule(r1, 100, &[], "a", 0);
         let b = e.schedule(r2, 10, &[a], "b", 0);
         assert_eq!(e.end_of(b), 110);
+        assert_eq!(e.start_of(b), 100);
     }
 
     #[test]
@@ -231,6 +393,19 @@ mod tests {
     }
 
     #[test]
+    fn utilization_pins_to_zero_without_tasks() {
+        // Empty engine: makespan 0 must not divide by zero.
+        let mut e = Engine::new();
+        let r = e.add_resource("idle");
+        assert_eq!(e.utilization(r), 0.0);
+        // A resource with no tasks while others are busy: 0, not NaN.
+        let busy = e.add_resource("busy");
+        e.schedule(busy, 100, &[], "work", 0);
+        assert_eq!(e.utilization(r), 0.0);
+        assert_eq!(e.busy_time(r), 0);
+    }
+
+    #[test]
     fn bandwidth_window_attributes_bytes() {
         let mut e = Engine::new();
         let link = e.add_resource("pcie");
@@ -243,6 +418,97 @@ mod tests {
         assert!((bw_half - 1e12).abs() / 1e12 < 1e-9);
         // Idle window: zero.
         assert_eq!(e.bandwidth_in_window(link, 2000, 3000), 0.0);
+    }
+
+    #[test]
+    fn empty_bandwidth_windows_pin_to_zero() {
+        let mut e = Engine::new();
+        let link = e.add_resource("pcie");
+        // Empty timeline, empty window, inverted window: all 0.0.
+        assert_eq!(e.bandwidth_in_window(link, 0, 100), 0.0);
+        assert_eq!(e.bandwidth_in_window(link, 50, 50), 0.0);
+        assert_eq!(e.bandwidth_in_window(link, 70, 30), 0.0);
+        e.schedule(link, 1000, &[], "xfer", 1000);
+        // A zero-width window inside a busy interval still carries no
+        // bytes (no time passes).
+        assert_eq!(e.bandwidth_in_window(link, 500, 500), 0.0);
+    }
+
+    #[test]
+    fn reserve_after_takes_the_earliest_gap() {
+        let mut e = Engine::new();
+        let link = e.add_resource("link");
+        e.schedule(link, 100, &[], "a", 0); // [0, 100)
+        let b = e.reserve_after(link, 300, 100, "b", 0); // [300, 400)
+        assert_eq!(e.start_of(b), 300);
+        // 150 ps fits the [100, 300) gap even though `b` is placed.
+        let c = e.reserve_after(link, 0, 150, "c", 0);
+        assert_eq!(e.start_of(c), 100);
+        assert_eq!(e.end_of(c), 250);
+        // 60 ps next: the remaining [250, 300) gap is too small, so it
+        // lands after `b`.
+        let d = e.reserve_after(link, 0, 60, "d", 0);
+        assert_eq!(e.start_of(d), 400);
+        // Timeline stayed sorted and non-overlapping.
+        let trace = e.trace(link);
+        for w in trace.windows(2) {
+            assert!(w[0].end <= w[1].start);
+        }
+    }
+
+    #[test]
+    fn schedule_after_respects_deps_and_gaps() {
+        let mut e = Engine::new();
+        let cpu = e.add_resource("cpu");
+        let link = e.add_resource("link");
+        let a = e.schedule(cpu, 200, &[], "compute", 0);
+        e.reserve_after(link, 0, 50, "early", 0); // [0, 50)
+                                                  // Depends on `a` (ends 200): the [50, ..] gap is admissible but
+                                                  // the dependency pushes the start to 200.
+        let b = e.schedule_after(link, 0, 30, &[a], "after-dep", 0);
+        assert_eq!(e.start_of(b), 200);
+        // No deps, earliest 10: fits right after the first interval.
+        let c = e.schedule_after(link, 10, 30, &[], "gap", 0);
+        assert_eq!(e.start_of(c), 50);
+    }
+
+    #[test]
+    fn append_schedule_stays_fifo_despite_gaps() {
+        let mut e = Engine::new();
+        let r = e.add_resource("q");
+        e.reserve_after(r, 1000, 100, "late", 0); // [1000, 1100)
+                                                  // Appends go after everything already placed (FIFO), never into
+                                                  // the [0, 1000) gap.
+        let a = e.schedule(r, 10, &[], "a", 0);
+        assert_eq!(e.start_of(a), 1100);
+        // Earliest-fit can still use the gap afterwards.
+        let b = e.reserve_after(r, 0, 500, "fill", 0);
+        assert_eq!(e.start_of(b), 0);
+    }
+
+    #[test]
+    fn truncate_from_drops_future_reservations_only() {
+        let mut e = Engine::new();
+        let r = e.add_resource("link");
+        e.schedule(r, 100, &[], "a", 0); // [0, 100)
+        e.reserve_after(r, 200, 50, "b", 0); // [200, 250)
+        e.reserve_after(r, 400, 50, "c", 0); // [400, 450)
+                                             // Truncating at 150 drops b and c, keeps the in-progress a.
+        assert_eq!(e.truncate_from(r, 150), 2);
+        assert_eq!(e.trace(r).len(), 1);
+        assert_eq!(e.busy_time(r), 100);
+        // The frontier rewound: the next append starts at 100.
+        let d = e.schedule(r, 10, &[], "d", 0);
+        assert_eq!(e.start_of(d), 100);
+        // Truncating at an instant inside an interval keeps it whole:
+        // `d` spans [100, 110), so cutting at 105 keeps both it and `a`.
+        assert_eq!(e.truncate_from(r, 105), 0, "in-progress tasks kept");
+        assert_eq!(e.trace(r).len(), 2);
+        // Cutting exactly at a start drops that reservation.
+        assert_eq!(e.truncate_from(r, 100), 1, "d dropped, a kept");
+        assert_eq!(e.trace(r).len(), 1);
+        assert_eq!(e.truncate_from(r, 0), 1, "everything dropped");
+        assert_eq!(e.busy_time(r), 0);
     }
 
     proptest! {
@@ -266,6 +532,62 @@ mod tests {
                 prop_assert!(w[0].end <= w[1].start, "overlapping intervals");
             }
             prop_assert_eq!(e.busy_time(r), durations.iter().sum::<u64>());
+        }
+
+        /// Interval exclusivity under a random mix of appends and
+        /// earliest-fit reservations on shared resources: every
+        /// timeline stays strictly ordered by start with no overlap,
+        /// every task occupies exactly its duration, and reservations
+        /// never start before their requested earliest instant.
+        #[test]
+        fn mixed_reservations_never_overlap(
+            ops in proptest::collection::vec(
+                (0u8..3, 0usize..3, 0u64..5000, 1u64..800), 1..60)
+        ) {
+            let mut e = Engine::new();
+            let rs = [
+                e.add_resource("compute"),
+                e.add_resource("pcie"),
+                e.add_resource("ssd"),
+            ];
+            let mut last: Option<TaskId> = None;
+            for &(op, ri, earliest, dur) in &ops {
+                let r = rs[ri];
+                let t = match op {
+                    0 => e.schedule(r, dur, &[], "append", dur),
+                    1 => {
+                        let t = e.reserve_after(r, earliest, dur, "fit", dur);
+                        prop_assert!(e.start_of(t) >= earliest);
+                        t
+                    }
+                    _ => {
+                        let deps: Vec<TaskId> = last.into_iter().collect();
+                        let t = e.schedule_after(r, earliest, dur, &deps, "dep", dur);
+                        prop_assert!(e.start_of(t) >= earliest);
+                        if let Some(p) = last {
+                            prop_assert!(e.start_of(t) >= e.end_of(p));
+                        }
+                        t
+                    }
+                };
+                prop_assert_eq!(e.end_of(t) - e.start_of(t), dur);
+                last = Some(t);
+            }
+            for r in rs {
+                let trace = e.trace(r);
+                for w in trace.windows(2) {
+                    prop_assert!(
+                        w[0].start < w[1].start,
+                        "intervals not strictly ordered"
+                    );
+                    prop_assert!(
+                        w[0].end <= w[1].start,
+                        "overlapping intervals: {:?} then {:?}",
+                        w[0],
+                        w[1]
+                    );
+                }
+            }
         }
     }
 }

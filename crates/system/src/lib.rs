@@ -42,10 +42,13 @@ pub mod realtime;
 pub mod serve;
 
 pub use e2e::{EnergyBreakdown, StepResult, SystemModel};
-pub use memory::{AdmissionPolicy, PrefetchMode, RestoreOutcome, TierStats, TieredKvManager};
+pub use memory::{
+    AdmissionPolicy, MigrationTask, PrefetchMode, RestoreOutcome, RestorePlan, TierStats,
+    TieredKvManager,
+};
 pub use method::{Method, MethodProfile};
 pub use platform::{ComputeSpec, PlatformSpec};
-pub use pricing::StepPriceCache;
+pub use pricing::{ExecContext, StepPriceCache};
 pub use serve::{
     serve, serve_traced, serve_with_cache, ServeConfig, ServeReport, SessionServeReport,
     TierReport, TraceEvent, TraceKind,

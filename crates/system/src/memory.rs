@@ -26,11 +26,15 @@
 //! (last-active time, session id), and every duration comes from the
 //! closed-form hardware models.
 
+use std::collections::HashMap;
+use std::hash::BuildHasherDefault;
+
 use vrex_hwsim::tier::{MemTier, TierCapacities, TierPath};
 use vrex_model::ModelConfig;
 use vrex_retrieval::prefetch::{NoPrefetch, PrefetchPolicy, PrefetchRequest, SpeculativePrefetch};
 
 use crate::e2e::SystemModel;
+use crate::pricing::PriceKeyHasher;
 
 /// DMA chunk size for bulk tier migrations (spills and restores move
 /// whole resident-window blocks, so they stream at FlexGen-like
@@ -131,6 +135,60 @@ pub struct RestoreOutcome {
     pub exposed_ps: u64,
 }
 
+/// One bulk KV migration the residency policy decided on — emitted by
+/// spills and promotions for the scheduler to price and place on the
+/// shared link as a real task (the resource-timeline serving path),
+/// instead of the manager folding time into exposed-seconds itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MigrationTask {
+    /// Stream whose bytes move.
+    pub session: usize,
+    /// Source tier.
+    pub from: MemTier,
+    /// Destination tier.
+    pub to: MemTier,
+    /// Bytes moved.
+    pub bytes: u64,
+}
+
+/// The priced shape of one step's tier restore, before any overlap
+/// decision: how many bytes come from each spill tier, how long each
+/// leg holds the shared link, and what fraction the prefetch policy
+/// promises to have in flight ahead of the step.
+///
+/// [`TieredKvManager::plan_restore`] produces it; the serialized
+/// scheduler folds it into exposed time via
+/// [`TieredKvManager::step_restore`], while the overlapped scheduler
+/// turns the legs into link reservations and commits the outcome with
+/// [`TieredKvManager::commit_restore`].
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RestorePlan {
+    /// Bytes restored from host DRAM.
+    pub host_bytes: u64,
+    /// Bytes restored from the SSD.
+    pub ssd_bytes: u64,
+    /// Link time of the host-DRAM leg (ps).
+    pub host_ps: u64,
+    /// Link time of the SSD leg (ps).
+    pub ssd_ps: u64,
+    /// Fraction of the restore the prefetch policy covers ahead of the
+    /// step (already scaled by speculation accuracy).
+    pub coverage: f64,
+}
+
+impl RestorePlan {
+    /// Total link occupancy of the restore (the two legs share one
+    /// PCIe link, so they serialise).
+    pub fn miss_ps(&self) -> u64 {
+        self.host_ps + self.ssd_ps
+    }
+
+    /// Total bytes restored.
+    pub fn bytes(&self) -> u64 {
+        self.host_bytes + self.ssd_bytes
+    }
+}
+
 /// Aggregate tiering statistics over a serving run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct TierStats {
@@ -167,6 +225,17 @@ pub struct TieredKvManager {
     used: [u64; 3],
     ever_spilled: std::collections::BTreeSet<usize>,
     stats: TierStats,
+    /// Migrations decided since the last [`Self::take_migrations`]
+    /// drain, in decision order.
+    pending_migrations: Vec<MigrationTask>,
+    /// Memoized [`TierPath::migrate_ps`] at the manager's chunk size,
+    /// keyed by (from, to, bytes). `step_restore` re-prices repeated
+    /// (spilled bytes × ratio) shapes per batch member; the memo turns
+    /// every repeat into one hash lookup, bit-identical to the closed
+    /// form (oracle-tested).
+    migration_prices: HashMap<(u8, u8, u64), u64, BuildHasherDefault<PriceKeyHasher>>,
+    price_hits: u64,
+    price_misses: u64,
 }
 
 impl TieredKvManager {
@@ -180,6 +249,10 @@ impl TieredKvManager {
             used: [0; 3],
             ever_spilled: std::collections::BTreeSet::new(),
             stats: TierStats::default(),
+            pending_migrations: Vec::new(),
+            migration_prices: HashMap::default(),
+            price_hits: 0,
+            price_misses: 0,
         }
     }
 
@@ -257,6 +330,102 @@ impl TieredKvManager {
         self.ever_spilled.contains(&id)
     }
 
+    /// Drains the migrations decided since the last drain (spills from
+    /// [`Self::admit`]/[`Self::grow`], promotions from
+    /// [`Self::release`]), in decision order. The resource-timeline
+    /// scheduler prices each one and places it on the shared link as a
+    /// background task; the serialized scheduler discards them (its
+    /// writebacks stream behind compute by assumption).
+    pub fn take_migrations(&mut self) -> Vec<MigrationTask> {
+        std::mem::take(&mut self.pending_migrations)
+    }
+
+    /// Memoized [`TierPath::migrate_ps`] at the manager's migration
+    /// chunk size — bit-identical to the closed form, one hash lookup
+    /// per repeated (route, bytes) shape.
+    pub fn migration_price_ps(&mut self, from: MemTier, to: MemTier, bytes: u64) -> u64 {
+        if bytes == 0 || from == to {
+            return 0;
+        }
+        let key = (tier_index(from) as u8, tier_index(to) as u8, bytes);
+        if let Some(&ps) = self.migration_prices.get(&key) {
+            self.price_hits += 1;
+            return ps;
+        }
+        self.price_misses += 1;
+        let ps = self.path.migrate_ps(from, to, bytes, self.chunk_bytes);
+        self.migration_prices.insert(key, ps);
+        ps
+    }
+
+    /// Migration-price lookups served from the memo so far.
+    pub fn price_hits(&self) -> u64 {
+        self.price_hits
+    }
+
+    /// Migration-price lookups that ran the closed-form pricing.
+    pub fn price_misses(&self) -> u64 {
+        self.price_misses
+    }
+
+    /// Prices the restore one step of `id` would need: the selected
+    /// share (`ratio`) of the stream's spilled bytes per source tier,
+    /// the link time of each leg, and the prefetch policy's promised
+    /// coverage. Pure with respect to residency and statistics — the
+    /// caller decides how much of the restore overlaps and commits the
+    /// outcome via [`Self::commit_restore`] (or uses
+    /// [`Self::step_restore`], which does both with the serialized
+    /// window rule).
+    pub fn plan_restore(
+        &mut self,
+        id: usize,
+        ratio: f64,
+        generation: bool,
+        prefetch: &dyn PrefetchPolicy,
+    ) -> RestorePlan {
+        let Ok(slot) = self.slot(id) else {
+            return RestorePlan::default();
+        };
+        let r = self.sessions[slot].1;
+        let ratio = ratio.clamp(0.0, 1.0);
+        let host_bytes = (r.host_bytes as f64 * ratio).ceil() as u64;
+        let ssd_bytes = (r.ssd_bytes as f64 * ratio).ceil() as u64;
+        let host_ps = self.migration_price_ps(MemTier::Host, MemTier::Device, host_bytes);
+        let ssd_ps = self.migration_price_ps(MemTier::Ssd, MemTier::Device, ssd_bytes);
+        if host_ps + ssd_ps == 0 {
+            return RestorePlan::default();
+        }
+        let plan = prefetch.plan(&PrefetchRequest {
+            cold_bytes: r.spilled_bytes(),
+            selection_ratio: ratio,
+            generation,
+        });
+        RestorePlan {
+            host_bytes,
+            ssd_bytes,
+            host_ps,
+            ssd_ps,
+            coverage: plan.coverage(host_bytes + ssd_bytes),
+        }
+    }
+
+    /// Records the outcome of one step's restore plan: a zero-byte plan
+    /// counts a tier hit; anything else counts a miss with
+    /// `hidden_ps`/`exposed_ps` splitting its link time between
+    /// overlapped and critical-path. The caller guarantees
+    /// `hidden_ps + exposed_ps == plan.miss_ps()`.
+    pub fn commit_restore(&mut self, plan: &RestorePlan, hidden_ps: u64, exposed_ps: u64) {
+        debug_assert_eq!(hidden_ps + exposed_ps, plan.miss_ps());
+        if plan.miss_ps() == 0 {
+            self.stats.tier_hit_steps += 1;
+            return;
+        }
+        self.stats.tier_miss_steps += 1;
+        self.stats.restored_bytes += plan.bytes();
+        self.stats.hidden_ps += hidden_ps;
+        self.stats.exposed_ps += exposed_ps;
+    }
+
     /// Admits a stream with `bytes` of resident demand, placed in
     /// device memory; colder streams are spilled down if the device
     /// overflows.
@@ -324,29 +493,16 @@ impl TieredKvManager {
         window_ps: u64,
         prefetch: &dyn PrefetchPolicy,
     ) -> RestoreOutcome {
-        let Ok(slot) = self.slot(id) else {
-            return RestoreOutcome::default();
-        };
-        let r = &self.sessions[slot].1;
-        let ratio = ratio.clamp(0.0, 1.0);
-        let need_host = (r.host_bytes as f64 * ratio).ceil() as u64;
-        let need_ssd = (r.ssd_bytes as f64 * ratio).ceil() as u64;
-        let miss_ps = self.path.restore_ps(need_host, need_ssd, self.chunk_bytes);
-        if miss_ps == 0 {
-            self.stats.tier_hit_steps += 1;
+        if self.slot(id).is_err() {
             return RestoreOutcome::default();
         }
-        let plan = prefetch.plan(&PrefetchRequest {
-            cold_bytes: r.spilled_bytes(),
-            selection_ratio: ratio,
-            generation,
-        });
-        let coverage = plan.coverage(need_host + need_ssd);
-        let hidden = ((miss_ps as f64 * coverage) as u64).min(window_ps);
-        self.stats.tier_miss_steps += 1;
-        self.stats.restored_bytes += need_host + need_ssd;
-        self.stats.hidden_ps += hidden;
-        self.stats.exposed_ps += miss_ps - hidden;
+        let plan = self.plan_restore(id, ratio, generation, prefetch);
+        let miss_ps = plan.miss_ps();
+        let hidden = ((miss_ps as f64 * plan.coverage) as u64).min(window_ps);
+        self.commit_restore(&plan, hidden, miss_ps - hidden);
+        if miss_ps == 0 {
+            return RestoreOutcome::default();
+        }
         RestoreOutcome {
             miss_ps,
             exposed_ps: miss_ps - hidden,
@@ -408,6 +564,12 @@ impl TieredKvManager {
             self.used[tier_index(dest)] += moved;
             self.stats.spilled_bytes += moved;
             self.ever_spilled.insert(victim_id);
+            self.pending_migrations.push(MigrationTask {
+                session: victim_id,
+                from: tier,
+                to: dest,
+                bytes: moved,
+            });
         }
     }
 
@@ -434,7 +596,8 @@ impl TieredKvManager {
             if free == 0 {
                 break;
             }
-            let r = &mut self.sessions[i].1;
+            let (id, r) = &mut self.sessions[i];
+            let id = *id;
             for tier in [MemTier::Host, MemTier::Ssd] {
                 let moved = tier_bytes(r, tier).min(free);
                 *tier_bytes_mut(r, tier) -= moved;
@@ -443,6 +606,14 @@ impl TieredKvManager {
                 self.used[tier_index(MemTier::Device)] += moved;
                 free -= moved;
                 self.stats.promoted_bytes += moved;
+                if moved > 0 {
+                    self.pending_migrations.push(MigrationTask {
+                        session: id,
+                        from: tier,
+                        to: MemTier::Device,
+                        bytes: moved,
+                    });
+                }
             }
         }
     }
@@ -632,6 +803,111 @@ mod tests {
         m.grow(1, GIB, 2);
         assert_eq!(m.residency(0).unwrap().host_bytes, GIB);
         assert_eq!(m.residency(1).unwrap().spilled_bytes(), 0);
+    }
+
+    #[test]
+    fn migration_price_memo_is_bit_identical_to_the_closed_form() {
+        let mut m = server_manager(4 * GIB, 8 * GIB, 64 * GIB);
+        let path = TierPath {
+            pcie: PcieConfig::gen4_x16(),
+            host_dram: Some(DramConfig::ddr4_cpu()),
+            ssd: Some(SsdConfig::bg6_class()),
+        };
+        // The repeated 1 MiB shape exercises the hit path; every lookup
+        // must equal the direct closed form exactly.
+        for bytes in [1u64, 4096, 1 << 20, 2 * GIB, 1 << 20, 4096] {
+            for (from, to) in [
+                (MemTier::Host, MemTier::Device),
+                (MemTier::Ssd, MemTier::Device),
+                (MemTier::Device, MemTier::Host),
+                (MemTier::Host, MemTier::Ssd),
+            ] {
+                assert_eq!(
+                    m.migration_price_ps(from, to, bytes),
+                    path.migrate_ps(from, to, bytes, MIGRATION_CHUNK_BYTES),
+                    "{from}->{to} {bytes}B"
+                );
+            }
+        }
+        assert!(m.price_hits() > 0, "repeated shapes must hit the memo");
+        // Zero bytes and same-tier moves stay free without polluting it.
+        let misses = m.price_misses();
+        assert_eq!(m.migration_price_ps(MemTier::Host, MemTier::Device, 0), 0);
+        assert_eq!(m.migration_price_ps(MemTier::Host, MemTier::Host, GIB), 0);
+        assert_eq!(m.price_misses(), misses);
+    }
+
+    #[test]
+    fn repeated_restore_shapes_hit_the_memo() {
+        let mut m = server_manager(GIB, 8 * GIB, 0);
+        m.admit(0, GIB, 0);
+        m.admit(1, GIB, 1); // spills 0 entirely
+        let a = m.step_restore(0, 0.5, false, 0, &NoPrefetch);
+        let hits_before = m.price_hits();
+        let b = m.step_restore(0, 0.5, false, 0, &NoPrefetch);
+        assert_eq!(a, b, "memoized repeat must be bit-identical");
+        assert!(m.price_hits() > hits_before, "second shape is a hit");
+    }
+
+    #[test]
+    fn spills_and_promotions_emit_migration_tasks() {
+        let mut m = server_manager(4 * GIB, 8 * GIB, 0);
+        m.admit(0, 2 * GIB, 0);
+        m.admit(1, 2 * GIB, 1);
+        assert!(m.take_migrations().is_empty(), "no pressure, no tasks");
+        m.admit(2, 2 * GIB, 2); // spills stream 0 down
+        assert_eq!(
+            m.take_migrations(),
+            vec![MigrationTask {
+                session: 0,
+                from: MemTier::Device,
+                to: MemTier::Host,
+                bytes: 2 * GIB,
+            }]
+        );
+        assert!(m.take_migrations().is_empty(), "drain empties the queue");
+        m.release(1); // frees device space: stream 0 promotes back
+        assert_eq!(
+            m.take_migrations(),
+            vec![MigrationTask {
+                session: 0,
+                from: MemTier::Host,
+                to: MemTier::Device,
+                bytes: 2 * GIB,
+            }]
+        );
+    }
+
+    #[test]
+    fn plan_and_commit_reproduce_step_restore() {
+        let mk = || {
+            let mut m = server_manager(GIB, 8 * GIB, 0);
+            m.admit(0, GIB, 0);
+            m.admit(1, GIB, 1); // spills 0 entirely
+            m
+        };
+        let spec = SpeculativePrefetch { accuracy: 0.9 };
+        let window = 123_456_789u64;
+        let mut serialized = mk();
+        let out = serialized.step_restore(0, 1.0, false, window, &spec);
+        // The decomposed path: plan, apply the same window rule, commit.
+        let mut decomposed = mk();
+        let plan = decomposed.plan_restore(0, 1.0, false, &spec);
+        assert_eq!(plan.miss_ps(), out.miss_ps);
+        assert!(plan.host_bytes > 0, "spill lives in host DRAM");
+        assert_eq!(plan.ssd_bytes, 0);
+        let hidden = ((plan.miss_ps() as f64 * plan.coverage) as u64).min(window);
+        assert_eq!(out.exposed_ps, plan.miss_ps() - hidden);
+        decomposed.commit_restore(&plan, hidden, plan.miss_ps() - hidden);
+        assert_eq!(serialized.stats(), decomposed.stats());
+        // A hit commits as a hit: fully device-resident stream.
+        let mut hot = server_manager(4 * GIB, 8 * GIB, 0);
+        hot.admit(7, GIB, 0);
+        let plan = hot.plan_restore(7, 1.0, false, &spec);
+        assert_eq!(plan, RestorePlan::default());
+        hot.commit_restore(&plan, 0, 0);
+        assert_eq!(hot.stats().tier_hit_steps, 1);
+        assert_eq!(hot.stats().tier_miss_steps, 0);
     }
 
     #[test]

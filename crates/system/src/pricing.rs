@@ -29,6 +29,39 @@ const KIND_FRAME: u64 = 0;
 const KIND_QUESTION: u64 = 1;
 const KIND_DECODE: u64 = 2;
 
+/// Which execution semantics a price is being consulted under — the
+/// **resource context** of the key.
+///
+/// The serialized scheduler treats a priced step as one engine-blocking
+/// unit (its latency is the whole story); the overlapped
+/// resource-timeline scheduler decomposes the same step into a compute
+/// occupancy plus link tasks (`fetch_ps`/`fetch_bytes` on the PCIe
+/// resource) whose start times come from resource availability. Both
+/// contexts consult the same closed forms today, but a sweep such as
+/// `tier_capacity --overlap` shares **one** cache across serialized and
+/// overlapped serves of the same platform — the context bit keeps the
+/// two key spaces from aliasing, so a future overlapped-context
+/// specialisation (e.g. compute-only occupancy pricing) can never
+/// silently repin the byte-identical serialized headline rows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecContext {
+    /// Batch-level blocking execution (one step at a time).
+    #[default]
+    Serialized,
+    /// Resource-timeline execution (compute + link tasks, multiple
+    /// in-flight batches).
+    Overlapped,
+}
+
+impl ExecContext {
+    fn bit(self) -> u64 {
+        match self {
+            ExecContext::Serialized => 0,
+            ExecContext::Overlapped => 1,
+        }
+    }
+}
+
 /// A minimal multiplicative hasher (FxHash-style) for the fixed-width
 /// price keys. The default SipHash is DoS-resistant but ~5× slower;
 /// price keys are simulation-internal, so the cheap mix is safe.
@@ -62,15 +95,28 @@ impl Hasher for PriceKeyHasher {
     }
 }
 
-/// Packed price key: kind (2 bits) | batch (14 bits) | new_tokens
-/// (16 bits) | cache_tokens (32 bits). The serving sweeps stay far
-/// inside each field; [`StepPriceCache`] falls back to unmemoized
-/// pricing when a dimension overflows its field instead of aliasing.
-fn pack_key(kind: u64, cache_tokens: usize, batch: usize, new_tokens: usize) -> Option<u64> {
-    if batch >= (1 << 14) || new_tokens >= (1 << 16) || cache_tokens >= (1 << 32) {
+/// Packed price key: kind (2 bits) | resource context (1 bit) | batch
+/// (13 bits) | new_tokens (16 bits) | cache_tokens (32 bits). The
+/// serving sweeps stay far inside each field; [`StepPriceCache`] falls
+/// back to unmemoized pricing when a dimension overflows its field
+/// instead of aliasing.
+fn pack_key(
+    kind: u64,
+    ctx: ExecContext,
+    cache_tokens: usize,
+    batch: usize,
+    new_tokens: usize,
+) -> Option<u64> {
+    if batch >= (1 << 13) || new_tokens >= (1 << 16) || cache_tokens >= (1 << 32) {
         return None;
     }
-    Some(kind << 62 | (batch as u64) << 48 | (new_tokens as u64) << 32 | cache_tokens as u64)
+    Some(
+        kind << 62
+            | ctx.bit() << 61
+            | (batch as u64) << 48
+            | (new_tokens as u64) << 32
+            | cache_tokens as u64,
+    )
 }
 
 /// Memoized [`StepResult`] pricing for one platform+method+model.
@@ -146,28 +192,66 @@ impl StepPriceCache {
         r
     }
 
-    /// Memoized [`SystemModel::frame_step`].
+    /// Memoized [`SystemModel::frame_step`] in the serialized context.
     pub fn frame_step(&mut self, cache_tokens: usize, batch: usize) -> StepResult {
-        let key = pack_key(KIND_FRAME, cache_tokens, batch, self.model.tokens_per_frame);
+        self.frame_step_in(ExecContext::Serialized, cache_tokens, batch)
+    }
+
+    /// Memoized [`SystemModel::frame_step`] under `ctx` semantics.
+    pub fn frame_step_in(
+        &mut self,
+        ctx: ExecContext,
+        cache_tokens: usize,
+        batch: usize,
+    ) -> StepResult {
+        let key = pack_key(
+            KIND_FRAME,
+            ctx,
+            cache_tokens,
+            batch,
+            self.model.tokens_per_frame,
+        );
         self.priced(key, |sys, model| sys.frame_step(model, cache_tokens, batch))
     }
 
-    /// Memoized [`SystemModel::question_step`].
+    /// Memoized [`SystemModel::question_step`] in the serialized
+    /// context.
     pub fn question_step(
         &mut self,
         cache_tokens: usize,
         batch: usize,
         tokens: usize,
     ) -> StepResult {
-        let key = pack_key(KIND_QUESTION, cache_tokens, batch, tokens);
+        self.question_step_in(ExecContext::Serialized, cache_tokens, batch, tokens)
+    }
+
+    /// Memoized [`SystemModel::question_step`] under `ctx` semantics.
+    pub fn question_step_in(
+        &mut self,
+        ctx: ExecContext,
+        cache_tokens: usize,
+        batch: usize,
+        tokens: usize,
+    ) -> StepResult {
+        let key = pack_key(KIND_QUESTION, ctx, cache_tokens, batch, tokens);
         self.priced(key, |sys, model| {
             sys.question_step(model, cache_tokens, batch, tokens)
         })
     }
 
-    /// Memoized [`SystemModel::decode_step`].
+    /// Memoized [`SystemModel::decode_step`] in the serialized context.
     pub fn decode_step(&mut self, cache_tokens: usize, batch: usize) -> StepResult {
-        let key = pack_key(KIND_DECODE, cache_tokens, batch, 1);
+        self.decode_step_in(ExecContext::Serialized, cache_tokens, batch)
+    }
+
+    /// Memoized [`SystemModel::decode_step`] under `ctx` semantics.
+    pub fn decode_step_in(
+        &mut self,
+        ctx: ExecContext,
+        cache_tokens: usize,
+        batch: usize,
+    ) -> StepResult {
+        let key = pack_key(KIND_DECODE, ctx, cache_tokens, batch, 1);
         self.priced(key, |sys, model| {
             sys.decode_step(model, cache_tokens, batch)
         })
@@ -273,5 +357,44 @@ mod tests {
         assert_eq!(cache.frame_step(huge, 1), sys.frame_step(&model, huge, 1));
         assert_eq!(cache.len(), 0, "unpackable keys are not stored");
         assert_eq!(cache.misses(), 1);
+        // The batch field shrank to 13 bits for the context bit; an
+        // 8192-stream batch falls back rather than aliasing.
+        assert_eq!(
+            cache.frame_step(1_000, 1 << 13),
+            sys.frame_step(&model, 1_000, 1 << 13)
+        );
+        assert_eq!(cache.len(), 0);
+    }
+
+    #[test]
+    fn execution_contexts_key_separately() {
+        // A shared cache serving both a serialized and an overlapped
+        // sweep must keep the two contexts' keys apart: same shape,
+        // different context, two distinct entries — and both contexts
+        // remain bit-identical to the direct pricing.
+        let sys = SystemModel::new(PlatformSpec::vrex48(), Method::ReSV);
+        let model = ModelConfig::llama3_8b();
+        let mut cache = StepPriceCache::new(&sys, &model);
+        let direct = sys.frame_step(&model, 8_000, 4);
+        assert_eq!(
+            cache.frame_step_in(ExecContext::Serialized, 8_000, 4),
+            direct
+        );
+        assert_eq!(
+            cache.frame_step_in(ExecContext::Overlapped, 8_000, 4),
+            direct
+        );
+        assert_eq!(cache.len(), 2, "one entry per context");
+        assert_eq!(cache.misses(), 2);
+        assert_eq!(cache.hits(), 0, "contexts never alias");
+        // Hits stay within their own context.
+        cache.frame_step_in(ExecContext::Overlapped, 8_000, 4);
+        assert_eq!(cache.hits(), 1);
+        // Decode and question shapes split the same way.
+        cache.decode_step_in(ExecContext::Serialized, 8_000, 4);
+        cache.decode_step_in(ExecContext::Overlapped, 8_000, 4);
+        cache.question_step_in(ExecContext::Serialized, 8_000, 4, 25);
+        cache.question_step_in(ExecContext::Overlapped, 8_000, 4, 25);
+        assert_eq!(cache.len(), 6);
     }
 }

@@ -1,5 +1,5 @@
 //! Multi-session serving: event-driven continuous batching + admission
-//! control.
+//! control on a resource timeline.
 //!
 //! The single-session view ([`crate::realtime`]) answers "does one
 //! stream stay real-time as its cache grows?". This module answers the
@@ -27,14 +27,14 @@
 //!   rounding mismatch behind PR 3's livelock is structurally gone);
 //! * **WorkReady** — a queued frame or question becomes available on
 //!   its session's camera/turn clock;
-//! * **StepComplete** — the engine finishes the in-flight batched step.
+//! * **StepComplete** — an in-flight batched step finishes.
 //!
 //! After each wake-up the scheduler runs one pass: admission first,
-//! then batch formation. Events that land while a batch executes are
-//! subsumed by the pass at its completion (the engine is the only
-//! resource, exactly as in the polling formulation this replaced —
-//! semantics are pinned by the regression tests and the event-invariant
-//! property tests).
+//! then batch formation. Ready head-of-line work is tracked
+//! **incrementally**: per-kind ready counts are maintained on the event
+//! firings that can change them (admission, work-ready wake-ups, batch
+//! completion) instead of rescanning every active stream each instant,
+//! and debug builds assert the maintained set equals the rescan.
 //!
 //! 1. **Admission.** What happens when the fleet outgrows device
 //!    memory is a policy choice ([`AdmissionPolicy`]):
@@ -49,34 +49,64 @@
 //!      *whole* memory hierarchy (device + host DRAM + SSD,
 //!      [`TieredKvManager`]): overflow sessions are admitted and the
 //!      coldest streams' resident KV is spilled down instead. A
-//!      spilled stream pays a tier-miss restore before each step,
-//!      overlapped with its wait window and the step's compute when
-//!      speculative prefetch is on ([`crate::memory::PrefetchMode`]).
-//! 2. **Batching.** Whenever the engine is free, ready head-of-line
+//!      spilled stream pays a tier-miss restore before each step
+//!      ([`crate::memory::PrefetchMode`]).
+//! 2. **Batching.** Whenever a batch slot is free, ready head-of-line
 //!    work items are grouped by kind (frame prefill / question prefill
 //!    / decode); the largest group executes as one batched step priced
-//!    at the batch's worst-case cache length, plus the batch's exposed
-//!    tier-restore time under tiered admission. Per-session work stays
+//!    at the batch's worst-case cache length. Per-session work stays
 //!    FIFO — a question cannot overtake the frames before it.
 //! 3. **Accounting.** Every frame's arrival→completion pair lands in
 //!    the same [`QueueLedger`] the single-session simulation uses, so
 //!    lag semantics are shared, plus TTFT (question asked → first
 //!    answer token) and TPOT (between answer tokens) samples, plus the
 //!    per-session and fleet tiering counters ([`TierReport`]).
+//!
+//! ## Execution models: serialized vs. resource timeline
+//!
+//! How a formed batch *executes* is [`ServeConfig::overlap`]'s choice:
+//!
+//! * **Serialized** (`overlap = false`, the PR 4 semantics, preserved
+//!   byte-identically): the engine is the only resource. One batch
+//!   executes at a time; tier restores are priced as overlap *windows*
+//!   folded into the batch duration (`completion = now + latency +
+//!   exposed restores`), so a restore for stream A never genuinely
+//!   contends with stream B's traffic.
+//! * **Resource timeline** (`overlap = true`): the run threads a
+//!   [`vrex_hwsim::Engine`] with four named resources — `compute`, the
+//!   `pcie` link, the `ssd` channel, and the `host-dram` channel —
+//!   through the event loop. Batch compute, per-step KV fetch traffic,
+//!   [`TieredKvManager`] restores, and spill/promotion writebacks are
+//!   all *scheduled tasks* whose start times come from resource
+//!   availability (earliest-fit reservation on the link for
+//!   latency-critical restores, FIFO appends for compute and
+//!   lowest-priority writebacks). Up to two batches are in flight at
+//!   once (double-buffering), so the next batch's restores stream
+//!   while the current batch computes, and restores genuinely contend
+//!   with fetches on the one PCIe link. A batch completes at the max
+//!   of its compute, fetch, and restore task end times; the
+//!   `StepComplete` event applies its effects at that instant.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
+use vrex_hwsim::engine::{Engine, ResourceId, TaskId};
+use vrex_hwsim::tier::MemTier;
 use vrex_hwsim::{ps_to_seconds, seconds_to_ps};
 use vrex_model::ModelConfig;
 use vrex_retrieval::prefetch::{NoPrefetch, PrefetchPolicy};
 use vrex_workload::traffic::SessionPlan;
 use vrex_workload::SessionEvent;
 
-use crate::e2e::SystemModel;
-use crate::memory::{AdmissionPolicy, TieredKvManager};
-use crate::pricing::StepPriceCache;
+use crate::e2e::{StepResult, SystemModel};
+use crate::memory::{AdmissionPolicy, RestorePlan, TieredKvManager};
+use crate::pricing::{ExecContext, StepPriceCache};
 use crate::queueing::{percentile_sorted, QueueLedger};
+
+/// Batches concurrently in flight under the resource-timeline model
+/// (double-buffering: the next batch's restores stream while the
+/// current batch computes).
+const MAX_IN_FLIGHT: usize = 2;
 
 /// Scheduler parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -93,17 +123,26 @@ pub struct ServeConfig {
     pub max_wait_s: f64,
     /// What to do with sessions that do not fit in device memory.
     pub admission: AdmissionPolicy,
+    /// Execution model: `false` = serialized batch-level blocking (one
+    /// step at a time, restores folded into the batch duration —
+    /// byte-identical to the pre-resource-timeline scheduler), `true`
+    /// = resource-timeline execution (compute / PCIe link / SSD
+    /// channel / host-DRAM channel as contended [`Engine`] resources,
+    /// multiple in-flight batches, restores and fetches as scheduled
+    /// link tasks).
+    pub overlap: bool,
 }
 
 impl ServeConfig {
     /// The paper's real-time setting: 2 FPS camera, 10 s admission
-    /// patience, reject-only admission.
+    /// patience, reject-only admission, serialized execution.
     pub fn real_time(initial_cache_tokens: usize) -> Self {
         Self {
             fps: 2.0,
             initial_cache_tokens,
             max_wait_s: 10.0,
             admission: AdmissionPolicy::RejectOnly,
+            overlap: false,
         }
     }
 
@@ -114,6 +153,13 @@ impl ServeConfig {
             admission: AdmissionPolicy::tiered_speculative(),
             ..Self::real_time(initial_cache_tokens)
         }
+    }
+
+    /// The same configuration under the chosen execution model.
+    #[must_use]
+    pub fn with_overlap(mut self, overlap: bool) -> Self {
+        self.overlap = overlap;
+        self
     }
 }
 
@@ -265,15 +311,16 @@ pub enum TraceKind {
     Patience,
     /// A queued frame/question became available.
     WorkReady,
-    /// The in-flight batched step completed.
+    /// An in-flight batched step completed.
     StepComplete,
 }
 
 /// One recorded scheduler transition: simulated time advanced to `ps`
-/// because of `kind`. [`serve_traced`] returns the full sequence; the
-/// event-invariant property tests assert it is strictly monotone (time
-/// never stalls or rewinds — the PR 3 livelock class is checked
-/// wholesale).
+/// because of `kind`. [`serve_traced`] returns the full sequence. Under
+/// serialized execution the event-invariant property tests assert it is
+/// strictly monotone (time never stalls or rewinds — the PR 3 livelock
+/// class is checked wholesale); under the resource timeline two batches
+/// may complete at the same instant, so the trace is weakly monotone.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TraceEvent {
     /// Simulated time after the transition (ps).
@@ -284,7 +331,8 @@ pub struct TraceEvent {
 
 /// A heap wake-up. Ordering is (time, kind, payload) so equal-time pops
 /// are deterministic; the payload index only disambiguates, the
-/// scheduling pass itself re-derives all state from `now`.
+/// scheduling pass itself re-derives all state from `now` (except
+/// `StepComplete`, whose payload names the in-flight batch to retire).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 struct Event {
     ps: u64,
@@ -299,6 +347,9 @@ enum EventKind {
     Patience(usize),
     /// Stream of session id `.0` has a frame/question coming available.
     WorkReady(usize),
+    /// In-flight batch in slab slot `.0` completes (resource-timeline
+    /// execution only).
+    StepComplete(usize),
 }
 
 /// One schedulable unit of a session, in FIFO order.
@@ -313,7 +364,7 @@ enum Work {
 }
 
 /// Batching class of a work item (the discriminant indexes the
-/// per-kind ready counts in the scheduler pass).
+/// per-kind ready counts maintained by the scheduler).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Kind {
     Frame = 2,
@@ -339,6 +390,20 @@ struct Stream {
     last_token_completion_ps: u64,
     spilled: bool,
     tier_exposed_ps: u64,
+    /// Membership in the incremental ready set: the head item is
+    /// available and the stream is not in an in-flight batch. Kept in
+    /// lock-step with the per-kind ready counts; debug builds assert
+    /// equivalence against the full rescan.
+    ready: bool,
+    /// Whether the stream is a member of an in-flight batch
+    /// (resource-timeline execution; always `false` when serialized).
+    in_flight: bool,
+    /// When this stream's most recent demotion writeback lands at its
+    /// destination tier (ps; resource-timeline execution). A restore —
+    /// speculated or demand — can never claim link time before the
+    /// bytes it restores have actually been spilled, so restore
+    /// reservations are floored here.
+    spill_visible_ps: u64,
 }
 
 impl Stream {
@@ -386,6 +451,9 @@ impl Stream {
             last_token_completion_ps: now,
             spilled: false,
             tier_exposed_ps: 0,
+            ready: false,
+            in_flight: false,
+            spill_visible_ps: 0,
         }
     }
 
@@ -453,6 +521,31 @@ fn rejected_report(plan: &SessionPlan, waited_ps: u64) -> SessionServeReport {
     }
 }
 
+/// Adds `i` to the ready set if its head is available at `now` and it
+/// is not in flight (no-op otherwise, so stale wake-ups are harmless).
+fn mark_ready(active: &mut [Stream], counts: &mut [usize; 3], i: usize, now: u64) {
+    let s = &mut active[i];
+    if s.ready || s.in_flight {
+        return;
+    }
+    if let Some((avail, k)) = s.head() {
+        if avail <= now {
+            s.ready = true;
+            counts[k as usize] += 1;
+        }
+    }
+}
+
+/// Removes `i` from the ready set (no-op if absent).
+fn unmark_ready(active: &mut [Stream], counts: &mut [usize; 3], i: usize) {
+    let s = &mut active[i];
+    if s.ready {
+        let (_, k) = s.head().expect("ready stream has a head");
+        s.ready = false;
+        counts[k as usize] -= 1;
+    }
+}
+
 /// Serves a fleet of planned sessions on one platform+method pair and
 /// reports per-session and fleet latency/admission statistics.
 ///
@@ -470,7 +563,9 @@ pub fn serve(
 }
 
 /// [`serve`] against a caller-owned price cache (the platform, method,
-/// and model are the ones the cache was built over).
+/// and model are the ones the cache was built over). One cache may be
+/// shared across serialized and overlapped runs — the two execution
+/// contexts key separately ([`ExecContext`]).
 pub fn serve_with_cache(
     prices: &mut StepPriceCache,
     plans: &[SessionPlan],
@@ -481,8 +576,10 @@ pub fn serve_with_cache(
 
 /// [`serve`] that also records every scheduler transition. The trace is
 /// the test seam for the event-queue invariants: strictly monotone
-/// simulated time, no wake-up in the past, every session reaching
-/// exactly one terminal outcome.
+/// simulated time under serialized execution (weakly monotone under the
+/// resource timeline, where two batches may complete at one instant),
+/// no wake-up in the past, every session reaching exactly one terminal
+/// outcome.
 pub fn serve_traced(
     sys: &SystemModel,
     model: &ModelConfig,
@@ -499,21 +596,105 @@ pub fn serve_traced(
     (report, trace)
 }
 
+/// The resource timeline of one overlapped run: the engine and its
+/// named resources. The PCIe link is full duplex, so it appears as two
+/// directional lanes: `pcie` (up, host/SSD → device — the
+/// latency-critical restore and fetch direction) and `pcie-down`
+/// (device → host/SSD demotion writebacks, which therefore never block
+/// a restore; they still serialise against each other).
+struct Resources {
+    engine: Engine,
+    compute: ResourceId,
+    pcie: ResourceId,
+    pcie_down: ResourceId,
+    host: ResourceId,
+    ssd: ResourceId,
+}
+
+impl Resources {
+    fn new() -> Self {
+        let mut engine = Engine::new();
+        let compute = engine.add_resource("compute");
+        let pcie = engine.add_resource("pcie");
+        let pcie_down = engine.add_resource("pcie-down");
+        let host = engine.add_resource("host-dram");
+        let ssd = engine.add_resource("ssd");
+        Resources {
+            engine,
+            compute,
+            pcie,
+            pcie_down,
+            host,
+            ssd,
+        }
+    }
+}
+
+/// One batch executing on the resource timeline, waiting for its
+/// `StepComplete` event.
+struct InFlight {
+    /// Member session ids, in formation (active-index) order.
+    ids: Vec<usize>,
+    /// When every one of the batch's tasks has finished (ps).
+    completion_ps: u64,
+}
+
+/// The scheduler state shared by the serialized and resource-timeline
+/// drivers: admission, the incremental ready set, batch effects, and
+/// report aggregation live here once; the drivers differ only in how a
+/// formed batch executes and when its effects apply.
+struct Sched<'a> {
+    prices: &'a mut StepPriceCache,
+    plans: &'a [SessionPlan],
+    cfg: &'a ServeConfig,
+    sys: SystemModel,
+    model: ModelConfig,
+    frame_interval_ps: u64,
+    real_time_bar_ps: u64,
+    max_wait_ps: u64,
+    tiers: Option<TieredKvManager>,
+    prefetch: Box<dyn PrefetchPolicy>,
+    /// Waiting sessions as indices into the caller's slice — plans are
+    /// never cloned. The flag = "a fit check has refused this session
+    /// at least once": only such sessions count as memory-queued
+    /// (arriving between two scheduler passes is not admission
+    /// queueing).
+    pending: Vec<(usize, bool)>,
+    events: BinaryHeap<Reverse<Event>>,
+    active: Vec<Stream>,
+    reports: Vec<SessionServeReport>,
+    makespan_ps: u64,
+    now: u64,
+    /// Ready streams per batching class, maintained incrementally
+    /// (indexed by `Kind`).
+    ready_counts: [usize; 3],
+    admission_dirty: bool,
+    next_arrival_ps: u64,
+    next_deadline_ps: u64,
+    /// Per-pass scratch, reused across iterations.
+    members: Vec<usize>,
+    growths: Vec<(usize, u64)>,
+    retired: Vec<SessionServeReport>,
+    /// Resource timeline (overlapped execution only).
+    res: Option<Resources>,
+    /// Slab of in-flight batches; `StepComplete` events carry the slot.
+    inflight: Vec<Option<InFlight>>,
+    inflight_count: usize,
+    trace: Option<&'a mut Vec<TraceEvent>>,
+}
+
 fn run(
     prices: &mut StepPriceCache,
     plans: &[SessionPlan],
     cfg: &ServeConfig,
-    mut trace: Option<&mut Vec<TraceEvent>>,
+    trace: Option<&mut Vec<TraceEvent>>,
 ) -> ServeReport {
     assert!(cfg.fps > 0.0, "fps must be positive");
     let sys = prices.system().clone();
     let model = prices.model().clone();
-    let frame_interval_ps = seconds_to_ps(1.0 / cfg.fps);
-    let real_time_bar_ps = 2 * frame_interval_ps;
-    let max_wait_ps = seconds_to_ps(cfg.max_wait_s);
     // Tiered admission: track fleet residency across the hierarchy and
     // the prefetch policy that schedules restores.
-    let mut tiers: Option<TieredKvManager> = match cfg.admission {
+    let tiers: Option<TieredKvManager> = match cfg.admission {
         AdmissionPolicy::RejectOnly => None,
         AdmissionPolicy::Tiered { .. } => Some(TieredKvManager::for_system(&sys, &model)),
     };
@@ -521,17 +702,14 @@ fn run(
         AdmissionPolicy::Tiered { prefetch } => prefetch.policy(),
         AdmissionPolicy::RejectOnly => Box::new(NoPrefetch),
     };
-    // Waiting sessions as indices into the caller's slice — plans are
-    // never cloned. `refused` = "a fit check has refused this session
-    // at least once": only such sessions count as memory-queued
-    // (arriving between two scheduler passes is not admission
-    // queueing).
     let mut pending: Vec<(usize, bool)> = (0..plans.len()).map(|i| (i, false)).collect();
     pending.sort_by_key(|&(i, _)| (plans[i].arrival_ps, i));
     // Every future instant the scheduler could need to act at. Arrival
     // and patience wake-ups are pushed up front; work-ready wake-ups as
-    // streams are admitted. Stale entries (already handled by a pass at
-    // a later `now`) are drained, never acted on.
+    // streams are admitted; step-complete wake-ups as batches launch.
+    // Stale entries (already handled by a pass at a later `now`) only
+    // maintain the ready set, they trigger no pass of their own.
+    let max_wait_ps = seconds_to_ps(cfg.max_wait_s);
     let mut events: BinaryHeap<Reverse<Event>> = BinaryHeap::with_capacity(plans.len() * 2);
     for &(i, _) in &pending {
         events.push(Reverse(Event {
@@ -543,291 +721,392 @@ fn run(
             kind: EventKind::Patience(i),
         }));
     }
-    let mut active: Vec<Stream> = Vec::new();
-    let mut reports: Vec<SessionServeReport> = Vec::new();
-    let mut makespan_ps = 0u64;
-    let mut now = 0u64;
-    // Per-pass scratch, reused across iterations.
-    let mut ready: Vec<(usize, Kind)> = Vec::new();
-    let mut members: Vec<usize> = Vec::new();
-    let mut growths: Vec<(usize, u64)> = Vec::new();
-    let mut retired: Vec<SessionServeReport> = Vec::new();
+    let frame_interval_ps = seconds_to_ps(1.0 / cfg.fps);
+    let mut sched = Sched {
+        prices,
+        plans,
+        cfg,
+        sys,
+        model,
+        frame_interval_ps,
+        real_time_bar_ps: 2 * frame_interval_ps,
+        max_wait_ps,
+        tiers,
+        prefetch,
+        pending,
+        events,
+        active: Vec::new(),
+        reports: Vec::new(),
+        makespan_ps: 0,
+        now: 0,
+        ready_counts: [0; 3],
+        admission_dirty: true,
+        next_arrival_ps: u64::MAX,
+        next_deadline_ps: u64::MAX,
+        members: Vec::new(),
+        growths: Vec::new(),
+        retired: Vec::new(),
+        res: cfg.overlap.then(Resources::new),
+        inflight: Vec::new(),
+        inflight_count: 0,
+        trace,
+    };
+    if cfg.overlap {
+        sched.run_overlapped();
+    } else {
+        sched.run_serialized();
+    }
+    sched.finish()
+}
 
-    // Admission work only appears when a session arrives, a waiter's
-    // deadline passes, or memory frees on retirement. Between those
-    // triggers the pass is a provable no-op, so the loop skips it:
-    // `admission_dirty` flags retirements (and the start), and the two
-    // `next_*` thresholds catch `now` jumping over an arrival or a
-    // deadline mid-batch.
-    let mut admission_dirty = true;
-    let mut next_arrival_ps = u64::MAX;
-    let mut next_deadline_ps = u64::MAX;
+impl Sched<'_> {
+    fn trace_event(&mut self, kind: TraceKind) {
+        if let Some(t) = self.trace.as_deref_mut() {
+            t.push(TraceEvent { ps: self.now, kind });
+        }
+    }
 
-    loop {
-        // --- Admission pass (instantaneous; FIFO over waiters). ---
-        if admission_dirty || now >= next_arrival_ps || now >= next_deadline_ps {
-            admission_dirty = false;
-            let mut i = 0;
-            let mut head_blocked = false;
-            // Fleet aggregates for the fit checks: the max projected cache
-            // and the summed projected resident demand over active streams.
-            // They change only when this very pass admits someone, so they
-            // are computed once on the first arrived waiter and updated
-            // incrementally on each admission instead of rescanning the
-            // fleet per waiter.
-            let mut fleet_stats: Option<(usize, u64)> = None;
-            while i < pending.len() {
-                let plan = &plans[pending[i].0];
-                if plan.arrival_ps > now {
-                    break; // sorted: nobody later has arrived yet
+    /// Pops every event at or before `now`, maintaining the ready set
+    /// from `WorkReady` firings and applying same-instant batch
+    /// completions. Arrival/patience entries carry no state of their
+    /// own (the admission pass re-derives everything from `now`), so
+    /// they simply drain.
+    fn drain_past_events(&mut self) {
+        while let Some(&Reverse(e)) = self.events.peek() {
+            if e.ps > self.now {
+                break;
+            }
+            self.events.pop();
+            match e.kind {
+                EventKind::WorkReady(id) => self.mark_ready_by_id(id),
+                EventKind::StepComplete(slot) => {
+                    debug_assert!(self.cfg.overlap, "serialized runs never launch batches");
+                    self.apply_completion(slot);
                 }
-                let proj = projected_cache(plan, cfg, &model);
-                let (fleet_proj, fleet_demand) = *fleet_stats.get_or_insert_with(|| {
+                EventKind::Arrival(_) | EventKind::Patience(_) => {}
+            }
+        }
+    }
+
+    fn mark_ready_by_id(&mut self, id: usize) {
+        if let Some(i) = self.active.iter().position(|s| s.id == id) {
+            mark_ready(&mut self.active, &mut self.ready_counts, i, self.now);
+        }
+    }
+
+    /// Asserts the incremental ready set equals the full rescan (debug
+    /// builds; the satellite equivalence check).
+    #[cfg(debug_assertions)]
+    fn check_ready_invariant(&self) {
+        let mut counts = [0usize; 3];
+        for s in &self.active {
+            let expect = !s.in_flight && s.head().is_some_and(|(a, _)| a <= self.now);
+            assert_eq!(
+                s.ready, expect,
+                "ready flag diverged from the rescan for session {} at {}",
+                s.id, self.now
+            );
+            if s.ready {
+                counts[s.head().expect("ready head").1 as usize] += 1;
+            }
+        }
+        assert_eq!(
+            counts, self.ready_counts,
+            "ready counts diverged from the rescan at {}",
+            self.now
+        );
+    }
+
+    #[cfg(not(debug_assertions))]
+    fn check_ready_invariant(&self) {}
+
+    /// Runs the admission pass if anything could have changed it:
+    /// admission work only appears when a session arrives, a waiter's
+    /// deadline passes, or memory frees on retirement. Between those
+    /// triggers the pass is a provable no-op, so the loop skips it:
+    /// `admission_dirty` flags retirements (and the start), and the two
+    /// `next_*` thresholds catch `now` jumping over an arrival or a
+    /// deadline mid-batch.
+    fn maybe_admission_pass(&mut self) {
+        if !(self.admission_dirty
+            || self.now >= self.next_arrival_ps
+            || self.now >= self.next_deadline_ps)
+        {
+            return;
+        }
+        self.admission_dirty = false;
+        let now = self.now;
+        let mut i = 0;
+        let mut head_blocked = false;
+        // Fleet aggregates for the fit checks: the max projected cache
+        // and the summed projected resident demand over active streams.
+        // They change only when this very pass admits someone, so they
+        // are computed once on the first arrived waiter and updated
+        // incrementally on each admission instead of rescanning the
+        // fleet per waiter.
+        let mut fleet_stats: Option<(usize, u64)> = None;
+        while i < self.pending.len() {
+            let plan = &self.plans[self.pending[i].0];
+            if plan.arrival_ps > now {
+                break; // sorted: nobody later has arrived yet
+            }
+            let proj = projected_cache(plan, self.cfg, &self.model);
+            let (fleet_proj, fleet_demand) = *fleet_stats.get_or_insert_with(|| {
+                (
+                    self.active
+                        .iter()
+                        .map(|s| s.projected_cache_tokens)
+                        .max()
+                        .unwrap_or(0),
+                    self.active
+                        .iter()
+                        .map(|s| {
+                            self.sys
+                                .resident_demand_bytes(&self.model, s.projected_cache_tokens)
+                        })
+                        .sum(),
+                )
+            });
+            // Reject-only admission asks "does the device survive?";
+            // tiered admission asks the same of the whole hierarchy.
+            let (never_fits, fits_now) = match &self.tiers {
+                None => (
+                    self.sys.is_oom(&self.model, proj, 1),
+                    !self
+                        .sys
+                        .is_oom(&self.model, fleet_proj.max(proj), self.active.len() + 1),
+                ),
+                Some(mgr) => {
+                    let demand = self.sys.resident_demand_bytes(&self.model, proj);
                     (
-                        active
-                            .iter()
-                            .map(|s| s.projected_cache_tokens)
-                            .max()
-                            .unwrap_or(0),
-                        active
-                            .iter()
-                            .map(|s| sys.resident_demand_bytes(&model, s.projected_cache_tokens))
-                            .sum(),
+                        demand > mgr.total_capacity_bytes(),
+                        fleet_demand + demand <= mgr.total_capacity_bytes(),
                     )
-                });
-                // Reject-only admission asks "does the device survive?";
-                // tiered admission asks the same of the whole hierarchy.
-                let (never_fits, fits_now) = match &tiers {
-                    None => (
-                        sys.is_oom(&model, proj, 1),
-                        !sys.is_oom(&model, fleet_proj.max(proj), active.len() + 1),
-                    ),
-                    Some(mgr) => {
-                        let demand = sys.resident_demand_bytes(&model, proj);
-                        (
-                            demand > mgr.total_capacity_bytes(),
-                            fleet_demand + demand <= mgr.total_capacity_bytes(),
-                        )
-                    }
-                };
-                if never_fits {
-                    // Will never fit, even alone: reject outright.
-                    let (p, _) = pending.remove(i);
-                    reports.push(rejected_report(&plans[p], now - plans[p].arrival_ps));
-                    continue;
                 }
-                if fits_now && !head_blocked {
-                    let (p, was_refused) = pending.remove(i);
-                    let plan = &plans[p];
-                    let mut stream = Stream::admit(plan, cfg, &model, frame_interval_ps, now);
-                    stream.memory_waited = was_refused;
-                    if let Some(mgr) = tiers.as_mut() {
-                        mgr.admit(
-                            stream.id,
-                            sys.resident_demand_bytes(&model, stream.cache_tokens),
-                            now,
-                        );
+            };
+            if never_fits {
+                // Will never fit, even alone: reject outright.
+                let (p, _) = self.pending.remove(i);
+                self.reports.push(rejected_report(
+                    &self.plans[p],
+                    now - self.plans[p].arrival_ps,
+                ));
+                continue;
+            }
+            if fits_now && !head_blocked {
+                let (p, was_refused) = self.pending.remove(i);
+                let plan = &self.plans[p];
+                let mut stream =
+                    Stream::admit(plan, self.cfg, &self.model, self.frame_interval_ps, now);
+                stream.memory_waited = was_refused;
+                if let Some(mgr) = self.tiers.as_mut() {
+                    mgr.admit(
+                        stream.id,
+                        self.sys
+                            .resident_demand_bytes(&self.model, stream.cache_tokens),
+                        now,
+                    );
+                }
+                if stream.items.is_empty() {
+                    // Degenerate plan with no events: admit and retire
+                    // on the spot so it still appears in the report.
+                    if let Some(mgr) = self.tiers.as_mut() {
+                        stream.spilled = mgr.was_ever_spilled(stream.id);
+                        mgr.release(stream.id);
                     }
-                    if stream.items.is_empty() {
-                        // Degenerate plan with no events: admit and retire
-                        // on the spot so it still appears in the report.
-                        if let Some(mgr) = tiers.as_mut() {
-                            stream.spilled = mgr.was_ever_spilled(stream.id);
-                            mgr.release(stream.id);
+                    self.reports.push(stream.into_report(self.real_time_bar_ps));
+                } else {
+                    // Wake the scheduler when the head item becomes
+                    // available; each later item registers its own
+                    // wake-up when it reaches the head (the batch
+                    // completion path), keeping the heap at
+                    // O(streams + pending + in-flight).
+                    if let Some((avail, _)) = stream.head() {
+                        if avail > now {
+                            self.events.push(Reverse(Event {
+                                ps: avail,
+                                kind: EventKind::WorkReady(stream.id),
+                            }));
                         }
-                        reports.push(stream.into_report(real_time_bar_ps));
-                    } else {
-                        // Wake the scheduler when the head item becomes
-                        // available; each later item registers its own
-                        // wake-up when it reaches the head (the batch
-                        // completion path), keeping the heap at
-                        // O(streams + pending).
-                        if let Some((avail, _)) = stream.head() {
-                            if avail > now {
-                                events.push(Reverse(Event {
-                                    ps: avail,
-                                    kind: EventKind::WorkReady(stream.id),
-                                }));
-                            }
-                        }
-                        active.push(stream);
-                        fleet_stats = Some((
-                            fleet_proj.max(proj),
-                            fleet_demand + sys.resident_demand_bytes(&model, proj),
-                        ));
                     }
-                    continue;
+                    self.active.push(stream);
+                    let idx = self.active.len() - 1;
+                    mark_ready(&mut self.active, &mut self.ready_counts, idx, now);
+                    fleet_stats = Some((
+                        fleet_proj.max(proj),
+                        fleet_demand + self.sys.resident_demand_bytes(&self.model, proj),
+                    ));
                 }
-                // Cannot admit now: memory pressure (or FIFO order behind
-                // someone waiting on memory).
-                pending[i].1 = true;
-                // The deadline is one exact integer comparison against the
-                // same `arrival + max_wait` the patience event carries —
-                // the two-float-roundings livelock PR 3 fixed cannot be
-                // re-introduced by construction.
-                if now >= plan.arrival_ps.saturating_add(max_wait_ps) {
-                    let (p, _) = pending.remove(i);
-                    reports.push(rejected_report(&plans[p], now - plans[p].arrival_ps));
-                    continue;
-                }
-                head_blocked = true;
-                i += 1;
+                continue;
             }
-            // Thresholds for skipping the pass until admission state can
-            // change again: the first not-yet-arrived session's arrival
-            // and the earliest waiter's deadline.
-            next_arrival_ps = pending
-                .get(i)
-                .map_or(u64::MAX, |&(p, _)| plans[p].arrival_ps);
-            next_deadline_ps = pending[..i]
-                .iter()
-                .map(|&(p, _)| plans[p].arrival_ps.saturating_add(max_wait_ps))
-                .min()
-                .unwrap_or(u64::MAX);
+            // Cannot admit now: memory pressure (or FIFO order behind
+            // someone waiting on memory).
+            self.pending[i].1 = true;
+            // The deadline is one exact integer comparison against the
+            // same `arrival + max_wait` the patience event carries —
+            // the two-float-roundings livelock PR 3 fixed cannot be
+            // re-introduced by construction.
+            if now >= plan.arrival_ps.saturating_add(self.max_wait_ps) {
+                let (p, _) = self.pending.remove(i);
+                self.reports.push(rejected_report(
+                    &self.plans[p],
+                    now - self.plans[p].arrival_ps,
+                ));
+                continue;
+            }
+            head_blocked = true;
+            i += 1;
         }
+        // Thresholds for skipping the pass until admission state can
+        // change again: the first not-yet-arrived session's arrival
+        // and the earliest waiter's deadline.
+        self.next_arrival_ps = self
+            .pending
+            .get(i)
+            .map_or(u64::MAX, |&(p, _)| self.plans[p].arrival_ps);
+        self.next_deadline_ps = self.pending[..i]
+            .iter()
+            .map(|&(p, _)| self.plans[p].arrival_ps.saturating_add(self.max_wait_ps))
+            .min()
+            .unwrap_or(u64::MAX);
+        // Admissions may have spilled colder streams: route the decided
+        // migrations to the link (overlapped) or drop them (serialized
+        // writebacks stream behind compute by assumption).
+        self.flush_migrations();
+    }
 
-        // --- Gather ready head-of-line work (reused buffer), counting
-        // each batching class as we go. ---
-        ready.clear();
-        let mut kind_counts = [0usize; 3]; // indexed by Kind
-        for (i, s) in active.iter().enumerate() {
-            if let Some((avail, k)) = s.head() {
-                if avail <= now {
-                    kind_counts[k as usize] += 1;
-                    ready.push((i, k));
-                }
-            }
-        }
-
-        if ready.is_empty() {
-            // Idle: advance to the next wake-up strictly after `now`;
-            // anything at or before `now` was already covered by this
-            // pass and drains unacted.
-            let mut woke: Option<Event> = None;
-            while let Some(&Reverse(e)) = events.peek() {
-                events.pop();
-                if e.ps > now {
-                    woke = Some(e);
-                    break;
-                }
-            }
-            match woke {
-                Some(e) => {
-                    now = e.ps;
-                    if let Some(t) = trace.as_deref_mut() {
-                        t.push(TraceEvent {
-                            ps: now,
-                            kind: match e.kind {
-                                EventKind::Arrival(_) => TraceKind::Arrival,
-                                EventKind::Patience(_) => TraceKind::Patience,
-                                EventKind::WorkReady(_) => TraceKind::WorkReady,
-                            },
-                        });
-                    }
-                    continue;
-                }
-                None => break, // nothing active, nothing pending: done
-            }
-        }
-
-        // --- Form the batch: the kind with the most ready streams.
-        // Later entries win ties, so the real-time-critical frame path
-        // beats questions, which beat decodes — the same rule as the
-        // `max_by_key` over [Decode, Question, Frame] it replaces. ---
+    /// The batching class with the most ready streams. Later entries
+    /// win ties, so the real-time-critical frame path beats questions,
+    /// which beat decodes.
+    fn choose_kind(&self) -> Kind {
         let mut kind = Kind::Decode;
         for k in [Kind::Question, Kind::Frame] {
-            if kind_counts[k as usize] >= kind_counts[kind as usize] {
+            if self.ready_counts[k as usize] >= self.ready_counts[kind as usize] {
                 kind = k;
             }
         }
-        members.clear();
-        members.extend(ready.iter().filter(|&&(_, k)| k == kind).map(|&(i, _)| i));
-        let batch = members.len();
-        // Price the step at the batch's worst-case cache length (one
-        // memoized lookup per repeated shape).
-        let max_cache = members
+        kind
+    }
+
+    /// Fills `members` with the ready streams of `kind`, in active
+    /// (admission) order.
+    fn gather_members(&mut self, kind: Kind) {
+        self.members.clear();
+        for (i, s) in self.active.iter().enumerate() {
+            if s.ready && s.head().map(|(_, k)| k) == Some(kind) {
+                self.members.push(i);
+            }
+        }
+    }
+
+    /// Prices the batch over `members` at its worst-case cache length
+    /// (one memoized lookup per repeated shape per context).
+    fn price_step(&mut self, kind: Kind, ctx: ExecContext) -> StepResult {
+        let batch = self.members.len();
+        let max_cache = self
+            .members
             .iter()
-            .map(|&i| active[i].cache_tokens)
+            .map(|&i| self.active[i].cache_tokens)
             .max()
             .expect("non-empty batch");
-        let step = match kind {
-            Kind::Frame => prices.frame_step(max_cache, batch),
+        match kind {
+            Kind::Frame => self.prices.frame_step_in(ctx, max_cache, batch),
             Kind::Question => {
-                let max_tokens = members
+                let max_tokens = self
+                    .members
                     .iter()
-                    .map(|&i| match active[i].items.front() {
+                    .map(|&i| match self.active[i].items.front() {
                         Some(Work::Question { tokens, .. }) => *tokens,
                         _ => unreachable!("batch members share the head kind"),
                     })
                     .max()
                     .expect("non-empty batch");
-                prices.question_step(max_cache, batch, max_tokens)
+                self.prices
+                    .question_step_in(ctx, max_cache, batch, max_tokens)
             }
-            Kind::Decode => prices.decode_step(max_cache, batch),
-        };
-        // --- Tier misses: spilled members must restore the selected
-        // share of their spilled KV before attending. A restore can be
-        // in flight from the moment the work item became visible (its
-        // ready time) and pipelines with the step's own layer-by-layer
-        // compute; speculative prefetch hides up to that window,
-        // demand fetching hides nothing. All members share ONE PCIe
-        // link, so each restore — hidden or not — consumes link time
-        // that shrinks what later members' prefetches can hide
-        // (`link_busy_ps`), and the exposed remainders serialise onto
-        // the step. ---
+            Kind::Decode => self.prices.decode_step_in(ctx, max_cache, batch),
+        }
+    }
+
+    /// Serialized tier-miss pricing: spilled members must restore the
+    /// selected share of their spilled KV before attending. A restore
+    /// can be in flight from the moment the work item became visible
+    /// (its ready time) and pipelines with the step's own
+    /// layer-by-layer compute; speculative prefetch hides up to that
+    /// window, demand fetching hides nothing. All members share ONE
+    /// PCIe link, so each restore — hidden or not — consumes link time
+    /// that shrinks what later members' prefetches can hide
+    /// (`link_busy_ps`), and the exposed remainders serialise onto the
+    /// step.
+    fn serialized_restore_penalty(&mut self, kind: Kind, step: &StepResult) -> u64 {
+        let batch = self.members.len();
         let mut penalty_ps = 0u64;
-        if let Some(mgr) = tiers.as_mut() {
-            if !mgr.any_spilled_bytes() {
-                // Everything is device-resident: each member is a tier
-                // hit with no restore, skip the per-member pricing.
-                mgr.record_all_hot_steps(batch as u64);
-            } else {
-                let generation = kind == Kind::Decode;
-                let ratio = sys.method.ratio(generation);
-                let mut link_busy_ps = 0u64;
-                for &i in &members {
-                    let ready_ps = active[i]
-                        .head_avail_ps()
-                        .expect("batch member has a head item")
-                        .max(active[i].last_completion_ps);
-                    let window_ps =
-                        ((now - ready_ps) + step.latency_ps).saturating_sub(link_busy_ps);
-                    let restore = mgr.step_restore(
-                        active[i].id,
-                        ratio,
-                        generation,
-                        window_ps,
-                        prefetch.as_ref(),
-                    );
-                    link_busy_ps += restore.miss_ps;
-                    penalty_ps += restore.exposed_ps;
-                }
-                // The batch completes as one unit: every member's critical
-                // path is stretched by the batch's total exposed restore
-                // time, including co-members' restores.
-                if penalty_ps > 0 {
-                    for &i in &members {
-                        active[i].tier_exposed_ps += penalty_ps;
-                    }
-                }
+        let Some(mgr) = self.tiers.as_mut() else {
+            return 0;
+        };
+        if !mgr.any_spilled_bytes() {
+            // Everything is device-resident: each member is a tier
+            // hit with no restore, skip the per-member pricing.
+            mgr.record_all_hot_steps(batch as u64);
+            return 0;
+        }
+        let generation = kind == Kind::Decode;
+        let ratio = self.sys.method.ratio(generation);
+        let mut link_busy_ps = 0u64;
+        for k in 0..batch {
+            let i = self.members[k];
+            let ready_ps = self.active[i]
+                .head_avail_ps()
+                .expect("batch member has a head item")
+                .max(self.active[i].last_completion_ps);
+            let window_ps = ((self.now - ready_ps) + step.latency_ps).saturating_sub(link_busy_ps);
+            let restore = mgr.step_restore(
+                self.active[i].id,
+                ratio,
+                generation,
+                window_ps,
+                self.prefetch.as_ref(),
+            );
+            link_busy_ps += restore.miss_ps;
+            penalty_ps += restore.exposed_ps;
+        }
+        // The batch completes as one unit: every member's critical
+        // path is stretched by the batch's total exposed restore
+        // time, including co-members' restores.
+        if penalty_ps > 0 {
+            for k in 0..batch {
+                self.active[self.members[k]].tier_exposed_ps += penalty_ps;
             }
         }
-        let completion = now + step.latency_ps + penalty_ps;
+        penalty_ps
+    }
 
-        // --- Complete one work item per batch member. ---
-        growths.clear();
-        let tiered = tiers.is_some();
-        for &i in &members {
-            let s = &mut active[i];
+    /// Completes one work item per batch member at `completion`,
+    /// updates the ready set, applies tier growth, retires drained
+    /// sessions, and routes any decided migrations. Shared by both
+    /// drivers — the serialized one calls it inline, the overlapped
+    /// one from the batch's `StepComplete` event.
+    fn apply_batch(&mut self, completion: u64) {
+        self.growths.clear();
+        let tiered = self.tiers.is_some();
+        for k in 0..self.members.len() {
+            let i = self.members[k];
+            // The head is consumed: leave the ready set (serialized
+            // members are still flagged; overlapped members left it at
+            // formation) and clear the in-flight mark.
+            unmark_ready(&mut self.active, &mut self.ready_counts, i);
+            self.active[i].in_flight = false;
             let demand_before = if tiered {
-                sys.resident_demand_bytes(&model, s.cache_tokens)
+                self.sys
+                    .resident_demand_bytes(&self.model, self.active[i].cache_tokens)
             } else {
                 0
             };
+            let s = &mut self.active[i];
             match s.items.pop_front().expect("ready stream has a head") {
                 Work::Frame { avail_ps } => {
                     s.frames.record(avail_ps, completion);
-                    s.cache_tokens += model.tokens_per_frame;
+                    s.cache_tokens += self.model.tokens_per_frame;
                 }
                 Work::Question { avail_ps, tokens } => {
                     s.question_asked_ps = avail_ps;
@@ -844,125 +1123,487 @@ fn run(
                 }
             }
             s.last_completion_ps = completion;
+            let id = s.id;
             // The next item is now the head; if it only becomes
             // available after this batch's completion pass, register
             // its wake-up (otherwise the pass at `completion` already
             // sees it ready).
             if let Some((avail, _)) = s.head() {
                 if avail > completion {
-                    events.push(Reverse(Event {
+                    self.events.push(Reverse(Event {
                         ps: avail,
-                        kind: EventKind::WorkReady(s.id),
+                        kind: EventKind::WorkReady(id),
                     }));
                 }
             }
+            mark_ready(&mut self.active, &mut self.ready_counts, i, completion);
             if tiered {
-                let growth = sys
-                    .resident_demand_bytes(&model, s.cache_tokens)
+                let growth = self
+                    .sys
+                    .resident_demand_bytes(&self.model, self.active[i].cache_tokens)
                     .saturating_sub(demand_before);
-                growths.push((s.id, growth));
+                self.growths.push((id, growth));
             }
         }
-        if let Some(mgr) = tiers.as_mut() {
+        if let Some(mgr) = self.tiers.as_mut() {
             // Mark every batch member hot *before* applying growth:
             // growth spills the coldest stream, and a member of this
             // very batch must never be the victim of a co-member's
             // growth just because its touch had not landed yet.
-            for &(id, _) in &growths {
+            for &(id, _) in &self.growths {
                 mgr.touch(id, completion);
             }
             // New KV lands in device memory, possibly spilling colder
             // (non-member) streams.
-            for &(id, growth) in &growths {
+            for &(id, growth) in &self.growths {
                 if growth > 0 {
                     mgr.grow(id, growth, completion);
                 }
             }
         }
-        now = completion;
-        if let Some(t) = trace.as_deref_mut() {
-            t.push(TraceEvent {
-                ps: now,
-                kind: TraceKind::StepComplete,
-            });
-        }
-        makespan_ps = makespan_ps.max(completion);
 
-        // --- Retire finished sessions (freeing their memory). Only a
+        // Retire finished sessions (freeing their memory). Only a
         // batch member can have drained its queue, so the scan walks
         // the members (ascending), not the whole fleet; removal runs
-        // back-to-front so earlier member indices stay valid. ---
-        for k in (0..members.len()).rev() {
-            let i = members[k];
-            if active[i].items.is_empty() {
-                let mut s = active.remove(i);
-                if let Some(mgr) = tiers.as_mut() {
+        // back-to-front so earlier member indices stay valid.
+        for k in (0..self.members.len()).rev() {
+            let i = self.members[k];
+            if self.active[i].items.is_empty() {
+                let mut s = self.active.remove(i);
+                if let Some(mgr) = self.tiers.as_mut() {
                     s.spilled = mgr.was_ever_spilled(s.id);
                     mgr.release(s.id);
                 }
-                retired.push(s.into_report(real_time_bar_ps));
+                self.retired.push(s.into_report(self.real_time_bar_ps));
                 // Freed memory can admit a waiter: re-run the pass.
-                admission_dirty = true;
+                self.admission_dirty = true;
             }
         }
         // Back-to-front removal collected reports in descending id
         // order; publish them ascending like the fleet scan did.
-        while let Some(r) = retired.pop() {
-            reports.push(r);
+        while let Some(r) = self.retired.pop() {
+            self.reports.push(r);
+        }
+        // Growth spills / retirement promotions became migration
+        // decisions: schedule their writebacks (overlapped) or drop
+        // them (serialized).
+        self.flush_migrations();
+    }
+
+    /// Routes migrations the residency policy decided on. Under the
+    /// resource timeline every spill/promotion becomes a
+    /// lowest-priority link task (appended after all current
+    /// reservations — writebacks stream behind latency-critical
+    /// traffic) with its source/destination channel leg mirrored on
+    /// the `ssd`/`host-dram` resources; serialized execution keeps the
+    /// PR 3 assumption that writebacks stream behind compute for free.
+    fn flush_migrations(&mut self) {
+        let Some(mgr) = self.tiers.as_mut() else {
+            return;
+        };
+        let migrations = mgr.take_migrations();
+        if migrations.is_empty() {
+            return;
+        }
+        let Some(res) = self.res.as_mut() else {
+            return; // serialized: decided, not scheduled
+        };
+        for m in migrations {
+            let dur = mgr.migration_price_ps(m.from, m.to, m.bytes);
+            if dur == 0 {
+                continue;
+            }
+            // Demotions ride the down lane; promotions move bytes up
+            // but go behind every current up-lane reservation (lowest
+            // priority), so latency-critical restores keep their
+            // earliest fits. Either way a writeback decided *now*
+            // cannot start in the simulated past: the start is floored
+            // at `max(now, lane frontier)`.
+            let demotion = m.to > m.from;
+            let (tag, lane) = if demotion {
+                ("spill", res.pcie_down)
+            } else {
+                ("promote", res.pcie)
+            };
+            let earliest = self.now.max(res.engine.next_free(lane));
+            let t = res
+                .engine
+                .schedule_after(lane, earliest, dur, &[], tag, m.bytes);
+            let start = res.engine.start_of(t);
+            for tier in [m.from, m.to] {
+                match tier {
+                    MemTier::Host => {
+                        res.engine.reserve_after(res.host, start, dur, tag, m.bytes);
+                    }
+                    MemTier::Ssd => {
+                        res.engine.reserve_after(res.ssd, start, dur, tag, m.bytes);
+                    }
+                    MemTier::Device => {}
+                }
+            }
+            // Restores of these bytes cannot begin before the demotion
+            // writeback lands below the device tier.
+            if demotion {
+                if let Some(s) = self.active.iter_mut().find(|s| s.id == m.session) {
+                    s.spill_visible_ps = s.spill_visible_ps.max(res.engine.end_of(t));
+                }
+            }
         }
     }
 
-    // --- Fleet aggregation: percentiles over every frame/turn of
-    // every admitted session. ---
-    let admitted: Vec<&SessionServeReport> = reports
-        .iter()
-        .filter(|r| r.outcome != SessionOutcome::Rejected)
-        .collect();
-    let mut lag_samples: Vec<f64> = Vec::new();
-    let mut ttft_samples: Vec<f64> = Vec::new();
-    let mut tpot_samples: Vec<f64> = Vec::new();
-    for r in &admitted {
-        lag_samples.extend_from_slice(&r.frame_lags_s);
-        ttft_samples.extend_from_slice(&r.ttft_s);
-        tpot_samples.extend_from_slice(&r.tpot_s);
-    }
-    // One sort per sample set; both percentiles index into it.
-    for samples in [&mut lag_samples, &mut ttft_samples, &mut tpot_samples] {
-        samples.sort_unstable_by(f64::total_cmp);
-    }
-    ServeReport {
-        offered: plans.len(),
-        admitted: admitted.len(),
-        queued: admitted
-            .iter()
-            .filter(|r| r.outcome == SessionOutcome::AdmittedAfterWait)
-            .count(),
-        rejected: reports
-            .iter()
-            .filter(|r| r.outcome == SessionOutcome::Rejected)
-            .count(),
-        real_time_sessions: admitted.iter().filter(|r| r.real_time).count(),
-        frame_lag_p50_s: percentile_sorted(&lag_samples, 50.0),
-        frame_lag_p99_s: percentile_sorted(&lag_samples, 99.0),
-        ttft_p50_s: percentile_sorted(&ttft_samples, 50.0),
-        ttft_p99_s: percentile_sorted(&ttft_samples, 99.0),
-        tpot_p50_s: percentile_sorted(&tpot_samples, 50.0),
-        tpot_p99_s: percentile_sorted(&tpot_samples, 99.0),
-        makespan_s: ps_to_seconds(makespan_ps),
-        tiering: tiers.map(|mgr| {
-            let s = mgr.stats();
-            TierReport {
-                spilled_sessions: mgr.ever_spilled_sessions(),
-                spilled_bytes: s.spilled_bytes,
-                promoted_bytes: s.promoted_bytes,
-                restored_bytes: s.restored_bytes,
-                tier_hit_steps: s.tier_hit_steps,
-                tier_miss_steps: s.tier_miss_steps,
-                hidden_s: ps_to_seconds(s.hidden_ps),
-                exposed_s: ps_to_seconds(s.exposed_ps),
+    /// The serialized driver: batch-level blocking execution,
+    /// byte-identical to the pre-resource-timeline scheduler (pinned by
+    /// the golden-trace regression and the `tier_capacity` stdout).
+    fn run_serialized(&mut self) {
+        loop {
+            self.drain_past_events();
+            self.maybe_admission_pass();
+            self.check_ready_invariant();
+
+            if self.ready_counts.iter().sum::<usize>() == 0 {
+                // Idle: advance to the next wake-up strictly after
+                // `now`; anything at or before `now` was already
+                // drained unacted.
+                match self.events.pop() {
+                    Some(Reverse(e)) => {
+                        debug_assert!(e.ps > self.now, "drained heap only holds the future");
+                        self.now = e.ps;
+                        let kind = match e.kind {
+                            EventKind::Arrival(_) => TraceKind::Arrival,
+                            EventKind::Patience(_) => TraceKind::Patience,
+                            EventKind::WorkReady(id) => {
+                                self.mark_ready_by_id(id);
+                                TraceKind::WorkReady
+                            }
+                            EventKind::StepComplete(_) => {
+                                unreachable!("serialized runs never launch batches")
+                            }
+                        };
+                        self.trace_event(kind);
+                        continue;
+                    }
+                    None => break, // nothing active, nothing pending: done
+                }
             }
-        }),
-        sessions: reports,
+
+            // Form the batch and execute it as one blocking unit.
+            let kind = self.choose_kind();
+            self.gather_members(kind);
+            let step = self.price_step(kind, ExecContext::Serialized);
+            let penalty_ps = self.serialized_restore_penalty(kind, &step);
+            let completion = self.now + step.latency_ps + penalty_ps;
+            self.now = completion;
+            self.trace_event(TraceKind::StepComplete);
+            self.makespan_ps = self.makespan_ps.max(completion);
+            self.apply_batch(completion);
+        }
+    }
+
+    /// The resource-timeline driver: batches launch as task sets on
+    /// the engine's resources and complete at their `StepComplete`
+    /// events, so up to [`MAX_IN_FLIGHT`] batches overlap and link
+    /// traffic genuinely contends.
+    fn run_overlapped(&mut self) {
+        loop {
+            self.drain_past_events();
+            self.maybe_admission_pass();
+            self.check_ready_invariant();
+
+            if self.ready_counts.iter().sum::<usize>() > 0 && self.inflight_count < MAX_IN_FLIGHT {
+                self.launch_batch();
+                continue;
+            }
+            match self.events.pop() {
+                Some(Reverse(e)) => {
+                    debug_assert!(e.ps > self.now, "drained heap only holds the future");
+                    self.now = e.ps;
+                    match e.kind {
+                        EventKind::Arrival(_) => self.trace_event(TraceKind::Arrival),
+                        EventKind::Patience(_) => self.trace_event(TraceKind::Patience),
+                        EventKind::WorkReady(id) => {
+                            self.mark_ready_by_id(id);
+                            self.trace_event(TraceKind::WorkReady);
+                        }
+                        EventKind::StepComplete(slot) => self.apply_completion(slot),
+                    }
+                    continue;
+                }
+                None => {
+                    debug_assert_eq!(self.inflight_count, 0, "in-flight batch without an event");
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Forms one batch at `now` and schedules its execution on the
+    /// resource timeline:
+    ///
+    /// * each spilled member's restore becomes PCIe-link reservations —
+    ///   the speculated share ([`RestorePlan::coverage`]) may claim
+    ///   link idle time from the moment the work item became visible
+    ///   (earliest-fit, possibly before `now`), the mispredicted
+    ///   remainder is demand-fetched from formation — with the
+    ///   host/SSD leg mirrored on the source channel;
+    /// * batch compute appends FIFO on the `compute` resource;
+    /// * the step's own cold-KV fetch traffic occupies the link for
+    ///   `fetch_ps` from the compute start, queueing behind restores —
+    ///   the restore-vs-fetch contention the serialized model folds
+    ///   away.
+    ///
+    /// The batch completes at the max of its task end times; restore
+    /// time beyond the compute/fetch horizon is the exposed remainder
+    /// charged to the members (and to [`TierReport::exposed_s`]).
+    fn launch_batch(&mut self) {
+        let kind = self.choose_kind();
+        self.gather_members(kind);
+        let batch = self.members.len();
+        let step = self.price_step(kind, ExecContext::Overlapped);
+        let generation = kind == Kind::Decode;
+        let ratio = self.sys.method.ratio(generation);
+
+        // Restores first: latency-critical link reservations grab the
+        // earliest fits before this batch's own fetch traffic lands.
+        let mut restores: Vec<Option<(RestorePlan, u64)>> = vec![None; batch];
+        if let Some(mgr) = self.tiers.as_mut() {
+            if !mgr.any_spilled_bytes() {
+                mgr.record_all_hot_steps(batch as u64);
+            } else {
+                let res = self.res.as_mut().expect("overlapped runs own resources");
+                for (k, slot) in restores.iter_mut().enumerate() {
+                    let i = self.members[k];
+                    let plan = mgr.plan_restore(
+                        self.active[i].id,
+                        ratio,
+                        generation,
+                        self.prefetch.as_ref(),
+                    );
+                    if plan.miss_ps() == 0 {
+                        mgr.commit_restore(&plan, 0, 0);
+                        continue;
+                    }
+                    // The prefetch can issue when the work item became
+                    // visible — but never before the bytes it restores
+                    // were actually spilled below the device
+                    // (`spill_visible_ps`: causality, not optimism).
+                    let ready_ps = self.active[i]
+                        .head_avail_ps()
+                        .expect("batch member has a head item")
+                        .max(self.active[i].last_completion_ps)
+                        .max(self.active[i].spill_visible_ps);
+                    let spec_ps = (plan.miss_ps() as f64 * plan.coverage) as u64;
+                    let demand_ps = plan.miss_ps() - spec_ps;
+                    let spec_bytes = (plan.bytes() as f64 * plan.coverage) as u64;
+                    let demand_earliest = self.now.max(self.active[i].spill_visible_ps);
+                    let mut first_start = u64::MAX;
+                    let mut end = self.now;
+                    let mut dep: Option<TaskId> = None;
+                    if spec_ps > 0 {
+                        let t = res.engine.reserve_after(
+                            res.pcie,
+                            ready_ps,
+                            spec_ps,
+                            "restore:prefetch",
+                            spec_bytes,
+                        );
+                        first_start = first_start.min(res.engine.start_of(t));
+                        end = res.engine.end_of(t);
+                        dep = Some(t);
+                    }
+                    if demand_ps > 0 {
+                        let deps: Vec<TaskId> = dep.into_iter().collect();
+                        let t = res.engine.schedule_after(
+                            res.pcie,
+                            demand_earliest,
+                            demand_ps,
+                            &deps,
+                            "restore:demand",
+                            plan.bytes() - spec_bytes,
+                        );
+                        first_start = first_start.min(res.engine.start_of(t));
+                        end = res.engine.end_of(t);
+                    }
+                    // Mirror the source-channel legs for the
+                    // bandwidth-timeline view (placed at the earliest
+                    // fit from the restore's first link reservation).
+                    if plan.host_ps > 0 {
+                        res.engine.reserve_after(
+                            res.host,
+                            first_start,
+                            plan.host_ps,
+                            "restore",
+                            plan.host_bytes,
+                        );
+                    }
+                    if plan.ssd_ps > 0 {
+                        res.engine.reserve_after(
+                            res.ssd,
+                            first_start,
+                            plan.ssd_ps,
+                            "restore",
+                            plan.ssd_bytes,
+                        );
+                    }
+                    *slot = Some((plan, end));
+                }
+            }
+        }
+
+        // Batch compute: FIFO on the compute resource. The step's own
+        // cold-KV fetch pipelines with compute layer by layer, but its
+        // link occupancy is real: it queues behind restore traffic on
+        // the shared PCIe resource.
+        let res = self.res.as_mut().expect("overlapped runs own resources");
+        let tag = match kind {
+            Kind::Frame => "frame",
+            Kind::Question => "question",
+            Kind::Decode => "decode",
+        };
+        let compute_t =
+            res.engine
+                .schedule_after(res.compute, self.now, step.latency_ps, &[], tag, 0);
+        let compute_start = res.engine.start_of(compute_t);
+        let mut horizon = res.engine.end_of(compute_t);
+        if step.fetch_ps > 0 {
+            let fetch_t = res.engine.schedule_after(
+                res.pcie,
+                compute_start,
+                step.fetch_ps,
+                &[],
+                "fetch",
+                step.fetch_bytes,
+            );
+            horizon = horizon.max(res.engine.end_of(fetch_t));
+        }
+
+        // Completion = max over compute, fetch, and member restores;
+        // restore time beyond the compute/fetch horizon is exposed.
+        let mut completion = horizon;
+        for r in restores.iter().flatten() {
+            completion = completion.max(r.1);
+        }
+        if let Some(mgr) = self.tiers.as_mut() {
+            for r in restores.iter().flatten() {
+                let (plan, end) = r;
+                let exposed = end.saturating_sub(horizon).min(plan.miss_ps());
+                mgr.commit_restore(plan, plan.miss_ps() - exposed, exposed);
+            }
+        }
+        let penalty = completion - horizon;
+        if penalty > 0 {
+            // The batch completes as one unit: every member's critical
+            // path is stretched by the slowest exposed restore.
+            for k in 0..batch {
+                self.active[self.members[k]].tier_exposed_ps += penalty;
+            }
+        }
+
+        // Members leave the ready set and go in flight; the completion
+        // event applies their effects.
+        let mut ids = Vec::with_capacity(batch);
+        for k in 0..batch {
+            let i = self.members[k];
+            unmark_ready(&mut self.active, &mut self.ready_counts, i);
+            self.active[i].in_flight = true;
+            ids.push(self.active[i].id);
+        }
+        let slot = match self.inflight.iter().position(Option::is_none) {
+            Some(s) => s,
+            None => {
+                self.inflight.push(None);
+                self.inflight.len() - 1
+            }
+        };
+        self.inflight[slot] = Some(InFlight {
+            ids,
+            completion_ps: completion,
+        });
+        self.inflight_count += 1;
+        self.events.push(Reverse(Event {
+            ps: completion,
+            kind: EventKind::StepComplete(slot),
+        }));
+    }
+
+    /// Applies an in-flight batch's effects at its completion instant.
+    fn apply_completion(&mut self, slot: usize) {
+        let batch = self.inflight[slot].take().expect("live in-flight batch");
+        self.inflight_count -= 1;
+        debug_assert_eq!(
+            batch.completion_ps, self.now,
+            "completion fires at its instant"
+        );
+        // Resolve ids back to active indices: retirements of other
+        // batches may have shifted them, but relative order (and thus
+        // ascending membership) is preserved.
+        self.members.clear();
+        for id in &batch.ids {
+            let i = self
+                .active
+                .iter()
+                .position(|s| s.id == *id)
+                .expect("in-flight stream stays active");
+            self.members.push(i);
+        }
+        self.trace_event(TraceKind::StepComplete);
+        self.makespan_ps = self.makespan_ps.max(batch.completion_ps);
+        self.apply_batch(batch.completion_ps);
+    }
+
+    /// Fleet aggregation: percentiles over every frame/turn of every
+    /// admitted session.
+    fn finish(self) -> ServeReport {
+        let reports = self.reports;
+        let admitted: Vec<&SessionServeReport> = reports
+            .iter()
+            .filter(|r| r.outcome != SessionOutcome::Rejected)
+            .collect();
+        let mut lag_samples: Vec<f64> = Vec::new();
+        let mut ttft_samples: Vec<f64> = Vec::new();
+        let mut tpot_samples: Vec<f64> = Vec::new();
+        for r in &admitted {
+            lag_samples.extend_from_slice(&r.frame_lags_s);
+            ttft_samples.extend_from_slice(&r.ttft_s);
+            tpot_samples.extend_from_slice(&r.tpot_s);
+        }
+        // One sort per sample set; both percentiles index into it.
+        for samples in [&mut lag_samples, &mut ttft_samples, &mut tpot_samples] {
+            samples.sort_unstable_by(f64::total_cmp);
+        }
+        ServeReport {
+            offered: self.plans.len(),
+            admitted: admitted.len(),
+            queued: admitted
+                .iter()
+                .filter(|r| r.outcome == SessionOutcome::AdmittedAfterWait)
+                .count(),
+            rejected: reports
+                .iter()
+                .filter(|r| r.outcome == SessionOutcome::Rejected)
+                .count(),
+            real_time_sessions: admitted.iter().filter(|r| r.real_time).count(),
+            frame_lag_p50_s: percentile_sorted(&lag_samples, 50.0),
+            frame_lag_p99_s: percentile_sorted(&lag_samples, 99.0),
+            ttft_p50_s: percentile_sorted(&ttft_samples, 50.0),
+            ttft_p99_s: percentile_sorted(&ttft_samples, 99.0),
+            tpot_p50_s: percentile_sorted(&tpot_samples, 50.0),
+            tpot_p99_s: percentile_sorted(&tpot_samples, 99.0),
+            makespan_s: ps_to_seconds(self.makespan_ps),
+            tiering: self.tiers.map(|mgr| {
+                let s = mgr.stats();
+                TierReport {
+                    spilled_sessions: mgr.ever_spilled_sessions(),
+                    spilled_bytes: s.spilled_bytes,
+                    promoted_bytes: s.promoted_bytes,
+                    restored_bytes: s.restored_bytes,
+                    tier_hit_steps: s.tier_hit_steps,
+                    tier_miss_steps: s.tier_miss_steps,
+                    hidden_s: ps_to_seconds(s.hidden_ps),
+                    exposed_s: ps_to_seconds(s.exposed_ps),
+                }
+            }),
+            sessions: reports,
+        }
     }
 }
 
@@ -1036,6 +1677,7 @@ mod tests {
             initial_cache_tokens: 30_000,
             max_wait_s: 0.0,
             admission: AdmissionPolicy::RejectOnly,
+            overlap: false,
         };
         let r = serve(&sys, &llama(), &fleet(6, 1, 3.0, 5), &cfg);
         assert!(r.admitted >= 1, "at least one stream fits: {r:?}");
@@ -1054,6 +1696,7 @@ mod tests {
             initial_cache_tokens: 30_000,
             max_wait_s: 1e6,
             admission: AdmissionPolicy::RejectOnly,
+            overlap: false,
         };
         let r = serve(&sys, &llama(), &fleet(6, 1, 3.0, 5), &cfg);
         assert_eq!(r.admitted, 6, "everyone admitted eventually: {r:?}");
@@ -1096,8 +1739,9 @@ mod tests {
 
     #[test]
     fn shared_price_cache_reproduces_uncached_serving() {
-        // A sweep-style reuse of one cache across fleets and policies
-        // must produce byte-identical reports to fresh-cache runs.
+        // A sweep-style reuse of one cache across fleets, policies, and
+        // execution models must produce byte-identical reports to
+        // fresh-cache runs.
         let sys = SystemModel::new(PlatformSpec::vrex48(), Method::ReSV);
         let model = llama();
         let mut cache = StepPriceCache::new(&sys, &model);
@@ -1106,6 +1750,7 @@ mod tests {
             for cfg in [
                 ServeConfig::real_time(8_000),
                 ServeConfig::real_time_tiered(8_000),
+                ServeConfig::real_time_tiered(8_000).with_overlap(true),
             ] {
                 let fresh = serve(&sys, &model, &plans, &cfg);
                 let shared = serve_with_cache(&mut cache, &plans, &cfg);
@@ -1171,6 +1816,7 @@ mod tests {
             initial_cache_tokens: 30_000,
             max_wait_s: 0.0,
             admission: AdmissionPolicy::RejectOnly,
+            overlap: false,
         };
         let tier_cfg = ServeConfig {
             admission: AdmissionPolicy::tiered_speculative(),
@@ -1223,6 +1869,7 @@ mod tests {
             initial_cache_tokens: 30_000,
             max_wait_s: 10.0,
             admission: AdmissionPolicy::Tiered { prefetch },
+            overlap: false,
         };
         let plans = fleet(20, 1, 10.0, 7);
         let model = llama();
@@ -1287,6 +1934,7 @@ mod tests {
             initial_cache_tokens: 70_000,
             max_wait_s: 10.0,
             admission: AdmissionPolicy::RejectOnly,
+            overlap: false,
         };
         // One long session pins more than half the device KV budget
         // (70K tokens ≈ 8.9 GiB of ~15.9 GiB) for far longer than the
@@ -1349,9 +1997,299 @@ mod tests {
             initial_cache_tokens: 30_000,
             max_wait_s: 0.0,
             admission: AdmissionPolicy::tiered_speculative(),
+            overlap: false,
         };
         let r = serve(&sys, &llama(), &fleet(2, 1, 3.0, 5), &cfg);
         assert_eq!(r.admitted, 0, "nothing fits the whole hierarchy: {r:?}");
         assert_eq!(r.rejected, 2);
+    }
+
+    /// FNV-1a over (ps, kind) pairs — the golden-trace fingerprint.
+    fn trace_fingerprint(trace: &[TraceEvent]) -> (usize, u64) {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for e in trace {
+            for b in e.ps.to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+            h ^= match e.kind {
+                TraceKind::Arrival => 0u64,
+                TraceKind::Patience => 1,
+                TraceKind::WorkReady => 2,
+                TraceKind::StepComplete => 3,
+            };
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        (trace.len(), h)
+    }
+
+    /// With `overlap = off`, the serve trace is event-for-event
+    /// identical to the pre-resource-timeline scheduler: these
+    /// fingerprints were captured from the scheduler as it stood
+    /// before this refactor (batch-level blocking, fleet rescan per
+    /// instant). Any drift in event times, counts, or order — from the
+    /// incremental ready set, the memoized restore pricing, or the
+    /// shared batch-effects path — fails here.
+    #[test]
+    fn serialized_trace_matches_pre_refactor_golden_fingerprints() {
+        struct Golden {
+            platform: PlatformSpec,
+            method: Method,
+            sessions: usize,
+            turns: usize,
+            spread: f64,
+            seed: u64,
+            tiered: bool,
+            len: usize,
+            hash: u64,
+        }
+        let model = llama();
+        let cases = [
+            Golden {
+                platform: PlatformSpec::vrex48(),
+                method: Method::ReSV,
+                sessions: 6,
+                turns: 2,
+                spread: 8.0,
+                seed: 17,
+                tiered: false,
+                len: 1042,
+                hash: 0x4fea_d60c_14d8_9be1,
+            },
+            Golden {
+                platform: PlatformSpec::agx_orin(),
+                method: Method::VanillaInMemory,
+                sessions: 6,
+                turns: 1,
+                spread: 3.0,
+                seed: 5,
+                tiered: true,
+                len: 150,
+                hash: 0xc84f_bfd3_943e_f050,
+            },
+            Golden {
+                platform: PlatformSpec::vrex8(),
+                method: Method::FlexGen,
+                sessions: 4,
+                turns: 2,
+                spread: 6.0,
+                seed: 29,
+                tiered: true,
+                len: 258,
+                hash: 0x2e56_3da3_46d6_5524,
+            },
+        ];
+        for c in &cases {
+            let plans = fleet(c.sessions, c.turns, c.spread, c.seed);
+            let sys = SystemModel::new(c.platform.clone(), c.method);
+            let cfg = if c.tiered {
+                ServeConfig::real_time_tiered(30_000)
+            } else {
+                ServeConfig::real_time(8_000)
+            };
+            let (_, trace) = serve_traced(&sys, &model, &plans, &cfg);
+            assert_eq!(
+                trace_fingerprint(&trace),
+                (c.len, c.hash),
+                "{} + {:?}: serialized trace drifted from the pre-refactor scheduler",
+                c.platform.name,
+                c.method
+            );
+        }
+    }
+
+    /// Hand-computed PCIe contention oracle: two streams share one
+    /// link. Stream A's restore holds the link; stream B's fetch,
+    /// wanting to start mid-restore, is delayed by exactly the time the
+    /// link needs to drain A's remaining bytes at link bandwidth —
+    /// the same earliest-fit reservation discipline `launch_batch`
+    /// uses on the serving path's `pcie` resource.
+    #[test]
+    fn link_contention_delays_fetch_by_exactly_the_overlapping_bytes() {
+        use vrex_hwsim::dram::DramConfig;
+        use vrex_hwsim::pcie::PcieConfig;
+        use vrex_hwsim::tier::TierPath;
+
+        let path = TierPath {
+            pcie: PcieConfig::gen4_x16(),
+            host_dram: Some(DramConfig::ddr4_cpu()),
+            ssd: None,
+        };
+        // Stream A restores 1 MiB from host DRAM in 256 KiB chunks on
+        // PCIe 4.0 ×16 (32 GB/s raw, 256 B max payload, 24 B TLP
+        // overhead, 0.4 µs per DMA descriptor). By hand:
+        //   chunks = 4;  TLPs = 1 MiB/256 + 4 = 4096 + 4 = 4100
+        //   wire bytes = 1 MiB + 4100·24 = 1_048_576 + 98_400 = 1_146_976
+        //   wire ps    = 1_146_976 / 32e9 · 1e12 = 35_843_000
+        //   restore    = 35_843_000 + 4·400_000 = 37_443_000 ps
+        // (DDR4 at ~102 GB/s outruns the link, so the pipelined
+        // migration equals the PCIe leg.)
+        let bytes: u64 = 1 << 20;
+        let chunk: u64 = 256 << 10;
+        let tlps = bytes / 256 + 4;
+        let wire_bytes = bytes + tlps * 24;
+        let restore_ps = seconds_to_ps(wire_bytes as f64 / 32.0e9) + 4 * 400_000;
+        assert_eq!(
+            path.migrate_ps(MemTier::Host, MemTier::Device, bytes, chunk),
+            restore_ps
+        );
+
+        let mut e = Engine::new();
+        let pcie = e.add_resource("pcie");
+        // Stream A's restore claims the link from t = 0.
+        let a = e.reserve_after(pcie, 0, restore_ps, "restore:A", bytes);
+        assert_eq!(e.start_of(a), 0);
+        assert_eq!(e.end_of(a), restore_ps);
+        // Stream B's fetch wants the link at t₁ = 10_000_000 ps, while
+        // A still holds it. Earliest fit pushes B to A's end: the
+        // delay is exactly restore_ps − t₁ — the time the link needs
+        // for A's remaining (restore_ps − t₁)·BW_link bytes.
+        let t1: u64 = 10_000_000;
+        assert!(t1 < restore_ps, "B must arrive mid-restore");
+        let b = e.schedule_after(pcie, t1, 5_000_000, &[], "fetch:B", 512 << 10);
+        assert_eq!(e.start_of(b), restore_ps);
+        assert_eq!(e.start_of(b) - t1, restore_ps - t1); // = 27_443_000 ps
+        assert_eq!(restore_ps - t1, 27_443_000);
+        // No third party involved: the intervals tile the link exactly.
+        assert_eq!(e.busy_time(pcie), restore_ps + 5_000_000);
+    }
+
+    /// The resource-timeline acceptance pin: on the halved-HBM
+    /// V-Rex48 + ReSV headline configuration at 32K tokens (the
+    /// `tier_capacity` smoke grid), overlapped execution sustains at
+    /// least as many real-time streams as serialized execution at
+    /// every fleet size, and strictly more in total.
+    #[test]
+    fn overlap_capacity_meets_or_beats_serialized_at_the_headline_config() {
+        let mut platform = PlatformSpec::vrex48();
+        platform.mem_capacity /= 2;
+        platform.hot_window_tokens = 32_768;
+        let sys = SystemModel::new(platform, Method::ReSV);
+        let model = llama();
+        let mut prices = StepPriceCache::new(&sys, &model);
+        let mut serial_best = 0usize;
+        let mut overlap_best = 0usize;
+        for sessions in [4usize, 8, 12] {
+            let plans = TrafficConfig {
+                sessions,
+                turns: 2,
+                arrival_spread_s: 10.0,
+                seed: 42,
+            }
+            .generate();
+            let cfg = ServeConfig::real_time_tiered(32_000);
+            let serial = serve_with_cache(&mut prices, &plans, &cfg);
+            let overlap = serve_with_cache(&mut prices, &plans, &cfg.with_overlap(true));
+            assert!(
+                overlap.real_time_sessions >= serial.real_time_sessions,
+                "overlap {} < serialized {} real-time streams at fleet {}",
+                overlap.real_time_sessions,
+                serial.real_time_sessions,
+                sessions
+            );
+            serial_best = serial_best.max(serial.real_time_sessions);
+            overlap_best = overlap_best.max(overlap.real_time_sessions);
+        }
+        assert!(
+            overlap_best >= serial_best,
+            "overlap capacity {overlap_best} below serialized {serial_best}"
+        );
+    }
+
+    /// A single uncontended stream executes identically under both
+    /// models: no link contention, no co-batched restores, so every
+    /// batch completes at `start + latency` either way.
+    #[test]
+    fn single_stream_overlap_equals_serialized() {
+        let sys = SystemModel::new(PlatformSpec::vrex8(), Method::ReSV);
+        let model = llama();
+        let plans = fleet(1, 2, 0.0, 3);
+        let cfg = ServeConfig::real_time(1_000);
+        let serial = serve(&sys, &model, &plans, &cfg);
+        let overlap = serve(&sys, &model, &plans, &cfg.with_overlap(true));
+        assert_eq!(serial, overlap);
+    }
+
+    /// Overlapped execution conserves sessions and work exactly like
+    /// serialized execution, under pressure and tiering.
+    #[test]
+    fn overlap_conserves_sessions_and_work() {
+        let sys = SystemModel::new(PlatformSpec::agx_orin(), Method::VanillaInMemory);
+        let model = llama();
+        let plans = fleet(6, 1, 3.0, 5);
+        let cfg = ServeConfig {
+            fps: 2.0,
+            initial_cache_tokens: 30_000,
+            max_wait_s: 10.0,
+            admission: AdmissionPolicy::tiered_speculative(),
+            overlap: true,
+        };
+        let r = serve(&sys, &model, &plans, &cfg);
+        assert_eq!(r.admitted + r.rejected, r.offered);
+        assert_eq!(r.sessions.len(), plans.len());
+        for s in r
+            .sessions
+            .iter()
+            .filter(|s| s.outcome != SessionOutcome::Rejected)
+        {
+            let plan = plans.iter().find(|p| p.id == s.id).unwrap();
+            assert_eq!(s.frames_offered, plan.total_frames());
+            assert_eq!(
+                s.final_cache_tokens,
+                cfg.initial_cache_tokens + plan.total_cache_growth_tokens(model.tokens_per_frame)
+            );
+        }
+        // Determinism.
+        assert_eq!(r, serve(&sys, &model, &plans, &cfg));
+        // The hierarchy accounting still balances.
+        let t = r.tiering.expect("tiered run reports tiering");
+        assert!(t.spilled_bytes > 0, "squeeze must spill: {t:?}");
+        assert!(t.exposed_s >= 0.0 && t.hidden_s >= 0.0);
+    }
+
+    /// Under the resource timeline the trace is weakly monotone (two
+    /// batches may complete at one instant) and still covers every
+    /// transition kind.
+    #[test]
+    fn overlap_trace_is_weakly_monotone_and_total() {
+        let sys = SystemModel::new(PlatformSpec::vrex48(), Method::ReSV);
+        let plans = fleet(6, 2, 8.0, 17);
+        let cfg = ServeConfig::real_time(8_000).with_overlap(true);
+        let (r, trace) = serve_traced(&sys, &llama(), &plans, &cfg);
+        assert_eq!(r.sessions.len(), plans.len());
+        assert!(!trace.is_empty());
+        for w in trace.windows(2) {
+            assert!(
+                w[0].ps <= w[1].ps,
+                "simulated time must never rewind: {w:?}"
+            );
+        }
+        assert!(trace.iter().any(|e| e.kind == TraceKind::StepComplete));
+        assert!(trace.iter().any(|e| e.kind == TraceKind::Arrival));
+    }
+
+    /// Overlapped tiering keeps the spill-instead-of-reject guarantee.
+    #[test]
+    fn overlap_tiered_admission_spills_instead_of_rejecting() {
+        let sys = SystemModel::new(PlatformSpec::agx_orin(), Method::VanillaInMemory);
+        let base = ServeConfig {
+            fps: 2.0,
+            initial_cache_tokens: 30_000,
+            max_wait_s: 0.0,
+            admission: AdmissionPolicy::RejectOnly,
+            overlap: true,
+        };
+        let tier_cfg = ServeConfig {
+            admission: AdmissionPolicy::tiered_speculative(),
+            ..base
+        };
+        let plans = fleet(6, 1, 3.0, 5);
+        let rejecting = serve(&sys, &llama(), &plans, &base);
+        let tiered = serve(&sys, &llama(), &plans, &tier_cfg);
+        assert!(rejecting.rejected >= 1, "baseline must reject");
+        assert_eq!(tiered.rejected, 0, "tiering admits everyone: {tiered:?}");
+        let t = tiered.tiering.expect("tiering report");
+        assert!(t.spilled_sessions >= 1);
+        assert!(t.tier_miss_steps > 0);
     }
 }

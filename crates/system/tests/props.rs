@@ -304,6 +304,71 @@ proptest! {
         prop_assert_eq!(r.admitted + r.rejected, r.offered);
     }
 
+    /// Resource-timeline execution over random fleets: the overlapped
+    /// scheduler conserves sessions and work exactly like the
+    /// serialized one, its trace never rewinds (weakly monotone — two
+    /// batches may complete at one instant), and every run is
+    /// deterministic. Debug builds additionally assert, inside the
+    /// scheduler, that the incremental per-kind ready set matches the
+    /// full fleet rescan at every pass — for both execution models.
+    #[test]
+    fn overlapped_serving_conserves_sessions_and_work(
+        sessions in 1usize..6,
+        turns in 0usize..3,
+        spread in 0.0f64..10.0,
+        cache in 1_000usize..40_000,
+        seed in 0u64..200,
+        method_idx in 0usize..6,
+        tiered_admission in any::<bool>(),
+    ) {
+        let plans = TrafficConfig {
+            sessions,
+            turns,
+            arrival_spread_s: spread,
+            seed,
+        }
+        .generate();
+        let sys = SystemModel::new(PlatformSpec::agx_orin(), METHODS[method_idx]);
+        let model = ModelConfig::llama3_8b();
+        let cfg = ServeConfig {
+            admission: if tiered_admission {
+                vrex_system::AdmissionPolicy::tiered_speculative()
+            } else {
+                vrex_system::AdmissionPolicy::RejectOnly
+            },
+            ..ServeConfig::real_time(cache)
+        }
+        .with_overlap(true);
+        let (r, trace) = serve_traced(&sys, &model, &plans, &cfg);
+        for w in trace.windows(2) {
+            prop_assert!(
+                w[0].ps <= w[1].ps,
+                "overlapped time rewound: {:?} -> {:?}",
+                w[0],
+                w[1]
+            );
+        }
+        prop_assert_eq!(r.admitted + r.rejected, r.offered);
+        prop_assert_eq!(r.sessions.len(), plans.len());
+        let mut seen = std::collections::BTreeSet::new();
+        for s in &r.sessions {
+            prop_assert!(seen.insert(s.id), "session {} reported twice", s.id);
+            if s.outcome != SessionOutcome::Rejected {
+                let plan = plans.iter().find(|p| p.id == s.id).unwrap();
+                prop_assert_eq!(s.frames_offered, plan.total_frames());
+                prop_assert_eq!(
+                    s.final_cache_tokens,
+                    cfg.initial_cache_tokens
+                        + plan.total_cache_growth_tokens(model.tokens_per_frame)
+                );
+            }
+        }
+        if r.sessions.iter().any(|s| s.frames_offered > 0) {
+            prop_assert!(trace.iter().any(|e| e.kind == TraceKind::StepComplete));
+        }
+        prop_assert_eq!(&serve(&sys, &model, &plans, &cfg), &r);
+    }
+
     /// The memoized price cache is bit-identical to uncached
     /// `SystemModel` pricing for arbitrary shapes, on both the miss
     /// and the hit path.
