@@ -58,6 +58,16 @@ fn entries(smoke: bool) -> Vec<Entry> {
             args: &[],
             budget_s: 60.0,
         },
+        // Simulator-throughput gate: the smoke grid tops out at a
+        // 10⁵-session streaming fleet and *hard-asserts* its
+        // sessions-per-wall-second floor (a floor violation exits
+        // nonzero and fails this harness, unlike the soft budgets).
+        // Its per-row JSON lands in `fleet_scale_rows` below.
+        Entry {
+            bin: "fleet_scale",
+            args: &["--smoke", "--json", FLEET_SCALE_JSON],
+            budget_s: 120.0,
+        },
     ];
     if !smoke {
         // The headline sweep: full tier_capacity grid (7 platforms ×
@@ -82,6 +92,11 @@ fn entries(smoke: bool) -> Vec<Entry> {
     }
     v
 }
+
+/// Where `fleet_scale` drops its row array (cwd-relative; the child
+/// inherits this harness's working directory). Read back after the
+/// runs and merged into the main JSON artifact.
+const FLEET_SCALE_JSON: &str = "BENCH_fleet_scale.json";
 
 fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
@@ -155,10 +170,17 @@ fn main() {
     }
     t.print();
 
+    // Merge the fleet_scale per-row throughput JSON (written by the
+    // child above) into the single uploaded artifact; indent its array
+    // to sit as a top-level key.
+    let fleet_rows = std::fs::read_to_string(FLEET_SCALE_JSON)
+        .map(|s| s.trim().replace('\n', "\n  "))
+        .unwrap_or_else(|_| "[]".to_string());
     let json = format!(
-        "{{\n  \"suite\": \"serve\",\n  \"workers\": {},\n  \"smoke\": {},\n  \"entries\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"suite\": \"serve\",\n  \"workers\": {},\n  \"smoke\": {},\n  \"fleet_scale_rows\": {},\n  \"entries\": [\n{}\n  ]\n}}\n",
         workers(),
         smoke,
+        fleet_rows,
         records.join(",\n")
     );
     let mut out = std::fs::File::create(&json_path).expect("create bench json");

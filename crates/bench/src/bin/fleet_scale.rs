@@ -1,0 +1,332 @@
+//! Fleet-scale simulator-throughput bench: how many offered sessions
+//! per wall-clock second does the serving core sustain?
+//!
+//! The figure/table sweeps measure the *simulated* system; this bin
+//! measures the *simulator*. It drives [`vrex_system::serve_stream`]
+//! over a streaming open-loop Poisson fleet
+//! ([`vrex_workload::traffic::OpenLoopConfig`]) — the fleet is never
+//! materialized, so 10⁵–10⁶-session runs hold only the active working
+//! set — and reports, per grid point:
+//!
+//! * **sessions/s (wall)** — offered sessions divided by wall-clock
+//!   seconds, the headline throughput number gated by `--floor`;
+//! * **sim/wall** — simulated seconds per wall second (how much faster
+//!   than real time the simulator runs the fleet);
+//! * the [`vrex_system::ServeCounters`] event-loop telemetry under
+//!   `--verbose`.
+//!
+//! Axes: fleet size (10³/10⁴/10⁵ sessions) × admission (reject-only
+//! vs. tiered+prefetch) × event core ([`QueueKind::Heap`] vs.
+//! [`QueueKind::Wheel`]), each replicated over seeds on the shared
+//! sweep pool ([`vrex_bench::par`]) with wall times averaged.
+//!
+//! Usage: `fleet_scale [--smoke] [--verbose] [--json PATH]
+//! [--floor SESSIONS_PER_S]`
+//!
+//! * `--smoke` — the CI-sized grid: one seed, and the 10⁵-session
+//!   fleet only on the cheap reject-only×wheel corner, so the whole
+//!   run fits a CI budget while still exercising a fleet two orders
+//!   larger than any figure sweep;
+//! * `--json PATH` — write the rows as a JSON array (merged into
+//!   `BENCH_serve.json` by the `bench_serve` harness);
+//! * `--floor N` — assert every row sustains at least N offered
+//!   sessions per wall second (default 2000, more than an order of
+//!   magnitude under the slowest measured row — ~37K sessions/s for
+//!   the 10⁵ fleet on a single dev-box core — so the gate trips on
+//!   structural regressions, e.g. an accidental O(fleet) rescan, not
+//!   on runner noise).
+
+use std::io::Write;
+use std::time::Instant;
+
+use vrex_bench::par::{par_map, workers};
+use vrex_bench::report::{banner, f, Table};
+use vrex_model::ModelConfig;
+use vrex_system::{
+    serve_stream, Method, PlatformSpec, QueueKind, ServeConfig, ServeReport, StepPriceCache,
+    SystemModel,
+};
+use vrex_workload::traffic::OpenLoopConfig;
+
+/// Mean arrival rate λ (sessions/s). V-Rex48+ReSV at a 16K-token
+/// initial cache sustains ~21 concurrent real-time streams of ~15 s
+/// each (≈1.4 sessions/s of service capacity), so 1.2/s keeps the
+/// fleet loaded — full admission queue, steady rejections — without
+/// unbounded queue growth: the steady-state working set is
+/// O(λ · patience), independent of total fleet size.
+const ARRIVAL_RATE_PER_S: f64 = 1.2;
+
+/// One grid point: a fleet size × admission policy × event core.
+struct Unit {
+    sessions: usize,
+    tiered: bool,
+    queue: QueueKind,
+    seeds: &'static [u64],
+}
+
+/// One measured row (seed-averaged).
+struct Row {
+    sessions: usize,
+    tiered: bool,
+    queue: QueueKind,
+    replicas: usize,
+    wall_s: f64,
+    sessions_per_wall_s: f64,
+    sim_vs_wall: f64,
+    admitted: usize,
+    rejected: usize,
+    report: ServeReport,
+}
+
+const FULL_SEEDS: &[u64] = &[11, 12, 13];
+const SMOKE_SEEDS: &[u64] = &[11];
+
+fn grid(smoke: bool) -> Vec<Unit> {
+    let seeds: &'static [u64] = if smoke { SMOKE_SEEDS } else { FULL_SEEDS };
+    let mut units = Vec::new();
+    for &sessions in &[1_000usize, 10_000, 100_000] {
+        for &tiered in &[false, true] {
+            for &queue in &[QueueKind::Heap, QueueKind::Wheel] {
+                // Smoke keeps the 10⁵ fleet (the point of the bench)
+                // but only on its cheapest corner; the 10⁴ tier is
+                // fully covered, the 10³ tier spans both policies.
+                if smoke {
+                    let keep = match sessions {
+                        100_000 => !tiered && queue == QueueKind::Wheel,
+                        10_000 => !tiered,
+                        _ => true,
+                    };
+                    if !keep {
+                        continue;
+                    }
+                }
+                units.push(Unit {
+                    sessions,
+                    tiered,
+                    queue,
+                    seeds,
+                });
+            }
+        }
+    }
+    units
+}
+
+fn measure(u: &Unit) -> Row {
+    let model = ModelConfig::llama3_8b();
+    let sys = SystemModel::new(PlatformSpec::vrex48(), Method::ReSV);
+    let cfg = if u.tiered {
+        ServeConfig::real_time_tiered(32_000)
+    } else {
+        ServeConfig::real_time(32_000)
+    }
+    .with_queue(u.queue);
+    let mut wall_s = 0.0;
+    let mut last: Option<ServeReport> = None;
+    for &seed in u.seeds {
+        let mut source = OpenLoopConfig {
+            sessions: u.sessions,
+            arrival_rate_per_s: ARRIVAL_RATE_PER_S,
+            turns: 1,
+            seed,
+        }
+        .stream();
+        // The price cache stays within the replica: memoized batch
+        // shapes are part of the simulator's steady-state throughput,
+        // cold-start pricing is not amortized across seeds.
+        let mut prices = StepPriceCache::new(&sys, &model);
+        let clock = Instant::now();
+        let report = serve_stream(&mut prices, &mut source, &cfg);
+        wall_s += clock.elapsed().as_secs_f64();
+        assert_eq!(report.offered, u.sessions, "open-loop fleet fully offered");
+        last = Some(report);
+    }
+    let replicas = u.seeds.len();
+    let report = last.expect("at least one seed");
+    let mean_wall = wall_s / replicas as f64;
+    Row {
+        sessions: u.sessions,
+        tiered: u.tiered,
+        queue: u.queue,
+        replicas,
+        wall_s: mean_wall,
+        sessions_per_wall_s: u.sessions as f64 / mean_wall,
+        sim_vs_wall: report.makespan_s / mean_wall,
+        admitted: report.admitted,
+        rejected: report.rejected,
+        report,
+    }
+}
+
+fn queue_label(q: QueueKind) -> &'static str {
+    match q {
+        QueueKind::Heap => "heap",
+        QueueKind::Wheel => "wheel",
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let verbose = args.iter().any(|a| a == "--verbose");
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let floor: f64 = args
+        .iter()
+        .position(|a| a == "--floor")
+        .and_then(|i| args.get(i + 1))
+        .map(|s| s.parse().expect("--floor takes a number"))
+        .unwrap_or(2000.0);
+
+    banner(if smoke {
+        "Fleet-scale simulator throughput (smoke)"
+    } else {
+        "Fleet-scale simulator throughput"
+    });
+    println!(
+        "V-Rex48 + ReSV, open-loop Poisson λ = {ARRIVAL_RATE_PER_S}/s, \
+         32K initial cache, floor {floor:.0} sessions/s over {} worker(s)\n",
+        workers()
+    );
+
+    let units = grid(smoke);
+    let clock = Instant::now();
+    let rows = par_map(&units, measure);
+    let sweep_wall = clock.elapsed().as_secs_f64();
+
+    let mut t = Table::new([
+        "Sessions",
+        "Admission",
+        "Queue",
+        "Seeds",
+        "Wall (s)",
+        "Sessions/s",
+        "Sim/wall",
+        "Admit",
+        "Reject",
+    ]);
+    for r in &rows {
+        t.row([
+            r.sessions.to_string(),
+            if r.tiered { "tiered" } else { "reject" }.to_string(),
+            queue_label(r.queue).to_string(),
+            r.replicas.to_string(),
+            f(r.wall_s, 3),
+            f(r.sessions_per_wall_s, 0),
+            f(r.sim_vs_wall, 0),
+            r.admitted.to_string(),
+            r.rejected.to_string(),
+        ]);
+    }
+    t.print();
+
+    if verbose {
+        println!("\nEvent-loop counters (last replica per row):");
+        let mut ct = Table::new([
+            "Sessions",
+            "Admission",
+            "Queue",
+            "Events",
+            "Arrive",
+            "Patience",
+            "Ready",
+            "StepDone",
+            "Passes",
+            "Checks",
+            "Batches",
+            "Members",
+            "Pushes",
+            "Q peak",
+            "Act peak",
+            "Pend peak",
+        ]);
+        for r in &rows {
+            let c = r.report.counters;
+            ct.row([
+                r.sessions.to_string(),
+                if r.tiered { "tiered" } else { "reject" }.to_string(),
+                queue_label(r.queue).to_string(),
+                c.events_fired().to_string(),
+                c.arrival_events.to_string(),
+                c.patience_events.to_string(),
+                c.work_ready_events.to_string(),
+                c.step_complete_events.to_string(),
+                c.admission_passes.to_string(),
+                c.admission_checks.to_string(),
+                c.batches_formed.to_string(),
+                c.batch_members.to_string(),
+                c.queue_pushes.to_string(),
+                c.queue_peak.to_string(),
+                c.active_peak.to_string(),
+                c.pending_peak.to_string(),
+            ]);
+        }
+        ct.print();
+    }
+
+    if let Some(path) = json_path {
+        let mut records = Vec::new();
+        for r in &rows {
+            let c = r.report.counters;
+            records.push(format!(
+                "  {{\"sessions\": {}, \"admission\": \"{}\", \"queue\": \"{}\", \
+                 \"replicas\": {}, \"wall_s\": {:.6}, \"sessions_per_wall_s\": {:.1}, \
+                 \"sim_vs_wall\": {:.1}, \"admitted\": {}, \"rejected\": {}, \
+                 \"events_fired\": {}, \"batches_formed\": {}, \"queue_peak\": {}, \
+                 \"active_peak\": {}, \"pending_peak\": {}}}",
+                r.sessions,
+                if r.tiered { "tiered" } else { "reject" },
+                queue_label(r.queue),
+                r.replicas,
+                r.wall_s,
+                r.sessions_per_wall_s,
+                r.sim_vs_wall,
+                r.admitted,
+                r.rejected,
+                c.events_fired(),
+                c.batches_formed,
+                c.queue_peak,
+                c.active_peak,
+                c.pending_peak,
+            ));
+        }
+        let json = format!("[\n{}\n]\n", records.join(",\n"));
+        let mut out = std::fs::File::create(&path).expect("create fleet_scale json");
+        out.write_all(json.as_bytes())
+            .expect("write fleet_scale json");
+        println!("\nwrote {path}");
+    }
+
+    eprintln!(
+        "sweep wall time: {:.2} s over {} worker(s)",
+        sweep_wall,
+        workers()
+    );
+
+    // The throughput gate: every row must sustain the floor. The
+    // default floor sits an order of magnitude under the slowest
+    // measured row, so it trips on structural regressions (an
+    // accidental O(fleet) rescan), not on runner noise.
+    let mut floored = false;
+    for r in &rows {
+        if r.sessions_per_wall_s < floor {
+            floored = true;
+            eprintln!(
+                "FLOOR: {} sessions, {}, {}: {:.0} sessions/s < floor {:.0}",
+                r.sessions,
+                if r.tiered { "tiered" } else { "reject" },
+                queue_label(r.queue),
+                r.sessions_per_wall_s,
+                floor
+            );
+        }
+    }
+    assert!(
+        !floored,
+        "fleet-scale throughput fell under the floor; see stderr"
+    );
+    println!("\nOK: every row >= {floor:.0} offered sessions per wall second.");
+}

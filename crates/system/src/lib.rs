@@ -32,6 +32,7 @@
 
 pub mod ablation;
 pub mod e2e;
+pub mod eventq;
 pub mod memory;
 pub mod method;
 pub mod pipeline;
@@ -42,6 +43,7 @@ pub mod realtime;
 pub mod serve;
 
 pub use e2e::{EnergyBreakdown, StepResult, SystemModel};
+pub use eventq::{EventQueue, QueueKind, TimeKeyed, TimerWheel};
 pub use memory::{
     AdmissionPolicy, MigrationTask, PrefetchMode, RestoreOutcome, RestorePlan, TierStats,
     TieredKvManager,
@@ -50,6 +52,6 @@ pub use method::{Method, MethodProfile};
 pub use platform::{ComputeSpec, PlatformSpec};
 pub use pricing::{ExecContext, StepPriceCache};
 pub use serve::{
-    serve, serve_traced, serve_with_cache, ServeConfig, ServeReport, SessionServeReport,
-    TierReport, TraceEvent, TraceKind,
+    serve, serve_stream, serve_traced, serve_with_cache, ServeConfig, ServeCounters, ServeReport,
+    SessionServeReport, TierReport, TraceEvent, TraceKind,
 };

@@ -340,6 +340,19 @@ impl TieredKvManager {
         std::mem::take(&mut self.pending_migrations)
     }
 
+    /// [`Self::take_migrations`] into a caller-owned buffer (appended
+    /// in decision order), preserving both vectors' capacities — the
+    /// allocation-free variant for the serving hot loop, which drains
+    /// migrations at every admission pass and batch completion.
+    pub fn drain_migrations_into(&mut self, into: &mut Vec<MigrationTask>) {
+        into.append(&mut self.pending_migrations);
+    }
+
+    /// Whether any migration decisions are waiting to be drained.
+    pub fn has_pending_migrations(&self) -> bool {
+        !self.pending_migrations.is_empty()
+    }
+
     /// Memoized [`TierPath::migrate_ps`] at the manager's migration
     /// chunk size — bit-identical to the closed form, one hash lookup
     /// per repeated (route, bytes) shape.

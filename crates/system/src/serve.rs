@@ -18,8 +18,10 @@
 //! picoseconds** end to end: arrival plans carry `u64` ps
 //! ([`SessionPlan::arrival_ps`]), the step model's `latency_ps` values
 //! add onto the clock exactly, and float seconds appear only in the
-//! final report. Time advances through a [`std::collections::BinaryHeap`]
-//! of wake-up events:
+//! final report. Time advances through an [`EventQueue`] of wake-up
+//! events — a binary heap or a hierarchical timer wheel, selected by
+//! [`ServeConfig::queue`] and byte-identical in outcome (see
+//! [`crate::eventq`]):
 //!
 //! * **Arrival** — a planned session reaches the box;
 //! * **Patience** — a waiting session's admission deadline
@@ -31,10 +33,27 @@
 //!
 //! After each wake-up the scheduler runs one pass: admission first,
 //! then batch formation. Ready head-of-line work is tracked
-//! **incrementally**: per-kind ready counts are maintained on the event
-//! firings that can change them (admission, work-ready wake-ups, batch
-//! completion) instead of rescanning every active stream each instant,
-//! and debug builds assert the maintained set equals the rescan.
+//! **incrementally**: per-kind ready sets — ordered by admission
+//! sequence, so batch membership is identical to the historical
+//! fleet-scan order — are maintained on the event firings that can
+//! change them (admission, work-ready wake-ups, batch completion)
+//! instead of rescanning every active stream each instant, and debug
+//! builds assert the maintained sets equal the rescan.
+//!
+//! ## Fleet scale
+//!
+//! The state the scheduler holds is sized by *concurrency*, not fleet
+//! size: plans stream in through [`PlanSource`] (arrivals
+//! nondecreasing), so at any instant the scheduler owns the active
+//! streams (slab-allocated, addressed by stable slot handles through
+//! an id → slot map), the arrived-but-waiting admission queue, one
+//! armed future arrival, and an event queue holding one wake-up per
+//! queued/armed concern. Admission fit checks read two incrementally
+//! maintained fleet aggregates (max projected cache, summed projected
+//! demand) instead of rescanning the fleet — debug builds assert both
+//! against the rescan. Per-kind event counters and queue/active/
+//! pending peaks land in [`ServeReport::counters`] (excluded from
+//! report equality) for `fleet_scale --verbose` style observability.
 //!
 //! 1. **Admission.** What happens when the fleet outgrows device
 //!    memory is a policy choice ([`AdmissionPolicy`]):
@@ -87,20 +106,21 @@
 //!   of its compute, fetch, and restore task end times; the
 //!   `StepComplete` event applies its effects at that instant.
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::hash::BuildHasherDefault;
 
 use vrex_hwsim::engine::{Engine, ResourceId, TaskId};
 use vrex_hwsim::tier::MemTier;
 use vrex_hwsim::{ps_to_seconds, seconds_to_ps};
 use vrex_model::ModelConfig;
 use vrex_retrieval::prefetch::{NoPrefetch, PrefetchPolicy};
-use vrex_workload::traffic::SessionPlan;
+use vrex_workload::traffic::{PlanSource, SessionPlan, SlicePlans};
 use vrex_workload::SessionEvent;
 
 use crate::e2e::{StepResult, SystemModel};
-use crate::memory::{AdmissionPolicy, RestorePlan, TieredKvManager};
-use crate::pricing::{ExecContext, StepPriceCache};
+use crate::eventq::{EventQueue, QueueKind, TimeKeyed};
+use crate::memory::{AdmissionPolicy, MigrationTask, RestorePlan, TieredKvManager};
+use crate::pricing::{ExecContext, PriceKeyHasher, StepPriceCache};
 use crate::queueing::{percentile_sorted, QueueLedger};
 
 /// Batches concurrently in flight under the resource-timeline model
@@ -131,6 +151,12 @@ pub struct ServeConfig {
     /// multiple in-flight batches, restores and fetches as scheduled
     /// link tasks).
     pub overlap: bool,
+    /// Event-queue implementation ([`QueueKind::Heap`] is the
+    /// reference; [`QueueKind::Wheel`] is the fleet-scale timer wheel).
+    /// Both produce byte-identical reports and traces — pinned by the
+    /// golden-fingerprint and property tests — so this is purely a
+    /// performance choice.
+    pub queue: QueueKind,
 }
 
 impl ServeConfig {
@@ -143,6 +169,7 @@ impl ServeConfig {
             max_wait_s: 10.0,
             admission: AdmissionPolicy::RejectOnly,
             overlap: false,
+            queue: QueueKind::Heap,
         }
     }
 
@@ -159,6 +186,14 @@ impl ServeConfig {
     #[must_use]
     pub fn with_overlap(mut self, overlap: bool) -> Self {
         self.overlap = overlap;
+        self
+    }
+
+    /// The same configuration under the chosen event-queue
+    /// implementation.
+    #[must_use]
+    pub fn with_queue(mut self, queue: QueueKind) -> Self {
+        self.queue = queue;
         self
     }
 }
@@ -222,7 +257,13 @@ pub struct SessionServeReport {
 }
 
 /// Fleet-level serving report.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Equality compares every *outcome* field but **not**
+/// [`Self::counters`]: the counters describe how much work the event
+/// loop did, which legitimately differs between the serialized and
+/// overlapped drivers even when they produce identical outcomes (the
+/// invariant several tests pin).
+#[derive(Debug, Clone)]
 pub struct ServeReport {
     /// Sessions offered.
     pub offered: usize,
@@ -254,6 +295,82 @@ pub struct ServeReport {
     /// Per-session detail, in completion/rejection order (match by
     /// [`SessionServeReport::id`] to pair with the offered plans).
     pub sessions: Vec<SessionServeReport>,
+    /// Event-loop work counters (excluded from `PartialEq`; see the
+    /// type-level note).
+    pub counters: ServeCounters,
+}
+
+impl PartialEq for ServeReport {
+    fn eq(&self, other: &Self) -> bool {
+        // Every field except `counters` (see the struct docs).
+        self.offered == other.offered
+            && self.admitted == other.admitted
+            && self.queued == other.queued
+            && self.rejected == other.rejected
+            && self.real_time_sessions == other.real_time_sessions
+            && self.frame_lag_p50_s == other.frame_lag_p50_s
+            && self.frame_lag_p99_s == other.frame_lag_p99_s
+            && self.ttft_p50_s == other.ttft_p50_s
+            && self.ttft_p99_s == other.ttft_p99_s
+            && self.tpot_p50_s == other.tpot_p50_s
+            && self.tpot_p99_s == other.tpot_p99_s
+            && self.makespan_s == other.makespan_s
+            && self.tiering == other.tiering
+            && self.sessions == other.sessions
+    }
+}
+
+/// Cheap per-run event-loop instrumentation: how many events fired by
+/// kind, how much admission and batching work ran, and the peak sizes
+/// of the scheduler's data structures. `fleet_scale --verbose` prints
+/// these; they are the observability needed to see where the next 10×
+/// of simulator throughput goes.
+///
+/// Fully deterministic for a given (plans, config) pair — including
+/// across [`QueueKind`]s, which the property tests assert — but *not*
+/// part of [`ServeReport`] equality, because the serialized and
+/// overlapped drivers do different amounts of loop work for identical
+/// outcomes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeCounters {
+    /// Arrival events fired.
+    pub arrival_events: u64,
+    /// Patience events fired (most are stale by design: a session
+    /// admitted or rejected before its deadline leaves its wake-up in
+    /// the queue to drain as a no-op).
+    pub patience_events: u64,
+    /// Work-ready events fired.
+    pub work_ready_events: u64,
+    /// Step-complete events fired (resource-timeline execution only —
+    /// the serialized driver completes batches inline).
+    pub step_complete_events: u64,
+    /// Admission passes that actually ran (the dirty/threshold gate
+    /// skips provable no-ops).
+    pub admission_passes: u64,
+    /// Per-waiter fit evaluations summed over all admission passes.
+    pub admission_checks: u64,
+    /// Batches formed (batched step executions).
+    pub batches_formed: u64,
+    /// Batch members summed over all batches (work items executed).
+    pub batch_members: u64,
+    /// Events pushed into the queue over the run.
+    pub queue_pushes: u64,
+    /// Peak event-queue occupancy.
+    pub queue_peak: usize,
+    /// Peak concurrently-active (admitted, unfinished) sessions.
+    pub active_peak: usize,
+    /// Peak arrived-but-waiting admission-queue length.
+    pub pending_peak: usize,
+}
+
+impl ServeCounters {
+    /// Total events fired across all kinds.
+    pub fn events_fired(&self) -> u64 {
+        self.arrival_events
+            + self.patience_events
+            + self.work_ready_events
+            + self.step_complete_events
+    }
 }
 
 /// Fleet-level memory-hierarchy accounting for one tiered serving run.
@@ -339,11 +456,19 @@ struct Event {
     kind: EventKind,
 }
 
+impl TimeKeyed for Event {
+    fn time_ps(&self) -> u64 {
+        self.ps
+    }
+}
+
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 enum EventKind {
-    /// Plan `.0` (index into the caller's slice) arrives.
+    /// Session id `.0` arrives (at most one arrival is armed at a
+    /// time: the plan source streams in nondecreasing arrival order,
+    /// and each firing arms the next).
     Arrival(usize),
-    /// Plan `.0`'s admission patience expires.
+    /// Session id `.0`'s admission patience expires.
     Patience(usize),
     /// Stream of session id `.0` has a frame/question coming available.
     WorkReady(usize),
@@ -375,10 +500,19 @@ enum Kind {
 #[derive(Debug)]
 struct Stream {
     id: usize,
+    /// Admission sequence number: the fleet-wide order this stream was
+    /// admitted in. Ready sets are keyed `(seq, slot)`, so iterating
+    /// them yields admission order — the same batch-membership order
+    /// the historical active-vector scan produced.
+    seq: u64,
     cache_tokens: usize,
     /// Worst-case final cache, fixed at admission (used by later
     /// admission checks).
     projected_cache_tokens: usize,
+    /// [`SystemModel::resident_demand_bytes`] of the projection, fixed
+    /// at admission: this stream's contribution to the incrementally
+    /// maintained fleet demand aggregate.
+    projected_demand_bytes: u64,
     items: std::collections::VecDeque<Work>,
     last_completion_ps: u64,
     waited_ps: u64,
@@ -438,8 +572,10 @@ impl Stream {
         }
         Stream {
             id: plan.id,
+            seq: 0, // assigned by the slab insert
             cache_tokens: cfg.initial_cache_tokens,
             projected_cache_tokens: projected_cache(plan, cfg, model),
+            projected_demand_bytes: 0, // assigned by the admission path
             items,
             last_completion_ps: now,
             waited_ps: now - plan.arrival_ps,
@@ -521,29 +657,14 @@ fn rejected_report(plan: &SessionPlan, waited_ps: u64) -> SessionServeReport {
     }
 }
 
-/// Adds `i` to the ready set if its head is available at `now` and it
-/// is not in flight (no-op otherwise, so stale wake-ups are harmless).
-fn mark_ready(active: &mut [Stream], counts: &mut [usize; 3], i: usize, now: u64) {
-    let s = &mut active[i];
-    if s.ready || s.in_flight {
-        return;
-    }
-    if let Some((avail, k)) = s.head() {
-        if avail <= now {
-            s.ready = true;
-            counts[k as usize] += 1;
-        }
-    }
+/// The live stream in slab slot `slot` (free functions so callers can
+/// borrow the slab while other `Sched` fields are borrowed mutably).
+fn live(slab: &[Option<Stream>], slot: usize) -> &Stream {
+    slab[slot].as_ref().expect("live slab slot")
 }
 
-/// Removes `i` from the ready set (no-op if absent).
-fn unmark_ready(active: &mut [Stream], counts: &mut [usize; 3], i: usize) {
-    let s = &mut active[i];
-    if s.ready {
-        let (_, k) = s.head().expect("ready stream has a head");
-        s.ready = false;
-        counts[k as usize] -= 1;
-    }
+fn live_mut(slab: &mut [Option<Stream>], slot: usize) -> &mut Stream {
+    slab[slot].as_mut().expect("live slab slot")
 }
 
 /// Serves a fleet of planned sessions on one platform+method pair and
@@ -571,7 +692,21 @@ pub fn serve_with_cache(
     plans: &[SessionPlan],
     cfg: &ServeConfig,
 ) -> ServeReport {
-    run(prices, plans, cfg, None)
+    run(prices, &mut SlicePlans::new(plans), cfg, None)
+}
+
+/// [`serve_with_cache`] over a streaming [`PlanSource`]: the
+/// fleet-scale entry point, which never materializes the whole fleet.
+/// The source must yield plans in nondecreasing arrival order (every
+/// `vrex_workload::traffic` source does, by construction); a
+/// materialized slice run through [`SlicePlans`] produces the
+/// identical report.
+pub fn serve_stream(
+    prices: &mut StepPriceCache,
+    source: &mut dyn PlanSource,
+    cfg: &ServeConfig,
+) -> ServeReport {
+    run(prices, source, cfg, None)
 }
 
 /// [`serve`] that also records every scheduler transition. The trace is
@@ -589,7 +724,7 @@ pub fn serve_traced(
     let mut trace = Vec::new();
     let report = run(
         &mut StepPriceCache::new(sys, model),
-        plans,
+        &mut SlicePlans::new(plans),
         cfg,
         Some(&mut trace),
     );
@@ -639,13 +774,36 @@ struct InFlight {
     completion_ps: u64,
 }
 
+/// An arrived session waiting for admission. The fit-check inputs
+/// (projection, demand, deadline) are computed once on arrival instead
+/// of once per admission pass.
+struct PendingSession {
+    plan: SessionPlan,
+    /// "A fit check has refused this session at least once": only such
+    /// sessions count as memory-queued (arriving between two scheduler
+    /// passes is not admission queueing).
+    refused: bool,
+    /// Worst-case final cache of the plan, in tokens.
+    proj_cache_tokens: usize,
+    /// Resident demand of the projection, in bytes.
+    demand_bytes: u64,
+    /// `arrival + max_wait` — the exact integer the patience event
+    /// carries.
+    deadline_ps: u64,
+}
+
 /// The scheduler state shared by the serialized and resource-timeline
-/// drivers: admission, the incremental ready set, batch effects, and
+/// drivers: admission, the incremental ready sets, batch effects, and
 /// report aggregation live here once; the drivers differ only in how a
 /// formed batch executes and when its effects apply.
+///
+/// Per-session state lives on a slab (`slab` + `free_slots`): streams
+/// are addressed by stable slot handles, retirement is O(1), and the
+/// `by_id` map resolves event payloads (session ids) to slots without
+/// scanning the fleet.
 struct Sched<'a> {
     prices: &'a mut StepPriceCache,
-    plans: &'a [SessionPlan],
+    source: &'a mut dyn PlanSource,
     cfg: &'a ServeConfig,
     sys: SystemModel,
     model: ModelConfig,
@@ -654,20 +812,38 @@ struct Sched<'a> {
     max_wait_ps: u64,
     tiers: Option<TieredKvManager>,
     prefetch: Box<dyn PrefetchPolicy>,
-    /// Waiting sessions as indices into the caller's slice — plans are
-    /// never cloned. The flag = "a fit check has refused this session
-    /// at least once": only such sessions count as memory-queued
-    /// (arriving between two scheduler passes is not admission
-    /// queueing).
-    pending: Vec<(usize, bool)>,
-    events: BinaryHeap<Reverse<Event>>,
-    active: Vec<Stream>,
+    /// The next not-yet-arrived plan, pulled from the source with its
+    /// arrival event armed. Exactly one arrival is ever in the queue:
+    /// each firing moves this plan into `pending` and arms the next,
+    /// so the un-arrived fleet tail stays inside the source.
+    next_plan: Option<SessionPlan>,
+    /// Sessions pulled from the source so far (the report's `offered`).
+    offered: usize,
+    /// Arrived sessions waiting for admission, in arrival order.
+    pending: Vec<PendingSession>,
+    events: EventQueue<Event>,
+    /// Slab of active streams; `None` slots are free.
+    slab: Vec<Option<Stream>>,
+    free_slots: Vec<usize>,
+    /// Session id → slab slot for every active stream.
+    by_id: HashMap<usize, usize, BuildHasherDefault<PriceKeyHasher>>,
+    active_count: usize,
+    /// Next admission sequence number (see [`Stream::seq`]).
+    next_seq: u64,
+    /// Ready streams per batching class as `(seq, slot)` sets, indexed
+    /// by `Kind`: membership updates are O(log ready), and iteration
+    /// yields admission order — identical batch membership to the
+    /// historical full-fleet scan.
+    ready: [BTreeSet<(u64, usize)>; 3],
+    /// Incremental admission aggregates over the active fleet: the
+    /// projected-cache multiset (its max feeds the reject-only fit
+    /// check) and the summed projected resident demand (the tiered fit
+    /// check). Debug builds assert both against a fleet rescan.
+    proj_multiset: BTreeMap<usize, usize>,
+    fleet_demand_bytes: u64,
     reports: Vec<SessionServeReport>,
     makespan_ps: u64,
     now: u64,
-    /// Ready streams per batching class, maintained incrementally
-    /// (indexed by `Kind`).
-    ready_counts: [usize; 3],
     admission_dirty: bool,
     next_arrival_ps: u64,
     next_deadline_ps: u64,
@@ -680,12 +856,22 @@ struct Sched<'a> {
     /// Slab of in-flight batches; `StepComplete` events carry the slot.
     inflight: Vec<Option<InFlight>>,
     inflight_count: usize,
+    /// Reused restore scratch for `launch_batch` (one slot per batch
+    /// member per launch — previously a fresh `Vec` per batch).
+    restores: Vec<Option<(RestorePlan, u64)>>,
+    /// Reused migration drain buffer (previously a fresh `Vec` per
+    /// flush).
+    migrations: Vec<MigrationTask>,
+    /// Recycled member-id vectors for in-flight batches (previously a
+    /// fresh `Vec` per launch).
+    ids_pool: Vec<Vec<usize>>,
+    counters: ServeCounters,
     trace: Option<&'a mut Vec<TraceEvent>>,
 }
 
 fn run(
     prices: &mut StepPriceCache,
-    plans: &[SessionPlan],
+    source: &mut dyn PlanSource,
     cfg: &ServeConfig,
     trace: Option<&mut Vec<TraceEvent>>,
 ) -> ServeReport {
@@ -702,29 +888,17 @@ fn run(
         AdmissionPolicy::Tiered { prefetch } => prefetch.policy(),
         AdmissionPolicy::RejectOnly => Box::new(NoPrefetch),
     };
-    let mut pending: Vec<(usize, bool)> = (0..plans.len()).map(|i| (i, false)).collect();
-    pending.sort_by_key(|&(i, _)| (plans[i].arrival_ps, i));
-    // Every future instant the scheduler could need to act at. Arrival
-    // and patience wake-ups are pushed up front; work-ready wake-ups as
-    // streams are admitted; step-complete wake-ups as batches launch.
-    // Stale entries (already handled by a pass at a later `now`) only
-    // maintain the ready set, they trigger no pass of their own.
     let max_wait_ps = seconds_to_ps(cfg.max_wait_s);
-    let mut events: BinaryHeap<Reverse<Event>> = BinaryHeap::with_capacity(plans.len() * 2);
-    for &(i, _) in &pending {
-        events.push(Reverse(Event {
-            ps: plans[i].arrival_ps,
-            kind: EventKind::Arrival(i),
-        }));
-        events.push(Reverse(Event {
-            ps: plans[i].arrival_ps.saturating_add(max_wait_ps),
-            kind: EventKind::Patience(i),
-        }));
-    }
     let frame_interval_ps = seconds_to_ps(1.0 / cfg.fps);
+    // The event queue holds one wake-up per *live concern* (armed
+    // arrival, unexpired patience, pending head item, in-flight
+    // batch), not one per fleet member: pre-size it for a bounded
+    // slice of the fleet hint so 10⁶-session runs don't allocate a
+    // fleet-sized heap up front.
+    let hint = source.remaining_hint();
     let mut sched = Sched {
         prices,
-        plans,
+        source,
         cfg,
         sys,
         model,
@@ -733,13 +907,21 @@ fn run(
         max_wait_ps,
         tiers,
         prefetch,
-        pending,
-        events,
-        active: Vec::new(),
-        reports: Vec::new(),
+        next_plan: None,
+        offered: 0,
+        pending: Vec::new(),
+        events: EventQueue::new(cfg.queue, hint.clamp(16, 4096)),
+        slab: Vec::new(),
+        free_slots: Vec::new(),
+        by_id: HashMap::default(),
+        active_count: 0,
+        next_seq: 0,
+        ready: [BTreeSet::new(), BTreeSet::new(), BTreeSet::new()],
+        proj_multiset: BTreeMap::new(),
+        fleet_demand_bytes: 0,
+        reports: Vec::with_capacity(hint),
         makespan_ps: 0,
         now: 0,
-        ready_counts: [0; 3],
         admission_dirty: true,
         next_arrival_ps: u64::MAX,
         next_deadline_ps: u64::MAX,
@@ -749,8 +931,13 @@ fn run(
         res: cfg.overlap.then(Resources::new),
         inflight: Vec::new(),
         inflight_count: 0,
+        restores: Vec::new(),
+        migrations: Vec::new(),
+        ids_pool: Vec::new(),
+        counters: ServeCounters::default(),
         trace,
     };
+    sched.pull_next_plan();
     if cfg.overlap {
         sched.run_overlapped();
     } else {
@@ -766,59 +953,241 @@ impl Sched<'_> {
         }
     }
 
-    /// Pops every event at or before `now`, maintaining the ready set
-    /// from `WorkReady` firings and applying same-instant batch
-    /// completions. Arrival/patience entries carry no state of their
-    /// own (the admission pass re-derives everything from `now`), so
-    /// they simply drain.
+    fn push_event(&mut self, e: Event) {
+        self.events.push(e);
+        self.counters.queue_pushes += 1;
+        self.counters.queue_peak = self.counters.queue_peak.max(self.events.len());
+    }
+
+    fn count_event(&mut self, kind: &EventKind) {
+        match kind {
+            EventKind::Arrival(_) => self.counters.arrival_events += 1,
+            EventKind::Patience(_) => self.counters.patience_events += 1,
+            EventKind::WorkReady(_) => self.counters.work_ready_events += 1,
+            EventKind::StepComplete(_) => self.counters.step_complete_events += 1,
+        }
+    }
+
+    /// Pulls the next plan from the source and arms its arrival event.
+    /// Exactly one arrival is ever armed; the chain keeps the fleet
+    /// tail inside the source.
+    fn pull_next_plan(&mut self) {
+        debug_assert!(self.next_plan.is_none(), "one armed arrival at a time");
+        if let Some(plan) = self.source.next_plan() {
+            self.offered += 1;
+            self.push_event(Event {
+                ps: plan.arrival_ps,
+                kind: EventKind::Arrival(plan.id),
+            });
+            self.next_plan = Some(plan);
+        }
+    }
+
+    /// The armed arrival fired: move its plan into `pending`, arm its
+    /// patience deadline (a patience event always lands at or after the
+    /// arrival that spawns it, so lazy insertion cannot reorder the
+    /// queue), precompute the fit-check inputs, and arm the next plan.
+    fn plan_arrived(&mut self) {
+        let plan = self.next_plan.take().expect("armed arrival owns a plan");
+        debug_assert!(
+            plan.arrival_ps <= self.now,
+            "arrivals fire at their instant"
+        );
+        let deadline_ps = plan.arrival_ps.saturating_add(self.max_wait_ps);
+        self.push_event(Event {
+            ps: deadline_ps,
+            kind: EventKind::Patience(plan.id),
+        });
+        let proj_cache_tokens = projected_cache(&plan, self.cfg, &self.model);
+        let demand_bytes = self
+            .sys
+            .resident_demand_bytes(&self.model, proj_cache_tokens);
+        self.pending.push(PendingSession {
+            plan,
+            refused: false,
+            proj_cache_tokens,
+            demand_bytes,
+            deadline_ps,
+        });
+        self.counters.pending_peak = self.counters.pending_peak.max(self.pending.len());
+        self.pull_next_plan();
+    }
+
+    /// Pops every event at or before `now`, materializing arrivals into
+    /// `pending`, maintaining the ready set from `WorkReady` firings,
+    /// and applying same-instant batch completions. Patience entries
+    /// carry no state of their own (the admission pass re-derives
+    /// everything from `now`), so they simply drain.
     fn drain_past_events(&mut self) {
-        while let Some(&Reverse(e)) = self.events.peek() {
-            if e.ps > self.now {
-                break;
-            }
-            self.events.pop();
+        while self.events.peek_ps().is_some_and(|ps| ps <= self.now) {
+            let e = self.events.pop().expect("peeked event exists");
+            self.count_event(&e.kind);
             match e.kind {
+                EventKind::Arrival(_) => self.plan_arrived(),
                 EventKind::WorkReady(id) => self.mark_ready_by_id(id),
                 EventKind::StepComplete(slot) => {
                     debug_assert!(self.cfg.overlap, "serialized runs never launch batches");
                     self.apply_completion(slot);
                 }
-                EventKind::Arrival(_) | EventKind::Patience(_) => {}
+                EventKind::Patience(_) => {}
             }
         }
     }
 
     fn mark_ready_by_id(&mut self, id: usize) {
-        if let Some(i) = self.active.iter().position(|s| s.id == id) {
-            mark_ready(&mut self.active, &mut self.ready_counts, i, self.now);
+        // Stale wake-ups for retired sessions miss the map and drain
+        // harmlessly.
+        if let Some(&slot) = self.by_id.get(&id) {
+            self.mark_ready(slot, self.now);
         }
     }
 
-    /// Asserts the incremental ready set equals the full rescan (debug
+    /// Adds `slot` to the ready set if its head is available at `now`
+    /// and it is not in flight (no-op otherwise, so stale wake-ups are
+    /// harmless).
+    fn mark_ready(&mut self, slot: usize, now: u64) {
+        let s = live(&self.slab, slot);
+        if s.ready || s.in_flight {
+            return;
+        }
+        if let Some((avail, k)) = s.head() {
+            if avail <= now {
+                let seq = s.seq;
+                live_mut(&mut self.slab, slot).ready = true;
+                self.ready[k as usize].insert((seq, slot));
+            }
+        }
+    }
+
+    /// Removes `slot` from the ready set (no-op if absent).
+    fn unmark_ready(&mut self, slot: usize) {
+        let s = live(&self.slab, slot);
+        if s.ready {
+            let (_, k) = s.head().expect("ready stream has a head");
+            let seq = s.seq;
+            live_mut(&mut self.slab, slot).ready = false;
+            self.ready[k as usize].remove(&(seq, slot));
+        }
+    }
+
+    fn ready_total(&self) -> usize {
+        self.ready.iter().map(BTreeSet::len).sum()
+    }
+
+    /// Asserts the incremental ready sets equal the full rescan (debug
     /// builds; the satellite equivalence check).
     #[cfg(debug_assertions)]
     fn check_ready_invariant(&self) {
-        let mut counts = [0usize; 3];
-        for s in &self.active {
-            let expect = !s.in_flight && s.head().is_some_and(|(a, _)| a <= self.now);
+        let mut expect: [BTreeSet<(u64, usize)>; 3] = Default::default();
+        for (slot, entry) in self.slab.iter().enumerate() {
+            let Some(s) = entry else { continue };
+            let want = !s.in_flight && s.head().is_some_and(|(a, _)| a <= self.now);
             assert_eq!(
-                s.ready, expect,
+                s.ready, want,
                 "ready flag diverged from the rescan for session {} at {}",
                 s.id, self.now
             );
             if s.ready {
-                counts[s.head().expect("ready head").1 as usize] += 1;
+                expect[s.head().expect("ready head").1 as usize].insert((s.seq, slot));
             }
         }
         assert_eq!(
-            counts, self.ready_counts,
-            "ready counts diverged from the rescan at {}",
+            expect, self.ready,
+            "ready sets diverged from the rescan at {}",
             self.now
         );
     }
 
     #[cfg(not(debug_assertions))]
     fn check_ready_invariant(&self) {}
+
+    /// Max projected cache over the active fleet, from the incremental
+    /// multiset.
+    fn fleet_proj_max(&self) -> usize {
+        self.proj_multiset
+            .last_key_value()
+            .map_or(0, |(&proj, _)| proj)
+    }
+
+    /// Asserts the incremental admission aggregates equal the full
+    /// fleet rescan they replaced (debug builds).
+    #[cfg(debug_assertions)]
+    fn check_fleet_aggregates(&self) {
+        let live_streams = || self.slab.iter().flatten();
+        assert_eq!(
+            live_streams().count(),
+            self.active_count,
+            "active count diverged from the slab"
+        );
+        assert_eq!(
+            live_streams()
+                .map(|s| s.projected_cache_tokens)
+                .max()
+                .unwrap_or(0),
+            self.fleet_proj_max(),
+            "projected-cache multiset diverged from the rescan at {}",
+            self.now
+        );
+        assert_eq!(
+            live_streams()
+                .map(|s| s.projected_demand_bytes)
+                .sum::<u64>(),
+            self.fleet_demand_bytes,
+            "fleet demand aggregate diverged from the rescan at {}",
+            self.now
+        );
+    }
+
+    #[cfg(not(debug_assertions))]
+    fn check_fleet_aggregates(&self) {}
+
+    /// Places an admitted stream on the slab, assigns its admission
+    /// sequence number, and folds it into the fleet aggregates.
+    fn insert_stream(&mut self, mut stream: Stream, demand_bytes: u64) -> usize {
+        stream.seq = self.next_seq;
+        self.next_seq += 1;
+        stream.projected_demand_bytes = demand_bytes;
+        *self
+            .proj_multiset
+            .entry(stream.projected_cache_tokens)
+            .or_insert(0) += 1;
+        self.fleet_demand_bytes += demand_bytes;
+        let slot = match self.free_slots.pop() {
+            Some(slot) => slot,
+            None => {
+                self.slab.push(None);
+                self.slab.len() - 1
+            }
+        };
+        self.by_id.insert(stream.id, slot);
+        self.slab[slot] = Some(stream);
+        self.active_count += 1;
+        self.counters.active_peak = self.counters.active_peak.max(self.active_count);
+        slot
+    }
+
+    /// Retires the stream in `slot`: frees the slot and subtracts it
+    /// from the fleet aggregates.
+    fn remove_stream(&mut self, slot: usize) -> Stream {
+        let s = self.slab[slot].take().expect("live slab slot");
+        debug_assert!(!s.ready && !s.in_flight, "retiring stream left the sets");
+        self.by_id.remove(&s.id);
+        self.free_slots.push(slot);
+        self.active_count -= 1;
+        match self.proj_multiset.entry(s.projected_cache_tokens) {
+            std::collections::btree_map::Entry::Occupied(mut e) => {
+                *e.get_mut() -= 1;
+                if *e.get() == 0 {
+                    e.remove();
+                }
+            }
+            std::collections::btree_map::Entry::Vacant(_) => {
+                unreachable!("every live stream is in the projection multiset")
+            }
+        }
+        self.fleet_demand_bytes -= s.projected_demand_bytes;
+        s
+    }
 
     /// Runs the admission pass if anything could have changed it:
     /// admission work only appears when a session arrives, a waiter's
@@ -835,70 +1204,54 @@ impl Sched<'_> {
             return;
         }
         self.admission_dirty = false;
+        self.counters.admission_passes += 1;
         let now = self.now;
         let mut i = 0;
         let mut head_blocked = false;
-        // Fleet aggregates for the fit checks: the max projected cache
-        // and the summed projected resident demand over active streams.
-        // They change only when this very pass admits someone, so they
-        // are computed once on the first arrived waiter and updated
-        // incrementally on each admission instead of rescanning the
-        // fleet per waiter.
-        let mut fleet_stats: Option<(usize, u64)> = None;
+        // The fit checks read the incrementally maintained fleet
+        // aggregates (max projected cache, summed projected demand):
+        // the aggregates change only when this very pass admits
+        // someone, and `insert_stream` folds each admission in, so no
+        // fleet rescan happens per waiter (or at all).
         while i < self.pending.len() {
-            let plan = &self.plans[self.pending[i].0];
-            if plan.arrival_ps > now {
-                break; // sorted: nobody later has arrived yet
-            }
-            let proj = projected_cache(plan, self.cfg, &self.model);
-            let (fleet_proj, fleet_demand) = *fleet_stats.get_or_insert_with(|| {
-                (
-                    self.active
-                        .iter()
-                        .map(|s| s.projected_cache_tokens)
-                        .max()
-                        .unwrap_or(0),
-                    self.active
-                        .iter()
-                        .map(|s| {
-                            self.sys
-                                .resident_demand_bytes(&self.model, s.projected_cache_tokens)
-                        })
-                        .sum(),
-                )
-            });
+            // `pending` holds only arrived sessions: the event drain
+            // materializes each arrival at its instant.
+            debug_assert!(
+                self.pending[i].plan.arrival_ps <= now,
+                "pending implies arrived"
+            );
+            self.counters.admission_checks += 1;
+            let proj = self.pending[i].proj_cache_tokens;
+            let demand = self.pending[i].demand_bytes;
+            let deadline_ps = self.pending[i].deadline_ps;
             // Reject-only admission asks "does the device survive?";
             // tiered admission asks the same of the whole hierarchy.
             let (never_fits, fits_now) = match &self.tiers {
                 None => (
                     self.sys.is_oom(&self.model, proj, 1),
-                    !self
-                        .sys
-                        .is_oom(&self.model, fleet_proj.max(proj), self.active.len() + 1),
+                    !self.sys.is_oom(
+                        &self.model,
+                        self.fleet_proj_max().max(proj),
+                        self.active_count + 1,
+                    ),
                 ),
-                Some(mgr) => {
-                    let demand = self.sys.resident_demand_bytes(&self.model, proj);
-                    (
-                        demand > mgr.total_capacity_bytes(),
-                        fleet_demand + demand <= mgr.total_capacity_bytes(),
-                    )
-                }
+                Some(mgr) => (
+                    demand > mgr.total_capacity_bytes(),
+                    self.fleet_demand_bytes + demand <= mgr.total_capacity_bytes(),
+                ),
             };
             if never_fits {
                 // Will never fit, even alone: reject outright.
-                let (p, _) = self.pending.remove(i);
-                self.reports.push(rejected_report(
-                    &self.plans[p],
-                    now - self.plans[p].arrival_ps,
-                ));
+                let p = self.pending.remove(i);
+                self.reports
+                    .push(rejected_report(&p.plan, now - p.plan.arrival_ps));
                 continue;
             }
             if fits_now && !head_blocked {
-                let (p, was_refused) = self.pending.remove(i);
-                let plan = &self.plans[p];
+                let p = self.pending.remove(i);
                 let mut stream =
-                    Stream::admit(plan, self.cfg, &self.model, self.frame_interval_ps, now);
-                stream.memory_waited = was_refused;
+                    Stream::admit(&p.plan, self.cfg, &self.model, self.frame_interval_ps, now);
+                stream.memory_waited = p.refused;
                 if let Some(mgr) = self.tiers.as_mut() {
                     mgr.admit(
                         stream.id,
@@ -919,56 +1272,51 @@ impl Sched<'_> {
                     // Wake the scheduler when the head item becomes
                     // available; each later item registers its own
                     // wake-up when it reaches the head (the batch
-                    // completion path), keeping the heap at
+                    // completion path), keeping the queue at
                     // O(streams + pending + in-flight).
                     if let Some((avail, _)) = stream.head() {
                         if avail > now {
-                            self.events.push(Reverse(Event {
+                            self.push_event(Event {
                                 ps: avail,
                                 kind: EventKind::WorkReady(stream.id),
-                            }));
+                            });
                         }
                     }
-                    self.active.push(stream);
-                    let idx = self.active.len() - 1;
-                    mark_ready(&mut self.active, &mut self.ready_counts, idx, now);
-                    fleet_stats = Some((
-                        fleet_proj.max(proj),
-                        fleet_demand + self.sys.resident_demand_bytes(&self.model, proj),
-                    ));
+                    let slot = self.insert_stream(stream, demand);
+                    self.mark_ready(slot, now);
                 }
                 continue;
             }
             // Cannot admit now: memory pressure (or FIFO order behind
             // someone waiting on memory).
-            self.pending[i].1 = true;
+            self.pending[i].refused = true;
             // The deadline is one exact integer comparison against the
             // same `arrival + max_wait` the patience event carries —
             // the two-float-roundings livelock PR 3 fixed cannot be
             // re-introduced by construction.
-            if now >= plan.arrival_ps.saturating_add(self.max_wait_ps) {
-                let (p, _) = self.pending.remove(i);
-                self.reports.push(rejected_report(
-                    &self.plans[p],
-                    now - self.plans[p].arrival_ps,
-                ));
+            if now >= deadline_ps {
+                let p = self.pending.remove(i);
+                self.reports
+                    .push(rejected_report(&p.plan, now - p.plan.arrival_ps));
                 continue;
             }
             head_blocked = true;
             i += 1;
         }
         // Thresholds for skipping the pass until admission state can
-        // change again: the first not-yet-arrived session's arrival
-        // and the earliest waiter's deadline.
+        // change again: the armed (first not-yet-arrived) session's
+        // arrival and the earliest waiter's deadline.
         self.next_arrival_ps = self
+            .next_plan
+            .as_ref()
+            .map_or(u64::MAX, |plan| plan.arrival_ps);
+        self.next_deadline_ps = self
             .pending
-            .get(i)
-            .map_or(u64::MAX, |&(p, _)| self.plans[p].arrival_ps);
-        self.next_deadline_ps = self.pending[..i]
             .iter()
-            .map(|&(p, _)| self.plans[p].arrival_ps.saturating_add(self.max_wait_ps))
+            .map(|p| p.deadline_ps)
             .min()
             .unwrap_or(u64::MAX);
+        self.check_fleet_aggregates();
         // Admissions may have spilled colder streams: route the decided
         // migrations to the link (overlapped) or drop them (serialized
         // writebacks stream behind compute by assumption).
@@ -981,22 +1329,20 @@ impl Sched<'_> {
     fn choose_kind(&self) -> Kind {
         let mut kind = Kind::Decode;
         for k in [Kind::Question, Kind::Frame] {
-            if self.ready_counts[k as usize] >= self.ready_counts[kind as usize] {
+            if self.ready[k as usize].len() >= self.ready[kind as usize].len() {
                 kind = k;
             }
         }
         kind
     }
 
-    /// Fills `members` with the ready streams of `kind`, in active
-    /// (admission) order.
+    /// Fills `members` with the ready slots of `kind`. The set is keyed
+    /// `(seq, slot)`, so ascending iteration yields admission order —
+    /// the order the historical active-vector scan produced.
     fn gather_members(&mut self, kind: Kind) {
         self.members.clear();
-        for (i, s) in self.active.iter().enumerate() {
-            if s.ready && s.head().map(|(_, k)| k) == Some(kind) {
-                self.members.push(i);
-            }
-        }
+        self.members
+            .extend(self.ready[kind as usize].iter().map(|&(_, slot)| slot));
     }
 
     /// Prices the batch over `members` at its worst-case cache length
@@ -1006,7 +1352,7 @@ impl Sched<'_> {
         let max_cache = self
             .members
             .iter()
-            .map(|&i| self.active[i].cache_tokens)
+            .map(|&slot| live(&self.slab, slot).cache_tokens)
             .max()
             .expect("non-empty batch");
         match kind {
@@ -1015,7 +1361,7 @@ impl Sched<'_> {
                 let max_tokens = self
                     .members
                     .iter()
-                    .map(|&i| match self.active[i].items.front() {
+                    .map(|&slot| match live(&self.slab, slot).items.front() {
                         Some(Work::Question { tokens, .. }) => *tokens,
                         _ => unreachable!("batch members share the head kind"),
                     })
@@ -1054,19 +1400,14 @@ impl Sched<'_> {
         let ratio = self.sys.method.ratio(generation);
         let mut link_busy_ps = 0u64;
         for k in 0..batch {
-            let i = self.members[k];
-            let ready_ps = self.active[i]
+            let s = live(&self.slab, self.members[k]);
+            let ready_ps = s
                 .head_avail_ps()
                 .expect("batch member has a head item")
-                .max(self.active[i].last_completion_ps);
+                .max(s.last_completion_ps);
             let window_ps = ((self.now - ready_ps) + step.latency_ps).saturating_sub(link_busy_ps);
-            let restore = mgr.step_restore(
-                self.active[i].id,
-                ratio,
-                generation,
-                window_ps,
-                self.prefetch.as_ref(),
-            );
+            let restore =
+                mgr.step_restore(s.id, ratio, generation, window_ps, self.prefetch.as_ref());
             link_busy_ps += restore.miss_ps;
             penalty_ps += restore.exposed_ps;
         }
@@ -1075,7 +1416,8 @@ impl Sched<'_> {
         // time, including co-members' restores.
         if penalty_ps > 0 {
             for k in 0..batch {
-                self.active[self.members[k]].tier_exposed_ps += penalty_ps;
+                let slot = self.members[k];
+                live_mut(&mut self.slab, slot).tier_exposed_ps += penalty_ps;
             }
         }
         penalty_ps
@@ -1090,19 +1432,19 @@ impl Sched<'_> {
         self.growths.clear();
         let tiered = self.tiers.is_some();
         for k in 0..self.members.len() {
-            let i = self.members[k];
+            let slot = self.members[k];
             // The head is consumed: leave the ready set (serialized
             // members are still flagged; overlapped members left it at
             // formation) and clear the in-flight mark.
-            unmark_ready(&mut self.active, &mut self.ready_counts, i);
-            self.active[i].in_flight = false;
+            self.unmark_ready(slot);
+            live_mut(&mut self.slab, slot).in_flight = false;
             let demand_before = if tiered {
                 self.sys
-                    .resident_demand_bytes(&self.model, self.active[i].cache_tokens)
+                    .resident_demand_bytes(&self.model, live(&self.slab, slot).cache_tokens)
             } else {
                 0
             };
-            let s = &mut self.active[i];
+            let s = live_mut(&mut self.slab, slot);
             match s.items.pop_front().expect("ready stream has a head") {
                 Work::Frame { avail_ps } => {
                     s.frames.record(avail_ps, completion);
@@ -1128,19 +1470,20 @@ impl Sched<'_> {
             // available after this batch's completion pass, register
             // its wake-up (otherwise the pass at `completion` already
             // sees it ready).
-            if let Some((avail, _)) = s.head() {
+            let next_avail = s.head().map(|(avail, _)| avail);
+            if let Some(avail) = next_avail {
                 if avail > completion {
-                    self.events.push(Reverse(Event {
+                    self.push_event(Event {
                         ps: avail,
                         kind: EventKind::WorkReady(id),
-                    }));
+                    });
                 }
             }
-            mark_ready(&mut self.active, &mut self.ready_counts, i, completion);
+            self.mark_ready(slot, completion);
             if tiered {
                 let growth = self
                     .sys
-                    .resident_demand_bytes(&self.model, self.active[i].cache_tokens)
+                    .resident_demand_bytes(&self.model, live(&self.slab, slot).cache_tokens)
                     .saturating_sub(demand_before);
                 self.growths.push((id, growth));
             }
@@ -1164,12 +1507,13 @@ impl Sched<'_> {
 
         // Retire finished sessions (freeing their memory). Only a
         // batch member can have drained its queue, so the scan walks
-        // the members (ascending), not the whole fleet; removal runs
-        // back-to-front so earlier member indices stay valid.
+        // the members, not the whole fleet; it runs back-to-front with
+        // a stack flip below so reports publish in the same ascending
+        // order the historical vector removal produced.
         for k in (0..self.members.len()).rev() {
-            let i = self.members[k];
-            if self.active[i].items.is_empty() {
-                let mut s = self.active.remove(i);
+            let slot = self.members[k];
+            if live(&self.slab, slot).items.is_empty() {
+                let mut s = self.remove_stream(slot);
                 if let Some(mgr) = self.tiers.as_mut() {
                     s.spilled = mgr.was_ever_spilled(s.id);
                     mgr.release(s.id);
@@ -1201,54 +1545,61 @@ impl Sched<'_> {
         let Some(mgr) = self.tiers.as_mut() else {
             return;
         };
-        let migrations = mgr.take_migrations();
-        if migrations.is_empty() {
+        if !mgr.has_pending_migrations() {
             return;
         }
-        let Some(res) = self.res.as_mut() else {
-            return; // serialized: decided, not scheduled
-        };
-        for m in migrations {
-            let dur = mgr.migration_price_ps(m.from, m.to, m.bytes);
-            if dur == 0 {
-                continue;
-            }
-            // Demotions ride the down lane; promotions move bytes up
-            // but go behind every current up-lane reservation (lowest
-            // priority), so latency-critical restores keep their
-            // earliest fits. Either way a writeback decided *now*
-            // cannot start in the simulated past: the start is floored
-            // at `max(now, lane frontier)`.
-            let demotion = m.to > m.from;
-            let (tag, lane) = if demotion {
-                ("spill", res.pcie_down)
-            } else {
-                ("promote", res.pcie)
-            };
-            let earliest = self.now.max(res.engine.next_free(lane));
-            let t = res
-                .engine
-                .schedule_after(lane, earliest, dur, &[], tag, m.bytes);
-            let start = res.engine.start_of(t);
-            for tier in [m.from, m.to] {
-                match tier {
-                    MemTier::Host => {
-                        res.engine.reserve_after(res.host, start, dur, tag, m.bytes);
+        // Drain into the reused buffer (capacity survives across
+        // flushes; no per-flush allocation).
+        let mut migrations = std::mem::take(&mut self.migrations);
+        mgr.drain_migrations_into(&mut migrations);
+        if let Some(res) = self.res.as_mut() {
+            for m in migrations.drain(..) {
+                let dur = mgr.migration_price_ps(m.from, m.to, m.bytes);
+                if dur == 0 {
+                    continue;
+                }
+                // Demotions ride the down lane; promotions move bytes up
+                // but go behind every current up-lane reservation (lowest
+                // priority), so latency-critical restores keep their
+                // earliest fits. Either way a writeback decided *now*
+                // cannot start in the simulated past: the start is floored
+                // at `max(now, lane frontier)`.
+                let demotion = m.to > m.from;
+                let (tag, lane) = if demotion {
+                    ("spill", res.pcie_down)
+                } else {
+                    ("promote", res.pcie)
+                };
+                let earliest = self.now.max(res.engine.next_free(lane));
+                let t = res
+                    .engine
+                    .schedule_after(lane, earliest, dur, &[], tag, m.bytes);
+                let start = res.engine.start_of(t);
+                for tier in [m.from, m.to] {
+                    match tier {
+                        MemTier::Host => {
+                            res.engine.reserve_after(res.host, start, dur, tag, m.bytes);
+                        }
+                        MemTier::Ssd => {
+                            res.engine.reserve_after(res.ssd, start, dur, tag, m.bytes);
+                        }
+                        MemTier::Device => {}
                     }
-                    MemTier::Ssd => {
-                        res.engine.reserve_after(res.ssd, start, dur, tag, m.bytes);
+                }
+                // Restores of these bytes cannot begin before the demotion
+                // writeback lands below the device tier.
+                if demotion {
+                    if let Some(&slot) = self.by_id.get(&m.session) {
+                        let s = live_mut(&mut self.slab, slot);
+                        s.spill_visible_ps = s.spill_visible_ps.max(res.engine.end_of(t));
                     }
-                    MemTier::Device => {}
                 }
             }
-            // Restores of these bytes cannot begin before the demotion
-            // writeback lands below the device tier.
-            if demotion {
-                if let Some(s) = self.active.iter_mut().find(|s| s.id == m.session) {
-                    s.spill_visible_ps = s.spill_visible_ps.max(res.engine.end_of(t));
-                }
-            }
+        } else {
+            // Serialized: decided, not scheduled.
+            migrations.clear();
         }
+        self.migrations = migrations;
     }
 
     /// The serialized driver: batch-level blocking execution,
@@ -1260,16 +1611,20 @@ impl Sched<'_> {
             self.maybe_admission_pass();
             self.check_ready_invariant();
 
-            if self.ready_counts.iter().sum::<usize>() == 0 {
+            if self.ready_total() == 0 {
                 // Idle: advance to the next wake-up strictly after
                 // `now`; anything at or before `now` was already
                 // drained unacted.
                 match self.events.pop() {
-                    Some(Reverse(e)) => {
-                        debug_assert!(e.ps > self.now, "drained heap only holds the future");
+                    Some(e) => {
+                        debug_assert!(e.ps > self.now, "drained queue only holds the future");
                         self.now = e.ps;
+                        self.count_event(&e.kind);
                         let kind = match e.kind {
-                            EventKind::Arrival(_) => TraceKind::Arrival,
+                            EventKind::Arrival(_) => {
+                                self.plan_arrived();
+                                TraceKind::Arrival
+                            }
                             EventKind::Patience(_) => TraceKind::Patience,
                             EventKind::WorkReady(id) => {
                                 self.mark_ready_by_id(id);
@@ -1289,6 +1644,8 @@ impl Sched<'_> {
             // Form the batch and execute it as one blocking unit.
             let kind = self.choose_kind();
             self.gather_members(kind);
+            self.counters.batches_formed += 1;
+            self.counters.batch_members += self.members.len() as u64;
             let step = self.price_step(kind, ExecContext::Serialized);
             let penalty_ps = self.serialized_restore_penalty(kind, &step);
             let completion = self.now + step.latency_ps + penalty_ps;
@@ -1309,16 +1666,20 @@ impl Sched<'_> {
             self.maybe_admission_pass();
             self.check_ready_invariant();
 
-            if self.ready_counts.iter().sum::<usize>() > 0 && self.inflight_count < MAX_IN_FLIGHT {
+            if self.ready_total() > 0 && self.inflight_count < MAX_IN_FLIGHT {
                 self.launch_batch();
                 continue;
             }
             match self.events.pop() {
-                Some(Reverse(e)) => {
-                    debug_assert!(e.ps > self.now, "drained heap only holds the future");
+                Some(e) => {
+                    debug_assert!(e.ps > self.now, "drained queue only holds the future");
                     self.now = e.ps;
+                    self.count_event(&e.kind);
                     match e.kind {
-                        EventKind::Arrival(_) => self.trace_event(TraceKind::Arrival),
+                        EventKind::Arrival(_) => {
+                            self.plan_arrived();
+                            self.trace_event(TraceKind::Arrival);
+                        }
                         EventKind::Patience(_) => self.trace_event(TraceKind::Patience),
                         EventKind::WorkReady(id) => {
                             self.mark_ready_by_id(id);
@@ -1357,6 +1718,8 @@ impl Sched<'_> {
     fn launch_batch(&mut self) {
         let kind = self.choose_kind();
         self.gather_members(kind);
+        self.counters.batches_formed += 1;
+        self.counters.batch_members += self.members.len() as u64;
         let batch = self.members.len();
         let step = self.price_step(kind, ExecContext::Overlapped);
         let generation = kind == Kind::Decode;
@@ -1364,20 +1727,18 @@ impl Sched<'_> {
 
         // Restores first: latency-critical link reservations grab the
         // earliest fits before this batch's own fetch traffic lands.
-        let mut restores: Vec<Option<(RestorePlan, u64)>> = vec![None; batch];
+        // The slot vector is reused across launches.
+        let mut restores = std::mem::take(&mut self.restores);
+        restores.clear();
+        restores.resize(batch, None);
         if let Some(mgr) = self.tiers.as_mut() {
             if !mgr.any_spilled_bytes() {
                 mgr.record_all_hot_steps(batch as u64);
             } else {
                 let res = self.res.as_mut().expect("overlapped runs own resources");
-                for (k, slot) in restores.iter_mut().enumerate() {
-                    let i = self.members[k];
-                    let plan = mgr.plan_restore(
-                        self.active[i].id,
-                        ratio,
-                        generation,
-                        self.prefetch.as_ref(),
-                    );
+                for (k, rslot) in restores.iter_mut().enumerate() {
+                    let s = live(&self.slab, self.members[k]);
+                    let plan = mgr.plan_restore(s.id, ratio, generation, self.prefetch.as_ref());
                     if plan.miss_ps() == 0 {
                         mgr.commit_restore(&plan, 0, 0);
                         continue;
@@ -1386,15 +1747,15 @@ impl Sched<'_> {
                     // visible — but never before the bytes it restores
                     // were actually spilled below the device
                     // (`spill_visible_ps`: causality, not optimism).
-                    let ready_ps = self.active[i]
+                    let ready_ps = s
                         .head_avail_ps()
                         .expect("batch member has a head item")
-                        .max(self.active[i].last_completion_ps)
-                        .max(self.active[i].spill_visible_ps);
+                        .max(s.last_completion_ps)
+                        .max(s.spill_visible_ps);
                     let spec_ps = (plan.miss_ps() as f64 * plan.coverage) as u64;
                     let demand_ps = plan.miss_ps() - spec_ps;
                     let spec_bytes = (plan.bytes() as f64 * plan.coverage) as u64;
-                    let demand_earliest = self.now.max(self.active[i].spill_visible_ps);
+                    let demand_earliest = self.now.max(s.spill_visible_ps);
                     let mut first_start = u64::MAX;
                     let mut end = self.now;
                     let mut dep: Option<TaskId> = None;
@@ -1411,12 +1772,15 @@ impl Sched<'_> {
                         dep = Some(t);
                     }
                     if demand_ps > 0 {
-                        let deps: Vec<TaskId> = dep.into_iter().collect();
+                        // Borrow the single optional dependency in
+                        // place instead of collecting a one-element
+                        // `Vec` per demand fetch.
+                        let deps = dep.as_slice();
                         let t = res.engine.schedule_after(
                             res.pcie,
                             demand_earliest,
                             demand_ps,
-                            &deps,
+                            deps,
                             "restore:demand",
                             plan.bytes() - spec_bytes,
                         );
@@ -1444,7 +1808,7 @@ impl Sched<'_> {
                             plan.ssd_bytes,
                         );
                     }
-                    *slot = Some((plan, end));
+                    *rslot = Some((plan, end));
                 }
             }
         }
@@ -1494,18 +1858,24 @@ impl Sched<'_> {
             // The batch completes as one unit: every member's critical
             // path is stretched by the slowest exposed restore.
             for k in 0..batch {
-                self.active[self.members[k]].tier_exposed_ps += penalty;
+                let slot = self.members[k];
+                live_mut(&mut self.slab, slot).tier_exposed_ps += penalty;
             }
         }
+        self.restores = restores;
 
         // Members leave the ready set and go in flight; the completion
-        // event applies their effects.
-        let mut ids = Vec::with_capacity(batch);
+        // event applies their effects. Member-id vectors are recycled
+        // through `ids_pool` (the completion path returns them).
+        let mut ids = self.ids_pool.pop().unwrap_or_default();
+        ids.clear();
+        ids.reserve(batch);
         for k in 0..batch {
-            let i = self.members[k];
-            unmark_ready(&mut self.active, &mut self.ready_counts, i);
-            self.active[i].in_flight = true;
-            ids.push(self.active[i].id);
+            let slot = self.members[k];
+            self.unmark_ready(slot);
+            let s = live_mut(&mut self.slab, slot);
+            s.in_flight = true;
+            ids.push(s.id);
         }
         let slot = match self.inflight.iter().position(Option::is_none) {
             Some(s) => s,
@@ -1519,35 +1889,29 @@ impl Sched<'_> {
             completion_ps: completion,
         });
         self.inflight_count += 1;
-        self.events.push(Reverse(Event {
+        self.push_event(Event {
             ps: completion,
             kind: EventKind::StepComplete(slot),
-        }));
+        });
     }
 
     /// Applies an in-flight batch's effects at its completion instant.
     fn apply_completion(&mut self, slot: usize) {
-        let batch = self.inflight[slot].take().expect("live in-flight batch");
+        let InFlight { ids, completion_ps } =
+            self.inflight[slot].take().expect("live in-flight batch");
         self.inflight_count -= 1;
-        debug_assert_eq!(
-            batch.completion_ps, self.now,
-            "completion fires at its instant"
-        );
-        // Resolve ids back to active indices: retirements of other
-        // batches may have shifted them, but relative order (and thus
-        // ascending membership) is preserved.
+        debug_assert_eq!(completion_ps, self.now, "completion fires at its instant");
+        // Resolve ids back to slab slots in formation order (slots are
+        // stable, so this is one map hit per member, not a fleet scan).
         self.members.clear();
-        for id in &batch.ids {
-            let i = self
-                .active
-                .iter()
-                .position(|s| s.id == *id)
-                .expect("in-flight stream stays active");
-            self.members.push(i);
+        for id in &ids {
+            let member = *self.by_id.get(id).expect("in-flight stream stays active");
+            self.members.push(member);
         }
+        self.ids_pool.push(ids);
         self.trace_event(TraceKind::StepComplete);
-        self.makespan_ps = self.makespan_ps.max(batch.completion_ps);
-        self.apply_batch(batch.completion_ps);
+        self.makespan_ps = self.makespan_ps.max(completion_ps);
+        self.apply_batch(completion_ps);
     }
 
     /// Fleet aggregation: percentiles over every frame/turn of every
@@ -1558,9 +1922,14 @@ impl Sched<'_> {
             .iter()
             .filter(|r| r.outcome != SessionOutcome::Rejected)
             .collect();
-        let mut lag_samples: Vec<f64> = Vec::new();
-        let mut ttft_samples: Vec<f64> = Vec::new();
-        let mut tpot_samples: Vec<f64> = Vec::new();
+        // Pre-size the sample pools from the per-session counts so the
+        // fleet-wide gather never reallocates mid-extend.
+        let mut lag_samples: Vec<f64> =
+            Vec::with_capacity(admitted.iter().map(|r| r.frame_lags_s.len()).sum());
+        let mut ttft_samples: Vec<f64> =
+            Vec::with_capacity(admitted.iter().map(|r| r.ttft_s.len()).sum());
+        let mut tpot_samples: Vec<f64> =
+            Vec::with_capacity(admitted.iter().map(|r| r.tpot_s.len()).sum());
         for r in &admitted {
             lag_samples.extend_from_slice(&r.frame_lags_s);
             ttft_samples.extend_from_slice(&r.ttft_s);
@@ -1571,7 +1940,7 @@ impl Sched<'_> {
             samples.sort_unstable_by(f64::total_cmp);
         }
         ServeReport {
-            offered: self.plans.len(),
+            offered: self.offered,
             admitted: admitted.len(),
             queued: admitted
                 .iter()
@@ -1602,6 +1971,7 @@ impl Sched<'_> {
                     exposed_s: ps_to_seconds(s.exposed_ps),
                 }
             }),
+            counters: self.counters,
             sessions: reports,
         }
     }
@@ -1678,6 +2048,7 @@ mod tests {
             max_wait_s: 0.0,
             admission: AdmissionPolicy::RejectOnly,
             overlap: false,
+            queue: QueueKind::Heap,
         };
         let r = serve(&sys, &llama(), &fleet(6, 1, 3.0, 5), &cfg);
         assert!(r.admitted >= 1, "at least one stream fits: {r:?}");
@@ -1697,6 +2068,7 @@ mod tests {
             max_wait_s: 1e6,
             admission: AdmissionPolicy::RejectOnly,
             overlap: false,
+            queue: QueueKind::Heap,
         };
         let r = serve(&sys, &llama(), &fleet(6, 1, 3.0, 5), &cfg);
         assert_eq!(r.admitted, 6, "everyone admitted eventually: {r:?}");
@@ -1817,6 +2189,7 @@ mod tests {
             max_wait_s: 0.0,
             admission: AdmissionPolicy::RejectOnly,
             overlap: false,
+            queue: QueueKind::Heap,
         };
         let tier_cfg = ServeConfig {
             admission: AdmissionPolicy::tiered_speculative(),
@@ -1870,6 +2243,7 @@ mod tests {
             max_wait_s: 10.0,
             admission: AdmissionPolicy::Tiered { prefetch },
             overlap: false,
+            queue: QueueKind::Heap,
         };
         let plans = fleet(20, 1, 10.0, 7);
         let model = llama();
@@ -1935,6 +2309,7 @@ mod tests {
             max_wait_s: 10.0,
             admission: AdmissionPolicy::RejectOnly,
             overlap: false,
+            queue: QueueKind::Heap,
         };
         // One long session pins more than half the device KV budget
         // (70K tokens ≈ 8.9 GiB of ~15.9 GiB) for far longer than the
@@ -1998,6 +2373,7 @@ mod tests {
             max_wait_s: 0.0,
             admission: AdmissionPolicy::tiered_speculative(),
             overlap: false,
+            queue: QueueKind::Heap,
         };
         let r = serve(&sys, &llama(), &fleet(2, 1, 3.0, 5), &cfg);
         assert_eq!(r.admitted, 0, "nothing fits the whole hierarchy: {r:?}");
@@ -2087,14 +2463,20 @@ mod tests {
             } else {
                 ServeConfig::real_time(8_000)
             };
-            let (_, trace) = serve_traced(&sys, &model, &plans, &cfg);
-            assert_eq!(
-                trace_fingerprint(&trace),
-                (c.len, c.hash),
-                "{} + {:?}: serialized trace drifted from the pre-refactor scheduler",
-                c.platform.name,
-                c.method
-            );
+            // Both event-core implementations must reproduce the exact
+            // pre-refactor trace: the wheel is a drop-in for the heap.
+            for qk in [QueueKind::Heap, QueueKind::Wheel] {
+                let cfg = cfg.with_queue(qk);
+                let (_, trace) = serve_traced(&sys, &model, &plans, &cfg);
+                assert_eq!(
+                    trace_fingerprint(&trace),
+                    (c.len, c.hash),
+                    "{} + {:?} ({:?}): serialized trace drifted from the pre-refactor scheduler",
+                    c.platform.name,
+                    c.method,
+                    qk
+                );
+            }
         }
     }
 
@@ -2223,6 +2605,7 @@ mod tests {
             max_wait_s: 10.0,
             admission: AdmissionPolicy::tiered_speculative(),
             overlap: true,
+            queue: QueueKind::Heap,
         };
         let r = serve(&sys, &model, &plans, &cfg);
         assert_eq!(r.admitted + r.rejected, r.offered);
@@ -2278,6 +2661,7 @@ mod tests {
             max_wait_s: 0.0,
             admission: AdmissionPolicy::RejectOnly,
             overlap: true,
+            queue: QueueKind::Heap,
         };
         let tier_cfg = ServeConfig {
             admission: AdmissionPolicy::tiered_speculative(),

@@ -6,7 +6,8 @@ use vrex_model::ModelConfig;
 use vrex_system::pipeline::{cold_selected_tokens, layer_costs, selected_tokens, Workload};
 use vrex_system::serve::SessionOutcome;
 use vrex_system::{
-    serve, serve_traced, Method, PlatformSpec, ServeConfig, StepPriceCache, SystemModel, TraceKind,
+    serve, serve_stream, serve_traced, Method, PlatformSpec, QueueKind, ServeConfig,
+    StepPriceCache, SystemModel, TraceKind,
 };
 use vrex_workload::traffic::TrafficConfig;
 
@@ -400,5 +401,89 @@ proptest! {
             );
         }
         prop_assert_eq!(prices.hits(), prices.misses());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The timer-wheel event core is a bit-exact drop-in for the
+    /// binary heap: over random fleets, both admission policies, and
+    /// both execution models, the two [`QueueKind`]s produce identical
+    /// reports, identical traces (every transition, not just a
+    /// fingerprint), and identical event-loop counters.
+    #[test]
+    fn wheel_and_heap_event_cores_are_bit_identical(
+        sessions in 1usize..8,
+        turns in 0usize..3,
+        spread in 0.0f64..12.0,
+        max_wait in 0.0f64..12.0,
+        cache in 1_000usize..40_000,
+        seed in 0u64..300,
+        method_idx in 0usize..6,
+        tiered_admission in any::<bool>(),
+        overlap in any::<bool>(),
+    ) {
+        let plans = TrafficConfig {
+            sessions,
+            turns,
+            arrival_spread_s: spread,
+            seed,
+        }
+        .generate();
+        let sys = SystemModel::new(PlatformSpec::agx_orin(), METHODS[method_idx]);
+        let model = ModelConfig::llama3_8b();
+        let cfg = ServeConfig {
+            max_wait_s: max_wait,
+            admission: if tiered_admission {
+                vrex_system::AdmissionPolicy::tiered_speculative()
+            } else {
+                vrex_system::AdmissionPolicy::RejectOnly
+            },
+            overlap,
+            ..ServeConfig::real_time(cache)
+        };
+        let (heap_r, heap_t) = serve_traced(&sys, &model, &plans, &cfg.with_queue(QueueKind::Heap));
+        let (wheel_r, wheel_t) =
+            serve_traced(&sys, &model, &plans, &cfg.with_queue(QueueKind::Wheel));
+        prop_assert_eq!(&heap_t, &wheel_t, "traces diverged between event cores");
+        prop_assert_eq!(&heap_r, &wheel_r, "reports diverged between event cores");
+        // Counters sit outside report equality (serialized vs overlap
+        // do different loop work), but across queue kinds the loop is
+        // the same loop: they must match exactly too.
+        prop_assert_eq!(heap_r.counters, wheel_r.counters);
+    }
+
+    /// Streaming plan delivery is report-identical to the materialized
+    /// slice: [`serve_stream`] over [`TrafficConfig::stream`] equals
+    /// [`serve`] over [`TrafficConfig::generate`] — the fleet-scale
+    /// path changes memory residency, never outcomes.
+    #[test]
+    fn streamed_fleets_reproduce_materialized_reports(
+        sessions in 1usize..8,
+        turns in 0usize..3,
+        spread in 0.0f64..12.0,
+        cache in 1_000usize..40_000,
+        seed in 0u64..300,
+        queue_wheel in any::<bool>(),
+    ) {
+        let traffic = TrafficConfig {
+            sessions,
+            turns,
+            arrival_spread_s: spread,
+            seed,
+        };
+        let sys = SystemModel::new(PlatformSpec::vrex48(), Method::ReSV);
+        let model = ModelConfig::llama3_8b();
+        let cfg = ServeConfig::real_time(cache).with_queue(if queue_wheel {
+            QueueKind::Wheel
+        } else {
+            QueueKind::Heap
+        });
+        let materialized = serve(&sys, &model, &traffic.generate(), &cfg);
+        let mut prices = StepPriceCache::new(&sys, &model);
+        let streamed = serve_stream(&mut prices, &mut traffic.stream(), &cfg);
+        prop_assert_eq!(&materialized, &streamed);
+        prop_assert_eq!(materialized.counters, streamed.counters);
     }
 }

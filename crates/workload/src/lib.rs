@@ -29,4 +29,6 @@ pub mod traffic;
 pub use accuracy::{evaluate_policy, AccuracyReport};
 pub use coin::{CoinTask, COIN_TASKS};
 pub use session::{CoinScenario, SessionEvent, SessionGenerator};
-pub use traffic::{SessionPlan, TrafficConfig};
+pub use traffic::{
+    OpenLoopConfig, OpenLoopStream, PlanSource, PlanStream, SessionPlan, SlicePlans, TrafficConfig,
+};
