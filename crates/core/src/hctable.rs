@@ -158,15 +158,15 @@ impl HcTable {
     /// between mutations) — the `Key_cluster` operand of the
     /// `Q × Key_clusterᵀ` score computation.
     pub fn representatives(&mut self) -> &Matrix {
-        if self.reps_cache.is_none() {
-            let rows: Vec<&[f32]> = self.clusters.iter().map(|c| c.rep_key.as_slice()).collect();
-            self.reps_cache = Some(if rows.is_empty() {
+        let clusters = &self.clusters;
+        self.reps_cache.get_or_insert_with(|| {
+            let rows: Vec<&[f32]> = clusters.iter().map(|c| c.rep_key.as_slice()).collect();
+            if rows.is_empty() {
                 Matrix::default()
             } else {
                 Matrix::from_rows(&rows)
-            });
-        }
-        self.reps_cache.as_ref().unwrap()
+            }
+        })
     }
 
     /// Token counts per cluster, aligned with [`Self::representatives`].

@@ -44,6 +44,8 @@
 //! assert!(stats.overall_ratio() < 1.0);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod earlyexit;
 pub mod hashbit;
 pub mod hctable;

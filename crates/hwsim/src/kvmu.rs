@@ -174,6 +174,7 @@ impl Kvmu {
             // cluster members land contiguously. Collect the eviction
             // batch: the oldest token plus any other hot tokens sharing
             // its cluster (cluster-wise mapping).
+            // vrex-lint: allow(panicking-seam) — loop guard: len() > capacity ≥ 0, so front() is Some.
             let oldest = *self.hot_queue.front().expect("non-empty");
             let cluster = self.cluster_of[oldest];
             let mut batch: Vec<usize> = match cluster {
@@ -252,7 +253,7 @@ impl Kvmu {
             self.hot_queue.len() <= self.hot_capacity.max(1),
             "hot window over budget"
         );
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for &t in &self.hot_queue {
             assert!(seen.insert(t), "token {t} twice in hot queue");
             assert_eq!(
@@ -261,7 +262,7 @@ impl Kvmu {
                 "hot queue out of sync"
             );
         }
-        let mut offsets = std::collections::HashSet::new();
+        let mut offsets = std::collections::BTreeSet::new();
         for (t, r) in self.residency.iter().enumerate() {
             match r {
                 Residency::Device => assert!(

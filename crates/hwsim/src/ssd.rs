@@ -188,6 +188,7 @@ impl Ssd {
     /// Energy (joules) given total elapsed wall time (s): active power
     /// over busy time, idle power over the rest.
     pub fn energy_joules(&self, wall_seconds: f64) -> f64 {
+        // vrex-lint: allow(float-time) — report boundary: busy ps becomes seconds for energy accounting only; nothing feeds back into simulation time.
         let busy_s = self.busy_ps as f64 / 1e12;
         let idle_s = (wall_seconds - busy_s).max(0.0);
         self.cfg.active_w * busy_s + self.cfg.idle_w * idle_s

@@ -142,12 +142,14 @@ impl TierPath {
                 MemTier::Host => self
                     .host_dram
                     .as_ref()
+                    // vrex-lint: allow(panicking-seam) — pricing a tier the path was not built with is a platform-construction bug; stop loudly.
                     .expect("host tier not configured on this path")
                     .stream_read_ps(bytes),
                 MemTier::Ssd => {
                     let cfg = self
                         .ssd
                         .as_ref()
+                        // vrex-lint: allow(panicking-seam) — same construction invariant as the host tier above.
                         .expect("ssd tier not configured on this path");
                     // Bulk migrations stream contiguous blocks; small
                     // chunks degenerate into scattered page reads.

@@ -1,0 +1,519 @@
+//! Hand-rolled token-level Rust lexer.
+//!
+//! The build environment has no crates.io access, so `vrex-lint` cannot
+//! use `syn` or a rustc driver. Instead this module provides the small
+//! slice of lexing the determinism rules need: it strips comments,
+//! string/raw-string/byte-string literals, and char literals (so rule
+//! patterns can never match inside text), and emits a line-numbered
+//! token stream of identifiers, numeric literals (int vs float — the
+//! distinction the `float-time` rule runs on), lifetimes, and
+//! punctuation.
+//!
+//! Waiver comments (`// vrex-lint: allow(<rule>) — <reason>`) are the
+//! one place comments carry meaning, so the lexer parses them while
+//! stripping and returns them alongside the tokens.
+
+/// The coarse token classes the rules pattern-match on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `for`, `HashMap`, `busy_ps`, ...).
+    Ident,
+    /// Integer literal (`42`, `0xff`, `1_000u64`).
+    Int,
+    /// Float literal (`0.5`, `1e12`, `3.0f32`) — what `float-time` and
+    /// `float-eq` key on.
+    Float,
+    /// String, raw-string, byte-string, or char literal. Content is
+    /// dropped; only the token's presence and line survive.
+    Literal,
+    /// Lifetime (`'a`). Distinguished from char literals.
+    Lifetime,
+    /// Punctuation. Multi-char operators the rules care about (`==`,
+    /// `!=`, `::`, `..`, `->`, `=>`) are single tokens.
+    Punct,
+}
+
+/// One lexed token with its 1-indexed source line.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Token class.
+    pub kind: TokKind,
+    /// Token text. Empty for [`TokKind::Literal`].
+    pub text: String,
+    /// 1-indexed line the token starts on.
+    pub line: u32,
+}
+
+/// An inline waiver parsed from a `// vrex-lint: ...` comment.
+///
+/// Well-formed syntax: `// vrex-lint: allow(rule-a, rule-b) — reason`.
+/// The reason is mandatory; a waiver without one (or with unparsable
+/// syntax) sets [`Waiver::malformed`] and is reported as an unwaivable
+/// `bad-waiver` finding by the runner.
+#[derive(Debug, Clone)]
+pub struct Waiver {
+    /// 1-indexed line of the waiver comment.
+    pub line: u32,
+    /// Rule names listed in `allow(...)`.
+    pub rules: Vec<String>,
+    /// The mandatory free-text justification.
+    pub reason: String,
+    /// Why the waiver is malformed, if it is.
+    pub malformed: Option<String>,
+}
+
+/// Output of [`lex`]: the token stream plus any waiver comments.
+#[derive(Debug)]
+pub struct Lexed {
+    /// Line-numbered tokens with comments/strings stripped.
+    pub toks: Vec<Tok>,
+    /// Waiver comments found while stripping.
+    pub waivers: Vec<Waiver>,
+}
+
+/// Two-char operators lexed as a single [`TokKind::Punct`] token.
+const TWO_CHAR_PUNCTS: &[&str] = &[
+    "==", "!=", "::", "..", "->", "=>", "<=", ">=", "&&", "||", "+=", "-=", "*=", "/=", "<<", ">>",
+];
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lexes `src`, stripping comments and all literal text.
+pub fn lex(src: &str) -> Lexed {
+    let chars: Vec<char> = src.chars().collect();
+    let mut toks = Vec::new();
+    let mut waivers = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+        } else if c.is_whitespace() {
+            i += 1;
+        } else if c == '/' && chars.get(i + 1) == Some(&'/') {
+            let start = i + 2;
+            while i < chars.len() && chars[i] != '\n' {
+                i += 1;
+            }
+            let text: String = chars[start..i].iter().collect();
+            if let Some(w) = parse_waiver(&text, line) {
+                waivers.push(w);
+            }
+        } else if c == '/' && chars.get(i + 1) == Some(&'*') {
+            i += 2;
+            let mut depth = 1usize;
+            while i < chars.len() && depth > 0 {
+                if chars[i] == '\n' {
+                    line += 1;
+                    i += 1;
+                } else if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                    depth += 1;
+                    i += 2;
+                } else if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+        } else if c == '"' {
+            let tok_line = line;
+            skip_string(&chars, &mut i, &mut line);
+            toks.push(lit(tok_line));
+        } else if c == '\'' {
+            let tok_line = line;
+            // Lifetime iff an ident follows and is not closed by `'`.
+            if chars.get(i + 1).copied().is_some_and(is_ident_start) {
+                let mut j = i + 1;
+                while j < chars.len() && is_ident_continue(chars[j]) {
+                    j += 1;
+                }
+                if chars.get(j) == Some(&'\'') {
+                    // Char literal like 'a'.
+                    i = j + 1;
+                    toks.push(lit(tok_line));
+                } else {
+                    let text: String = chars[i + 1..j].iter().collect();
+                    i = j;
+                    toks.push(Tok {
+                        kind: TokKind::Lifetime,
+                        text,
+                        line: tok_line,
+                    });
+                }
+            } else {
+                // Escaped or punctuation char literal like '\n' or '('.
+                i += 1;
+                while i < chars.len() && chars[i] != '\'' {
+                    if chars[i] == '\\' {
+                        i += 1;
+                    }
+                    if i < chars.len() {
+                        if chars[i] == '\n' {
+                            line += 1;
+                        }
+                        i += 1;
+                    }
+                }
+                i += 1; // closing quote
+                toks.push(lit(tok_line));
+            }
+        } else if is_ident_start(c) {
+            let start = i;
+            while i < chars.len() && is_ident_continue(chars[i]) {
+                i += 1;
+            }
+            let text: String = chars[start..i].iter().collect();
+            let tok_line = line;
+            // Raw / byte string prefixes: r"", r#""#, br"", b"", b''.
+            let next = chars.get(i).copied();
+            match (text.as_str(), next) {
+                ("r" | "br", Some('"')) | ("b" | "rb", Some('"')) => {
+                    skip_string(&chars, &mut i, &mut line);
+                    toks.push(lit(tok_line));
+                }
+                ("r" | "br", Some('#')) => {
+                    // Raw string r#"..."# — or a raw identifier r#ident.
+                    let mut hashes = 0usize;
+                    let mut j = i;
+                    while chars.get(j) == Some(&'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    if chars.get(j) == Some(&'"') {
+                        skip_raw_string(&chars, &mut i, &mut line, hashes);
+                        toks.push(lit(tok_line));
+                    } else {
+                        // Raw identifier: consume `#` and the ident.
+                        i += 1;
+                        let rs = i;
+                        while i < chars.len() && is_ident_continue(chars[i]) {
+                            i += 1;
+                        }
+                        let raw: String = chars[rs..i].iter().collect();
+                        toks.push(Tok {
+                            kind: TokKind::Ident,
+                            text: raw,
+                            line: tok_line,
+                        });
+                    }
+                }
+                ("b", Some('\'')) => {
+                    i += 1; // opening quote
+                    i += 1;
+                    while i < chars.len() && chars[i] != '\'' {
+                        if chars[i] == '\\' {
+                            i += 1;
+                        }
+                        i += 1;
+                    }
+                    i += 1;
+                    toks.push(lit(tok_line));
+                }
+                _ => toks.push(Tok {
+                    kind: TokKind::Ident,
+                    text,
+                    line: tok_line,
+                }),
+            }
+        } else if c.is_ascii_digit() {
+            let tok_line = line;
+            let kind = scan_number(&chars, &mut i);
+            toks.push(Tok {
+                kind,
+                text: String::new(),
+                line: tok_line,
+            });
+        } else {
+            let tok_line = line;
+            let pair: String = chars[i..chars.len().min(i + 2)].iter().collect();
+            if TWO_CHAR_PUNCTS.contains(&pair.as_str()) {
+                i += 2;
+                toks.push(Tok {
+                    kind: TokKind::Punct,
+                    text: pair,
+                    line: tok_line,
+                });
+            } else {
+                i += 1;
+                toks.push(Tok {
+                    kind: TokKind::Punct,
+                    text: c.to_string(),
+                    line: tok_line,
+                });
+            }
+        }
+    }
+    Lexed { toks, waivers }
+}
+
+fn lit(line: u32) -> Tok {
+    Tok {
+        kind: TokKind::Literal,
+        text: String::new(),
+        line,
+    }
+}
+
+/// Skips a `"..."` literal; `i` points at the opening quote on entry
+/// and one past the closing quote on exit.
+fn skip_string(chars: &[char], i: &mut usize, line: &mut u32) {
+    *i += 1;
+    while *i < chars.len() && chars[*i] != '"' {
+        if chars[*i] == '\\' {
+            *i += 1;
+        }
+        if *i < chars.len() {
+            if chars[*i] == '\n' {
+                *line += 1;
+            }
+            *i += 1;
+        }
+    }
+    *i += 1;
+}
+
+/// Skips a raw string body; `i` points at the first `#` (or quote when
+/// `hashes == 0`) on entry.
+fn skip_raw_string(chars: &[char], i: &mut usize, line: &mut u32, hashes: usize) {
+    *i += hashes + 1; // hashes plus opening quote
+    while *i < chars.len() {
+        if chars[*i] == '\n' {
+            *line += 1;
+        }
+        if chars[*i] == '"' {
+            let mut j = *i + 1;
+            let mut n = 0usize;
+            while n < hashes && chars.get(j) == Some(&'#') {
+                n += 1;
+                j += 1;
+            }
+            if n == hashes {
+                *i = j;
+                return;
+            }
+        }
+        *i += 1;
+    }
+}
+
+/// Scans a numeric literal, classifying int vs float; `i` points at the
+/// first digit on entry and one past the literal on exit.
+fn scan_number(chars: &[char], i: &mut usize) -> TokKind {
+    // Hex / octal / binary are always integers.
+    if chars[*i] == '0' && matches!(chars.get(*i + 1), Some('x' | 'o' | 'b')) {
+        *i += 2;
+        while *i < chars.len() && (chars[*i].is_ascii_hexdigit() || chars[*i] == '_') {
+            *i += 1;
+        }
+        consume_suffix(chars, i);
+        return TokKind::Int;
+    }
+    let mut float = false;
+    while *i < chars.len() && (chars[*i].is_ascii_digit() || chars[*i] == '_') {
+        *i += 1;
+    }
+    // Fraction: `.` followed by a digit (not `..` range, not `.method`).
+    if chars.get(*i) == Some(&'.')
+        && chars
+            .get(*i + 1)
+            .copied()
+            .is_some_and(|c| c.is_ascii_digit())
+    {
+        float = true;
+        *i += 1;
+        while *i < chars.len() && (chars[*i].is_ascii_digit() || chars[*i] == '_') {
+            *i += 1;
+        }
+    } else if chars.get(*i) == Some(&'.')
+        && chars
+            .get(*i + 1)
+            .copied()
+            .is_none_or(|c| c != '.' && !is_ident_start(c))
+    {
+        // Trailing-dot float like `1.`.
+        float = true;
+        *i += 1;
+    }
+    // Exponent.
+    if matches!(chars.get(*i), Some('e' | 'E')) {
+        let mut j = *i + 1;
+        if matches!(chars.get(j), Some('+' | '-')) {
+            j += 1;
+        }
+        if chars.get(j).copied().is_some_and(|c| c.is_ascii_digit()) {
+            float = true;
+            *i = j;
+            while *i < chars.len() && (chars[*i].is_ascii_digit() || chars[*i] == '_') {
+                *i += 1;
+            }
+        }
+    }
+    // Type suffix: f32/f64 force float; u*/i*/usize/isize stay int.
+    if chars.get(*i).copied().is_some_and(is_ident_start) {
+        let start = *i;
+        consume_suffix(chars, i);
+        let suffix: String = chars[start..*i].iter().collect();
+        if suffix.starts_with("f32") || suffix.starts_with("f64") {
+            float = true;
+        }
+    }
+    if float {
+        TokKind::Float
+    } else {
+        TokKind::Int
+    }
+}
+
+fn consume_suffix(chars: &[char], i: &mut usize) {
+    while *i < chars.len() && is_ident_continue(chars[*i]) {
+        *i += 1;
+    }
+}
+
+/// Parses a waiver out of one line comment's text (without the `//`).
+/// Returns `None` for ordinary comments.
+fn parse_waiver(comment: &str, line: u32) -> Option<Waiver> {
+    let t = comment.trim();
+    let rest = t.strip_prefix("vrex-lint:")?.trim();
+    let malformed = |msg: &str| {
+        Some(Waiver {
+            line,
+            rules: Vec::new(),
+            reason: String::new(),
+            malformed: Some(msg.into()),
+        })
+    };
+    let Some(body) = rest.strip_prefix("allow(") else {
+        return malformed("expected `allow(<rule, ...>)` after `vrex-lint:`");
+    };
+    let Some(close) = body.find(')') else {
+        return malformed("unclosed `allow(` in waiver");
+    };
+    let rules: Vec<String> = body[..close]
+        .split(',')
+        .map(|r| r.trim().to_string())
+        .filter(|r| !r.is_empty())
+        .collect();
+    if rules.is_empty() {
+        return malformed("waiver allows no rules");
+    }
+    let reason = body[close + 1..]
+        .trim()
+        .trim_start_matches(['—', '–', '-', ':'])
+        .trim()
+        .to_string();
+    if reason.is_empty() {
+        return malformed("waiver reason is mandatory: `allow(<rule>) — <why this is sound>`");
+    }
+    Some(Waiver {
+        line,
+        rules,
+        reason,
+        malformed: None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<String> {
+        lex(src).toks.into_iter().map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn strips_comments_and_strings() {
+        let src = r##"
+            let x = "Instant::now() inside a string"; // Instant in comment
+            /* block Instant */ let y = r#"raw Instant"#;
+            let c = 'I'; let nl = '\n';
+        "##;
+        let toks = lex(src).toks;
+        assert!(!toks.iter().any(|t| t.text == "Instant"), "{toks:?}");
+        assert!(toks.iter().any(|t| t.text == "x"));
+        assert!(toks.iter().any(|t| t.text == "y"));
+    }
+
+    #[test]
+    fn classifies_numbers() {
+        let kinds: Vec<TokKind> = lex("1 1.5 1e12 0xff 1_000u64 3.0f32 2f64 1..4 x.0")
+            .toks
+            .iter()
+            .map(|t| t.kind)
+            .collect();
+        use TokKind::*;
+        assert_eq!(
+            kinds,
+            vec![Int, Float, Float, Int, Int, Float, Float, Int, Punct, Int, Ident, Punct, Int]
+        );
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let toks = lex("fn f<'a>(x: &'a u8) { let c = 'a'; }").toks;
+        assert_eq!(
+            toks.iter().filter(|t| t.kind == TokKind::Lifetime).count(),
+            2
+        );
+        assert_eq!(
+            toks.iter().filter(|t| t.kind == TokKind::Literal).count(),
+            1
+        );
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_strings() {
+        let src = "let a = \"line\nline\nline\";\nlet b_ps = 3;";
+        let toks = lex(src).toks;
+        let b = toks.iter().find(|t| t.text == "b_ps").unwrap();
+        assert_eq!(b.line, 4);
+    }
+
+    #[test]
+    fn parses_well_formed_waiver() {
+        let lexed = lex("let x = 1; // vrex-lint: allow(float-time, float-eq) — report boundary");
+        assert_eq!(lexed.waivers.len(), 1);
+        let w = &lexed.waivers[0];
+        assert!(w.malformed.is_none());
+        assert_eq!(w.rules, vec!["float-time", "float-eq"]);
+        assert_eq!(w.reason, "report boundary");
+    }
+
+    #[test]
+    fn waiver_without_reason_is_malformed() {
+        for src in [
+            "// vrex-lint: allow(float-time)",
+            "// vrex-lint: allow(float-time) — ",
+            "// vrex-lint: allow()  — no rules",
+            "// vrex-lint: something else",
+        ] {
+            let lexed = lex(src);
+            assert_eq!(lexed.waivers.len(), 1, "{src}");
+            assert!(lexed.waivers[0].malformed.is_some(), "{src}");
+        }
+    }
+
+    #[test]
+    fn ordinary_comments_are_not_waivers() {
+        assert!(lex("// just a note about vrex-lint's behaviour")
+            .waivers
+            .is_empty());
+    }
+
+    #[test]
+    fn two_char_puncts_fuse() {
+        assert_eq!(
+            texts("a == b != c :: d"),
+            vec!["a", "==", "b", "!=", "c", "::", "d"]
+        );
+    }
+}

@@ -1,0 +1,186 @@
+//! Finding types and the text / JSON renderers.
+
+use std::fmt::Write as _;
+
+/// One rule match, with waiver status attached.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Finding {
+    /// File path relative to the workspace root.
+    pub file: String,
+    /// 1-indexed source line.
+    pub line: u32,
+    /// Rule name (or [`crate::rules::BAD_WAIVER`]).
+    pub rule: String,
+    /// Human-readable description of the match.
+    pub message: String,
+    /// The waiver reason when the finding is waived. Waived findings
+    /// are reported (never silently dropped) but do not fail the run.
+    pub waived: Option<String>,
+}
+
+/// Aggregate result of a lint run.
+#[derive(Debug, Default)]
+pub struct Outcome {
+    /// All findings, sorted by (file, line, rule).
+    pub findings: Vec<Finding>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+    /// Waivers that matched no finding (file, line): candidates for
+    /// deletion, reported as notes without failing the run.
+    pub unused_waivers: Vec<(String, u32)>,
+}
+
+impl Outcome {
+    /// Number of findings that are not waived (the exit-code driver).
+    pub fn unwaived(&self) -> usize {
+        self.findings.iter().filter(|f| f.waived.is_none()).count()
+    }
+
+    /// Renders the human-readable report.
+    pub fn render_text(&self) -> String {
+        let mut s = String::new();
+        for f in &self.findings {
+            match &f.waived {
+                Some(reason) => {
+                    let _ = writeln!(
+                        s,
+                        "{}:{}: [{}] waived — {} ({})",
+                        f.file, f.line, f.rule, reason, f.message
+                    );
+                }
+                None => {
+                    let _ = writeln!(s, "{}:{}: [{}] {}", f.file, f.line, f.rule, f.message);
+                }
+            }
+        }
+        for (file, line) in &self.unused_waivers {
+            let _ = writeln!(
+                s,
+                "{file}:{line}: note: waiver matches no finding (delete it?)"
+            );
+        }
+        let waived = self.findings.len() - self.unwaived();
+        let _ = writeln!(
+            s,
+            "vrex-lint: {} finding(s) ({} waived, {} active) across {} file(s)",
+            self.findings.len(),
+            waived,
+            self.unwaived(),
+            self.files_scanned
+        );
+        s
+    }
+
+    /// Renders the `--json` report (hand-rolled: no serde offline).
+    pub fn render_json(&self) -> String {
+        let mut s = String::from("{\n  \"findings\": [\n");
+        for (i, f) in self.findings.iter().enumerate() {
+            let _ = write!(
+                s,
+                "    {{\"file\": {}, \"line\": {}, \"rule\": {}, \"message\": {}, \
+                 \"waived\": {}, \"reason\": {}}}",
+                json_str(&f.file),
+                f.line,
+                json_str(&f.rule),
+                json_str(&f.message),
+                f.waived.is_some(),
+                f.waived
+                    .as_deref()
+                    .map_or_else(|| "null".to_string(), json_str),
+            );
+            s.push_str(if i + 1 < self.findings.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        s.push_str("  ],\n  \"unused_waivers\": [\n");
+        for (i, (file, line)) in self.unused_waivers.iter().enumerate() {
+            let _ = write!(s, "    {{\"file\": {}, \"line\": {line}}}", json_str(file));
+            s.push_str(if i + 1 < self.unused_waivers.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        let _ = write!(
+            s,
+            "  ],\n  \"files_scanned\": {},\n  \"unwaived\": {}\n}}\n",
+            self.files_scanned,
+            self.unwaived()
+        );
+        s
+    }
+}
+
+/// Escapes a string as a JSON string literal.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Outcome {
+        Outcome {
+            findings: vec![
+                Finding {
+                    file: "crates/x/src/a.rs".into(),
+                    line: 3,
+                    rule: "float-time".into(),
+                    message: "msg \"quoted\"".into(),
+                    waived: None,
+                },
+                Finding {
+                    file: "crates/x/src/a.rs".into(),
+                    line: 9,
+                    rule: "panicking-seam".into(),
+                    message: "m".into(),
+                    waived: Some("slot liveness invariant".into()),
+                },
+            ],
+            files_scanned: 2,
+            unused_waivers: vec![("crates/x/src/b.rs".into(), 7)],
+        }
+    }
+
+    #[test]
+    fn unwaived_counts_only_active() {
+        assert_eq!(sample().unwaived(), 1);
+    }
+
+    #[test]
+    fn text_report_mentions_waiver_status() {
+        let txt = sample().render_text();
+        assert!(txt.contains("crates/x/src/a.rs:3: [float-time]"));
+        assert!(txt.contains("waived — slot liveness invariant"));
+        assert!(txt.contains("matches no finding"));
+        assert!(txt.contains("2 finding(s) (1 waived, 1 active) across 2 file(s)"));
+    }
+
+    #[test]
+    fn json_is_escaped_and_counts_match() {
+        let js = sample().render_json();
+        assert!(js.contains("\\\"quoted\\\""));
+        assert!(js.contains("\"unwaived\": 1"));
+        assert!(js.contains("\"files_scanned\": 2"));
+        assert!(js.contains("\"waived\": true"));
+    }
+}

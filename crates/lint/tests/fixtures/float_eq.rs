@@ -1,0 +1,14 @@
+//! Fixture: `float-eq`. Exact float comparison is only meaningful at
+//! golden-pinning sites; integer comparison is always fine.
+
+fn integer_compare_is_fine(a: u64, b: u64) -> bool {
+    a == b && a != 3
+}
+
+fn float_literal_fires(score: f64) -> bool {
+    score == 0.5
+}
+
+fn cast_compare_fires(a: u64, b: f64) -> bool {
+    a as f64 != b
+}

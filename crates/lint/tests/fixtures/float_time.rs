@@ -1,0 +1,23 @@
+//! Fixture: `float-time`. Picosecond values must stay integer until a
+//! report boundary; sanctioned conversions and fn signatures are masked.
+
+const FIXED_OVERHEAD_PS: u64 = 250_000;
+
+fn sanctioned(flops: u64, utilization: f64) -> u64 {
+    seconds_to_ps(flops as f64 / (1.0e12 * utilization)) + FIXED_OVERHEAD_PS
+}
+
+fn derate_fires(step_ps: u64) -> u64 {
+    (step_ps as f64 * 0.9) as u64
+}
+
+fn seconds_fires(busy_ps: u64) -> f64 {
+    busy_ps as f64 / 1.0e12
+}
+
+#[cfg(test)]
+mod tests {
+    fn skipped_in_tests(x_ps: u64) -> f64 {
+        x_ps as f64 * 2.0
+    }
+}

@@ -1,0 +1,28 @@
+//! Fixture: `panicking-seam`. Library code must not panic across the
+//! serving seam; `#[cfg(test)]` regions may assert freely.
+
+fn unwrap_fires(slot: Option<u32>) -> u32 {
+    slot.unwrap()
+}
+
+fn expect_fires(slot: Option<u32>) -> u32 {
+    slot.expect("slot is live")
+}
+
+fn unreachable_fires(kind: u8) -> u8 {
+    match kind {
+        0 => 1,
+        _ => unreachable!("kinds are exhaustive"),
+    }
+}
+
+fn unwrap_or_is_fine(slot: Option<u32>) -> u32 {
+    slot.unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    fn asserts_freely(slot: Option<u32>) -> u32 {
+        slot.unwrap()
+    }
+}

@@ -1,0 +1,21 @@
+//! Fixture: `unordered-iteration`. Keyed lookup passes; iteration,
+//! for-loops, and collect() into hash containers fire.
+
+use std::collections::{HashMap, HashSet};
+
+fn keyed_lookup_is_fine(index: HashMap<u64, u64>) -> u64 {
+    index.get(&7).copied().unwrap_or(0)
+}
+
+fn iteration_fires(index: HashMap<u64, u64>) -> u64 {
+    let mut sum = 0;
+    for (_page, residency) in &index {
+        sum += residency;
+    }
+    sum + index.keys().count() as u64
+}
+
+fn collect_fires(ids: &[usize]) -> bool {
+    let live: HashSet<usize> = ids.iter().copied().collect();
+    live.contains(&1)
+}

@@ -1,0 +1,26 @@
+//! Fixture: waiver mechanics. Waived findings stay in the report as
+//! waived; reason-less or unknown-rule waivers are bad-waiver findings.
+
+fn waived_trailing(slot: Option<u32>) -> u32 {
+    slot.unwrap() // vrex-lint: allow(panicking-seam) — fixture: caller checked is_some()
+}
+
+fn waived_standalone(slot: Option<u32>) -> u32 {
+    // vrex-lint: allow(panicking-seam) — fixture: slot is always armed here
+    slot.unwrap()
+}
+
+fn reasonless_is_bad(slot: Option<u32>) -> u32 {
+    // vrex-lint: allow(panicking-seam)
+    slot.unwrap()
+}
+
+fn unknown_rule_is_bad(slot: Option<u32>) -> u32 {
+    // vrex-lint: allow(no-such-rule) — fixture: rule name typo
+    slot.unwrap()
+}
+
+fn unused_waiver_is_noted(slot: Option<u32>) -> u32 {
+    // vrex-lint: allow(panicking-seam) — fixture: nothing to waive below
+    slot.unwrap_or(0)
+}

@@ -1,0 +1,17 @@
+//! Fixture: `wall-clock-in-sim`. Host clocks fire even inside test
+//! regions — sim time is integer picoseconds everywhere.
+
+fn sim_step(now_ps: u64) -> u64 {
+    now_ps + 1
+}
+
+fn leaks_wall_clock() -> std::time::Instant {
+    std::time::Instant::now()
+}
+
+#[cfg(test)]
+mod tests {
+    fn also_fires_in_tests() -> std::time::SystemTime {
+        std::time::SystemTime::now()
+    }
+}

@@ -1,0 +1,60 @@
+//! The two end-to-end contracts: the shipped tree lints clean (every
+//! finding waived with a reason), and an injected violation turns the
+//! run red.
+
+use std::path::Path;
+use vrex_lint::run_workspace;
+
+#[test]
+fn shipped_workspace_is_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let out = run_workspace(&root).expect("workspace scan");
+    let active: Vec<_> = out.findings.iter().filter(|f| f.waived.is_none()).collect();
+    assert!(
+        active.is_empty(),
+        "unwaived findings in the shipped tree:\n{}",
+        out.render_text()
+    );
+    // Sanity that the scan actually covered the workspace rather than
+    // silently skipping it (e.g. a bad root path).
+    assert!(
+        out.files_scanned > 80,
+        "only scanned {} files — wrong root?",
+        out.files_scanned
+    );
+    // Every waiver in the tree must be load-bearing.
+    assert!(
+        out.unused_waivers.is_empty(),
+        "stale waivers: {:?}",
+        out.unused_waivers
+    );
+    // And every waiver carries a substantive reason, not a placeholder.
+    for f in &out.findings {
+        if let Some(reason) = &f.waived {
+            assert!(
+                reason.split_whitespace().count() >= 3,
+                "{}:{} waiver reason too thin: {reason:?}",
+                f.file,
+                f.line
+            );
+        }
+    }
+}
+
+#[test]
+fn injected_violation_fails_the_run() {
+    let root = Path::new(env!("CARGO_TARGET_TMPDIR")).join("vrex_lint_injected");
+    let src_dir = root.join("crates/core/src");
+    std::fs::create_dir_all(&src_dir).expect("tmp tree");
+    std::fs::write(
+        src_dir.join("lib.rs"),
+        "pub fn now() -> std::time::Instant {\n    std::time::Instant::now()\n}\n",
+    )
+    .expect("write injected violation");
+    let out = run_workspace(&root).expect("scan tmp tree");
+    assert!(out.unwaived() >= 1, "{}", out.render_text());
+    assert!(out
+        .findings
+        .iter()
+        .any(|f| f.rule == "wall-clock-in-sim" && f.file == "crates/core/src/lib.rs"));
+}

@@ -107,6 +107,7 @@ pub fn selection_recall(
     let d = q.cols() as f32;
     let scale = 1.0 / d.sqrt();
     let mut total_recall = 0.0;
+    // vrex-lint: allow(unordered-iteration) — membership-only set: order is never observed, and the per-row recall loop wants O(1) contains().
     let selected: std::collections::HashSet<usize> = idx.iter().copied().collect();
     for r in 0..q.rows() {
         let qrow = q.row(r);

@@ -25,6 +25,8 @@
 //!   configuration ([`config::ModelConfig::llama3_8b`]) consumed by the
 //!   hardware simulator.
 
+#![warn(missing_docs)]
+
 pub mod attention;
 pub mod config;
 pub mod decoder;

@@ -24,6 +24,8 @@
 //! the tiered serving scheduler in `vrex-system` prices migrations
 //! through.
 
+#![warn(missing_docs)]
+
 pub mod flexgen;
 pub mod infinigen;
 pub mod oaken;

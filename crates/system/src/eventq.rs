@@ -183,6 +183,7 @@ impl<T: Ord + TimeKeyed> TimerWheel<T> {
                     .iter()
                     .map(|x| x.time_ps() >> BASE_SHIFT)
                     .min()
+                    // vrex-lint: allow(panicking-seam) — refill runs only on the non-empty overflow branch of the drained-wheel check.
                     .expect("non-empty overflow");
                 self.cursor = min_q;
                 let mut items = std::mem::take(&mut self.scratch);

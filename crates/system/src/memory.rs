@@ -511,6 +511,7 @@ impl TieredKvManager {
         }
         let plan = self.plan_restore(id, ratio, generation, prefetch);
         let miss_ps = plan.miss_ps();
+        // vrex-lint: allow(float-time) — prefetch coverage is a float model knob; the hidden share is floored to integer ps here, before any deadline arithmetic sees it.
         let hidden = ((miss_ps as f64 * plan.coverage) as u64).min(window_ps);
         self.commit_restore(&plan, hidden, miss_ps - hidden);
         if miss_ps == 0 {

@@ -660,10 +660,12 @@ fn rejected_report(plan: &SessionPlan, waited_ps: u64) -> SessionServeReport {
 /// The live stream in slab slot `slot` (free functions so callers can
 /// borrow the slab while other `Sched` fields are borrowed mutably).
 fn live(slab: &[Option<Stream>], slot: usize) -> &Stream {
+    // vrex-lint: allow(panicking-seam) — slot liveness is the scheduler's core invariant: every caller resolved `slot` from a live id or set; a dead slot is a corrupted scheduler.
     slab[slot].as_ref().expect("live slab slot")
 }
 
 fn live_mut(slab: &mut [Option<Stream>], slot: usize) -> &mut Stream {
+    // vrex-lint: allow(panicking-seam) — same slot-liveness invariant as `live` above.
     slab[slot].as_mut().expect("live slab slot")
 }
 
@@ -988,6 +990,7 @@ impl Sched<'_> {
     /// arrival that spawns it, so lazy insertion cannot reorder the
     /// queue), precompute the fit-check inputs, and arm the next plan.
     fn plan_arrived(&mut self) {
+        // vrex-lint: allow(panicking-seam) — an Arrival event is only armed together with its plan; firing without one is a corrupted event queue.
         let plan = self.next_plan.take().expect("armed arrival owns a plan");
         debug_assert!(
             plan.arrival_ps <= self.now,
@@ -1020,6 +1023,7 @@ impl Sched<'_> {
     /// everything from `now`), so they simply drain.
     fn drain_past_events(&mut self) {
         while self.events.peek_ps().is_some_and(|ps| ps <= self.now) {
+            // vrex-lint: allow(panicking-seam) — pop follows the successful peek in the same loop iteration; the queue cannot empty in between.
             let e = self.events.pop().expect("peeked event exists");
             self.count_event(&e.kind);
             match e.kind {
@@ -1063,6 +1067,7 @@ impl Sched<'_> {
     fn unmark_ready(&mut self, slot: usize) {
         let s = live(&self.slab, slot);
         if s.ready {
+            // vrex-lint: allow(panicking-seam) — the ready flag implies a head item; that is the ready-set invariant checked by check_ready_invariant.
             let (_, k) = s.head().expect("ready stream has a head");
             let seq = s.seq;
             live_mut(&mut self.slab, slot).ready = false;
@@ -1088,6 +1093,7 @@ impl Sched<'_> {
                 s.id, self.now
             );
             if s.ready {
+                // vrex-lint: allow(panicking-seam) — debug-only rescan; `ready` implies a head by the very invariant this function asserts.
                 expect[s.head().expect("ready head").1 as usize].insert((s.seq, slot));
             }
         }
@@ -1169,6 +1175,7 @@ impl Sched<'_> {
     /// Retires the stream in `slot`: frees the slot and subtracts it
     /// from the fleet aggregates.
     fn remove_stream(&mut self, slot: usize) -> Stream {
+        // vrex-lint: allow(panicking-seam) — retirement targets members of the batch that just completed; their slots are live by construction.
         let s = self.slab[slot].take().expect("live slab slot");
         debug_assert!(!s.ready && !s.in_flight, "retiring stream left the sets");
         self.by_id.remove(&s.id);
@@ -1182,6 +1189,7 @@ impl Sched<'_> {
                 }
             }
             std::collections::btree_map::Entry::Vacant(_) => {
+                // vrex-lint: allow(panicking-seam) — every live stream was counted into the multiset at admission; a vacant entry means the aggregates diverged.
                 unreachable!("every live stream is in the projection multiset")
             }
         }
@@ -1354,6 +1362,7 @@ impl Sched<'_> {
             .iter()
             .map(|&slot| live(&self.slab, slot).cache_tokens)
             .max()
+            // vrex-lint: allow(panicking-seam) — batch formation never emits an empty batch.
             .expect("non-empty batch");
         match kind {
             Kind::Frame => self.prices.frame_step_in(ctx, max_cache, batch),
@@ -1363,9 +1372,11 @@ impl Sched<'_> {
                     .iter()
                     .map(|&slot| match live(&self.slab, slot).items.front() {
                         Some(Work::Question { tokens, .. }) => *tokens,
+                        // vrex-lint: allow(panicking-seam) — single-pass formation groups members by head kind; a mixed batch is a formation bug.
                         _ => unreachable!("batch members share the head kind"),
                     })
                     .max()
+                    // vrex-lint: allow(panicking-seam) — batch formation never emits an empty batch.
                     .expect("non-empty batch");
                 self.prices
                     .question_step_in(ctx, max_cache, batch, max_tokens)
@@ -1403,6 +1414,7 @@ impl Sched<'_> {
             let s = live(&self.slab, self.members[k]);
             let ready_ps = s
                 .head_avail_ps()
+                // vrex-lint: allow(panicking-seam) — members were drawn from the ready set, so each has a head work item.
                 .expect("batch member has a head item")
                 .max(s.last_completion_ps);
             let window_ps = ((self.now - ready_ps) + step.latency_ps).saturating_sub(link_busy_ps);
@@ -1445,6 +1457,7 @@ impl Sched<'_> {
                 0
             };
             let s = live_mut(&mut self.slab, slot);
+            // vrex-lint: allow(panicking-seam) — members were drawn from the ready set, so the queue has a front item to pop.
             match s.items.pop_front().expect("ready stream has a head") {
                 Work::Frame { avail_ps } => {
                     s.frames.record(avail_ps, completion);
@@ -1631,6 +1644,7 @@ impl Sched<'_> {
                                 TraceKind::WorkReady
                             }
                             EventKind::StepComplete(_) => {
+                                // vrex-lint: allow(panicking-seam) — only the overlapped driver schedules StepComplete events; seeing one here is a driver mixup.
                                 unreachable!("serialized runs never launch batches")
                             }
                         };
@@ -1735,6 +1749,7 @@ impl Sched<'_> {
             if !mgr.any_spilled_bytes() {
                 mgr.record_all_hot_steps(batch as u64);
             } else {
+                // vrex-lint: allow(panicking-seam) — the overlapped driver constructs its Engine at serve start; this branch only runs overlapped.
                 let res = self.res.as_mut().expect("overlapped runs own resources");
                 for (k, rslot) in restores.iter_mut().enumerate() {
                     let s = live(&self.slab, self.members[k]);
@@ -1749,9 +1764,11 @@ impl Sched<'_> {
                     // (`spill_visible_ps`: causality, not optimism).
                     let ready_ps = s
                         .head_avail_ps()
+                        // vrex-lint: allow(panicking-seam) — members were drawn from the ready set, so each has a head work item.
                         .expect("batch member has a head item")
                         .max(s.last_completion_ps)
                         .max(s.spill_visible_ps);
+                    // vrex-lint: allow(float-time) — the speculated share of a restore is a float coverage knob, floored to integer ps here before any scheduling math.
                     let spec_ps = (plan.miss_ps() as f64 * plan.coverage) as u64;
                     let demand_ps = plan.miss_ps() - spec_ps;
                     let spec_bytes = (plan.bytes() as f64 * plan.coverage) as u64;
@@ -1817,6 +1834,7 @@ impl Sched<'_> {
         // cold-KV fetch pipelines with compute layer by layer, but its
         // link occupancy is real: it queues behind restore traffic on
         // the shared PCIe resource.
+        // vrex-lint: allow(panicking-seam) — the overlapped driver constructs its Engine at serve start; launch_batch is only called overlapped.
         let res = self.res.as_mut().expect("overlapped runs own resources");
         let tag = match kind {
             Kind::Frame => "frame",
@@ -1898,6 +1916,7 @@ impl Sched<'_> {
     /// Applies an in-flight batch's effects at its completion instant.
     fn apply_completion(&mut self, slot: usize) {
         let InFlight { ids, completion_ps } =
+            // vrex-lint: allow(panicking-seam) — in-flight slots are filled at launch and freed exactly once at completion; the StepComplete event carries the live slot.
             self.inflight[slot].take().expect("live in-flight batch");
         self.inflight_count -= 1;
         debug_assert_eq!(completion_ps, self.now, "completion fires at its instant");
@@ -1905,6 +1924,7 @@ impl Sched<'_> {
         // stable, so this is one map hit per member, not a fleet scan).
         self.members.clear();
         for id in &ids {
+            // vrex-lint: allow(panicking-seam) — a stream cannot retire while its batch is in flight, so its id stays in the map until completion applies.
             let member = *self.by_id.get(id).expect("in-flight stream stays active");
             self.members.push(member);
         }

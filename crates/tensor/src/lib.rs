@@ -19,6 +19,8 @@
 //! assert_eq!(a.matmul(&b), a);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod matrix;
 pub mod ops;
 pub mod quant;

@@ -149,7 +149,7 @@ mod tests {
 
     #[test]
     fn five_tasks_with_distinct_labels() {
-        let labels: std::collections::HashSet<_> = COIN_TASKS.iter().map(|t| t.label()).collect();
+        let labels: std::collections::BTreeSet<_> = COIN_TASKS.iter().map(|t| t.label()).collect();
         assert_eq!(labels.len(), 5);
     }
 

@@ -21,6 +21,8 @@
 //!   output fidelity the policy preserves, and map that to a Top-1
 //!   estimate anchored at the paper's vanilla baseline.
 
+#![warn(missing_docs)]
+
 pub mod accuracy;
 pub mod coin;
 pub mod session;
