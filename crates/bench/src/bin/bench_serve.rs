@@ -68,6 +68,16 @@ fn entries(smoke: bool) -> Vec<Entry> {
             args: &["--smoke", "--json", FLEET_SCALE_JSON],
             budget_s: 120.0,
         },
+        // Multi-device placement sweep: hard-asserts the acceptance
+        // headline (2-device capacity >= 1-device capacity for every
+        // placement policy on the 32K halved-HBM V-Rex48 + ReSV
+        // configuration). Its per-row JSON lands in
+        // `device_scaling_rows` below.
+        Entry {
+            bin: "device_scaling",
+            args: &["--smoke", "--json", DEVICE_SCALING_JSON],
+            budget_s: 60.0,
+        },
     ];
     if !smoke {
         // The headline sweep: full tier_capacity grid (7 platforms ×
@@ -97,6 +107,10 @@ fn entries(smoke: bool) -> Vec<Entry> {
 /// inherits this harness's working directory). Read back after the
 /// runs and merged into the main JSON artifact.
 const FLEET_SCALE_JSON: &str = "BENCH_fleet_scale.json";
+
+/// Where `device_scaling` drops its row array (cwd-relative), merged
+/// into the artifact the same way.
+const DEVICE_SCALING_JSON: &str = "BENCH_device_scaling.json";
 
 fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
@@ -176,11 +190,15 @@ fn main() {
     let fleet_rows = std::fs::read_to_string(FLEET_SCALE_JSON)
         .map(|s| s.trim().replace('\n', "\n  "))
         .unwrap_or_else(|_| "[]".to_string());
+    let device_rows = std::fs::read_to_string(DEVICE_SCALING_JSON)
+        .map(|s| s.trim().replace('\n', "\n  "))
+        .unwrap_or_else(|_| "[]".to_string());
     let json = format!(
-        "{{\n  \"suite\": \"serve\",\n  \"workers\": {},\n  \"smoke\": {},\n  \"fleet_scale_rows\": {},\n  \"entries\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"suite\": \"serve\",\n  \"workers\": {},\n  \"smoke\": {},\n  \"fleet_scale_rows\": {},\n  \"device_scaling_rows\": {},\n  \"entries\": [\n{}\n  ]\n}}\n",
         workers(),
         smoke,
         fleet_rows,
+        device_rows,
         records.join(",\n")
     );
     let mut out = std::fs::File::create(&json_path).expect("create bench json");

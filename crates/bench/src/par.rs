@@ -39,10 +39,27 @@ where
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
+    par_map_with_workers(items, workers(), f)
+}
+
+/// [`par_map`] with an explicit worker count, clamped to
+/// `1..=items.len()`.
+///
+/// The sweep contract is that results — including every observability
+/// counter a unit reports — are a function of the *items only*, never
+/// of how many workers raced over the cursor. The fleet-counter
+/// determinism test drives the same grid at 1 and N workers through
+/// this seam and pins the outputs equal.
+pub fn par_map_with_workers<T, R, F>(items: &[T], n_workers: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
     if items.is_empty() {
         return Vec::new();
     }
-    let n_workers = workers().min(items.len());
+    let n_workers = n_workers.clamp(1, items.len());
     let cursor = AtomicUsize::new(0);
     let mut pairs: Vec<(usize, R)> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..n_workers)
@@ -103,5 +120,19 @@ mod tests {
     #[test]
     fn at_least_one_worker() {
         assert!(workers() >= 1);
+    }
+
+    #[test]
+    fn explicit_worker_counts_agree() {
+        let items: Vec<usize> = (0..37).collect();
+        let one = par_map_with_workers(&items, 1, |&i| i * i);
+        for n in [2, 4, 16, 1024] {
+            assert_eq!(par_map_with_workers(&items, n, |&i| i * i), one);
+        }
+    }
+
+    #[test]
+    fn zero_workers_clamps_to_one() {
+        assert_eq!(par_map_with_workers(&[7usize], 0, |&i| i + 1), vec![8]);
     }
 }

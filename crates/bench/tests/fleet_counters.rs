@@ -1,0 +1,88 @@
+//! Worker-count determinism for the fleet-scale sweep.
+//!
+//! `fleet_scale --verbose` prints [`vrex_system::ServeCounters`]
+//! event-loop telemetry per grid point, but nothing ever asserted those
+//! counters are invariant to how many `par_map` workers raced over the
+//! grid. They must be: each grid point runs wholly inside one worker
+//! closure with its own plan stream and price cache, so every counter
+//! is a function of the unit alone. This test drives the same
+//! fleet-scale measurement grid through [`par_map_with_workers`] at one
+//! worker and at several contended counts and pins reports *and*
+//! counters bit-equal.
+
+use vrex_bench::par::par_map_with_workers;
+use vrex_model::ModelConfig;
+use vrex_system::{
+    serve_stream, Method, PlatformSpec, QueueKind, ServeConfig, ServeReport, StepPriceCache,
+    SystemModel,
+};
+use vrex_workload::traffic::OpenLoopConfig;
+
+/// A miniature of the `fleet_scale` grid: fleet size × admission ×
+/// event core, sized for a test budget.
+struct Unit {
+    sessions: usize,
+    tiered: bool,
+    queue: QueueKind,
+    seed: u64,
+}
+
+fn grid() -> Vec<Unit> {
+    let mut units = Vec::new();
+    for &sessions in &[50usize, 200] {
+        for &tiered in &[false, true] {
+            for &queue in &[QueueKind::Heap, QueueKind::Wheel] {
+                units.push(Unit {
+                    sessions,
+                    tiered,
+                    queue,
+                    seed: 11,
+                });
+            }
+        }
+    }
+    units
+}
+
+/// The `fleet_scale::measure` core without the wall-clock timing: one
+/// open-loop streamed serve per unit, fresh price cache, full report.
+fn measure(u: &Unit) -> ServeReport {
+    let model = ModelConfig::llama3_8b();
+    let sys = SystemModel::new(PlatformSpec::vrex48(), Method::ReSV);
+    let cfg = if u.tiered {
+        ServeConfig::real_time_tiered(32_000)
+    } else {
+        ServeConfig::real_time(32_000)
+    }
+    .with_queue(u.queue);
+    let mut source = OpenLoopConfig {
+        sessions: u.sessions,
+        arrival_rate_per_s: 1.2,
+        turns: 1,
+        seed: u.seed,
+    }
+    .stream();
+    let mut prices = StepPriceCache::new(&sys, &model);
+    serve_stream(&mut prices, &mut source, &cfg)
+}
+
+#[test]
+fn fleet_counters_are_invariant_to_worker_count() {
+    let units = grid();
+    let sequential = par_map_with_workers(&units, 1, measure);
+    for n_workers in [2, 4, units.len() * 2] {
+        let contended = par_map_with_workers(&units, n_workers, measure);
+        assert_eq!(sequential.len(), contended.len());
+        for (u, (a, b)) in units.iter().zip(sequential.iter().zip(&contended)) {
+            let label = format!(
+                "{} sessions, {}, {:?}, {} workers",
+                u.sessions,
+                if u.tiered { "tiered" } else { "reject" },
+                u.queue,
+                n_workers
+            );
+            assert_eq!(a, b, "report drifted: {label}");
+            assert_eq!(a.counters, b.counters, "counters drifted: {label}");
+        }
+    }
+}

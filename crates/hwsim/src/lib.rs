@@ -16,6 +16,9 @@
 //!   striping, scattered-vs-contiguous efficiency);
 //! * [`pcie`] — PCIe link with per-TLP overhead, so transfer efficiency
 //!   depends on chunk size (the KVMU's cluster-contiguous win);
+//! * [`interconnect`] — device-to-device NVLink / PCIe-switch fabric:
+//!   per-device ports as named [`engine`] resources, priced through the
+//!   same link math as [`pcie`];
 //! * [`gpu`] — roofline GPU model with kernel-launch and
 //!   irregular-operation penalties (AGX Orin / A100 presets);
 //! * [`vrexunits`] — cycle models of the V-Rex core's DPE, VPE, HCU and
@@ -35,6 +38,7 @@ pub mod dram;
 pub mod energy;
 pub mod engine;
 pub mod gpu;
+pub mod interconnect;
 pub mod kvmu;
 pub mod pcie;
 pub mod roofline;
@@ -45,5 +49,6 @@ pub mod vrexunits;
 
 pub use energy::EnergyMeter;
 pub use engine::{Engine, ResourceId, TaskId};
+pub use interconnect::{CopySpan, Interconnect, InterconnectConfig};
 pub use tier::{MemTier, TierCapacities, TierPath};
 pub use time::{cycles_to_ps, ps_to_seconds, seconds_to_ps, PS_PER_SECOND};

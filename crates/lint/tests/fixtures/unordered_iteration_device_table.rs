@@ -1,0 +1,33 @@
+//! Fixture: `unordered-iteration` on a HashMap-keyed *device table* —
+//! the exact hazard the multi-device placement layer avoids. Picking a
+//! least-loaded device by iterating a hash map would tie-break in
+//! run-varying order; the shipped placer keys devices by dense index
+//! (`Vec`) and expiry state by `BTreeMap` so every sweep is ordered.
+
+use std::collections::{BTreeMap, HashMap};
+
+fn keyed_demand_lookup_is_fine(table: HashMap<usize, u64>, device: usize) -> u64 {
+    table.get(&device).copied().unwrap_or(0)
+}
+
+fn least_loaded_over_hash_table_fires(table: HashMap<usize, u64>) -> Option<usize> {
+    table
+        .iter()
+        .min_by_key(|&(_, demand)| *demand)
+        .map(|(device, _)| *device)
+}
+
+fn fleet_demand_over_values_fires(table: HashMap<usize, u64>) -> u64 {
+    let mut total = 0;
+    for demand in table.values() {
+        total += demand;
+    }
+    total
+}
+
+fn ordered_device_table_is_fine(by_device: BTreeMap<usize, u64>) -> Option<usize> {
+    by_device
+        .iter()
+        .min_by_key(|&(_, demand)| *demand)
+        .map(|(device, _)| *device)
+}

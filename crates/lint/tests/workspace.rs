@@ -1,9 +1,13 @@
-//! The two end-to-end contracts: the shipped tree lints clean (every
-//! finding waived with a reason), and an injected violation turns the
-//! run red.
+//! The end-to-end contracts: the shipped tree lints clean (every
+//! finding waived with a reason), an injected violation turns the run
+//! red, and the multi-device placement module is genuinely covered by
+//! the full rule set.
 
 use std::path::Path;
+use vrex_lint::config::{ALL_RULES, WORKSPACE};
+use vrex_lint::rules::REGISTRY;
 use vrex_lint::run_workspace;
+use vrex_lint::runner::lint_source;
 
 #[test]
 fn shipped_workspace_is_clean() {
@@ -39,6 +43,49 @@ fn shipped_workspace_is_clean() {
             );
         }
     }
+}
+
+/// The placement layer routes sessions and prices fabric migrations —
+/// hash-order iteration or float time there would silently break the
+/// cross-device golden fingerprints. Pin that the module is scanned
+/// under *every* registered rule with no waivers and no
+/// float-time-boundary carve-out: `crates/system` enforces the full
+/// set, `placement.rs` is not a report boundary, and the shipped
+/// source produces zero findings when all five rules are applied.
+#[test]
+fn placement_module_is_covered_by_every_rule() {
+    let cfg = WORKSPACE
+        .iter()
+        .find(|c| c.rel == "crates/system")
+        .expect("crates/system is configured");
+    assert!(std::ptr::eq(cfg.rules, ALL_RULES));
+    assert_eq!(
+        cfg.rules.len(),
+        REGISTRY.len(),
+        "crates/system no longer enforces the full registry"
+    );
+    for def in REGISTRY {
+        assert!(
+            cfg.rules.contains(&def.name),
+            "rule `{}` not enforced on crates/system",
+            def.name
+        );
+    }
+    let rel = "crates/system/src/placement.rs";
+    assert!(
+        !cfg.float_time_boundary.contains(&rel),
+        "placement.rs must stay integer-time, not a report boundary"
+    );
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join(rel);
+    let src = std::fs::read_to_string(&path).expect("placement.rs readable");
+    let out = lint_source(&src, rel, cfg);
+    assert!(
+        out.findings.is_empty(),
+        "placement.rs has findings (waived or not) under the full rule set:\n{:?}",
+        out.findings
+    );
 }
 
 #[test]

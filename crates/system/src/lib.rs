@@ -26,7 +26,11 @@
 //! prefetch-overlapped restore pricing), and [`mod@serve`] drives the
 //! continuous-batching scheduler whose admission control either
 //! rejects overflow sessions (PR 2 behaviour) or spills them down the
-//! hierarchy ([`AdmissionPolicy`]).
+//! hierarchy ([`AdmissionPolicy`]). [`placement`] scales both across a
+//! multi-device [`DevicePool`]: arriving sessions are *placed* on a
+//! device (admission becomes placement), and cross-device KV
+//! migrations ride the NVLink / PCIe-switch fabric as contended
+//! resource-timeline work.
 
 #![warn(missing_docs)]
 
@@ -36,6 +40,7 @@ pub mod eventq;
 pub mod memory;
 pub mod method;
 pub mod pipeline;
+pub mod placement;
 pub mod platform;
 pub mod pricing;
 pub mod queueing;
@@ -49,7 +54,11 @@ pub use memory::{
     TieredKvManager,
 };
 pub use method::{Method, MethodProfile};
-pub use platform::{ComputeSpec, PlatformSpec};
+pub use placement::{
+    serve_sharded, serve_sharded_stream, serve_sharded_traced, serve_sharded_with_cache,
+    DeviceMigration, InterconnectReport, PlacementPolicy, ShardedServeReport,
+};
+pub use platform::{ComputeSpec, DevicePool, PlatformSpec};
 pub use pricing::{ExecContext, StepPriceCache};
 pub use serve::{
     serve, serve_stream, serve_traced, serve_with_cache, ServeConfig, ServeCounters, ServeReport,

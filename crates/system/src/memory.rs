@@ -25,6 +25,15 @@
 //! The manager is deterministic: victims and promotions order by
 //! (last-active time, session id), and every duration comes from the
 //! closed-form hardware models.
+//!
+//! This module moves bytes *vertically* (between tiers of one device's
+//! hierarchy). The multi-device [`crate::placement`] layer moves them
+//! *horizontally* — between devices over the NVLink / PCIe-switch
+//! fabric — and reuses the same decide-then-drain idiom: placement
+//! decisions queue [`crate::placement::DeviceMigration`]s exactly as
+//! this manager queues [`MigrationTask`]s behind
+//! [`TieredKvManager::take_migrations`], and both are priced in
+//! [`MIGRATION_CHUNK_BYTES`] DMA chunks.
 
 use std::collections::HashMap;
 use std::hash::BuildHasherDefault;

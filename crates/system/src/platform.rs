@@ -3,6 +3,7 @@
 use vrex_hwsim::area_power::SystemPower;
 use vrex_hwsim::dram::DramConfig;
 use vrex_hwsim::gpu::GpuConfig;
+use vrex_hwsim::interconnect::InterconnectConfig;
 use vrex_hwsim::pcie::PcieConfig;
 use vrex_hwsim::ssd::SsdConfig;
 use vrex_hwsim::vrexunits::VRexChipConfig;
@@ -172,6 +173,65 @@ impl PlatformSpec {
     }
 }
 
+/// Largest device count a [`DevicePool`] accepts. The headline sweep
+/// runs 1/2/4/8 devices; the cap keeps per-device fabric-port naming
+/// and placement state dense and bounded.
+pub const MAX_POOL_DEVICES: usize = 16;
+
+/// A homogeneous multi-device platform: `devices` copies of one
+/// [`PlatformSpec`] joined by a device-to-device fabric.
+///
+/// Each device carries its own full tier hierarchy (its
+/// `PlatformSpec`-derived HBM/host/SSD budgets and, during sharded
+/// serving, its own tiered KV-manager state); the pool adds only the
+/// interconnect over which KV blocks migrate between devices. A pool
+/// of one device is *exactly* the single-device platform: sharded
+/// serving over it must reproduce `serve()` byte-identically.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DevicePool {
+    device: PlatformSpec,
+    devices: usize,
+    /// Device-to-device fabric joining the pool.
+    pub interconnect: InterconnectConfig,
+}
+
+impl DevicePool {
+    /// A pool of `devices` identical copies of `device`, joined by
+    /// NVLink 4 (override with [`Self::with_interconnect`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `devices` is zero or exceeds [`MAX_POOL_DEVICES`].
+    pub fn homogeneous(device: PlatformSpec, devices: usize) -> Self {
+        assert!(
+            (1..=MAX_POOL_DEVICES).contains(&devices),
+            "pool size {devices} outside 1..={MAX_POOL_DEVICES}"
+        );
+        Self {
+            device,
+            devices,
+            interconnect: InterconnectConfig::nvlink4(),
+        }
+    }
+
+    /// Replaces the fabric (e.g. a PCIe-switch pool of PCIe-attached
+    /// accelerators).
+    pub fn with_interconnect(mut self, interconnect: InterconnectConfig) -> Self {
+        self.interconnect = interconnect;
+        self
+    }
+
+    /// The per-device platform.
+    pub fn device(&self) -> &PlatformSpec {
+        &self.device
+    }
+
+    /// Number of devices in the pool.
+    pub fn devices(&self) -> usize {
+        self.devices
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -225,6 +285,22 @@ mod tests {
         let p = PlatformSpec::vrex48().with_nvme_tier();
         assert!(p.storage.is_some());
         assert!(p.offload_dram.is_some(), "host tier kept");
+    }
+
+    #[test]
+    fn pool_defaults_to_nvlink_and_keeps_its_device() {
+        let pool = DevicePool::homogeneous(PlatformSpec::vrex48(), 4);
+        assert_eq!(pool.devices(), 4);
+        assert_eq!(pool.device(), &PlatformSpec::vrex48());
+        assert_eq!(pool.interconnect, InterconnectConfig::nvlink4());
+        let sw = pool.with_interconnect(InterconnectConfig::pcie_switch_gen4_x16());
+        assert_eq!(sw.interconnect.name, "PCIeSw4.0x16");
+    }
+
+    #[test]
+    #[should_panic(expected = "outside 1..=")]
+    fn zero_device_pool_is_rejected() {
+        let _ = DevicePool::homogeneous(PlatformSpec::vrex48(), 0);
     }
 
     #[test]

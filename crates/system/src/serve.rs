@@ -871,7 +871,7 @@ struct Sched<'a> {
     trace: Option<&'a mut Vec<TraceEvent>>,
 }
 
-fn run(
+pub(crate) fn run(
     prices: &mut StepPriceCache,
     source: &mut dyn PlanSource,
     cfg: &ServeConfig,

@@ -6,8 +6,9 @@ use vrex_model::ModelConfig;
 use vrex_system::pipeline::{cold_selected_tokens, layer_costs, selected_tokens, Workload};
 use vrex_system::serve::SessionOutcome;
 use vrex_system::{
-    serve, serve_stream, serve_traced, Method, PlatformSpec, QueueKind, ServeConfig,
-    StepPriceCache, SystemModel, TraceKind,
+    serve, serve_sharded, serve_sharded_stream, serve_sharded_traced, serve_sharded_with_cache,
+    serve_stream, serve_traced, DevicePool, Method, PlacementPolicy, PlatformSpec, QueueKind,
+    ServeConfig, StepPriceCache, SystemModel, TraceKind,
 };
 use vrex_workload::traffic::TrafficConfig;
 
@@ -485,5 +486,113 @@ proptest! {
         let streamed = serve_stream(&mut prices, &mut traffic.stream(), &cfg);
         prop_assert_eq!(&materialized, &streamed);
         prop_assert_eq!(materialized.counters, streamed.counters);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Sharded-placement invariants over random fleets, for every
+    /// [`PlacementPolicy`]: conservation (every offered session is
+    /// placed on exactly one valid device, and the per-device reports
+    /// partition the fleet), plus determinism — bit-identical reports
+    /// and per-device traces across `QueueKind::Heap`/`Wheel`, and
+    /// across streamed vs materialized plan delivery.
+    #[test]
+    fn sharded_placement_conserves_and_is_deterministic(
+        sessions in 1usize..7,
+        turns in 0usize..3,
+        spread in 0.0f64..10.0,
+        cache in 2_000usize..40_000,
+        seed in 0u64..300,
+        devices in 1usize..4,
+        policy_idx in 0usize..4,
+    ) {
+        let policy = PlacementPolicy::ALL[policy_idx];
+        let traffic = TrafficConfig {
+            sessions,
+            turns,
+            arrival_spread_s: spread,
+            seed,
+        };
+        let plans = traffic.generate();
+        let pool = DevicePool::homogeneous(PlatformSpec::vrex48(), devices);
+        let model = ModelConfig::llama3_8b();
+        let cfg = ServeConfig::real_time(cache);
+        let (heap, heap_t) = serve_sharded_traced(
+            &pool, Method::ReSV, &model, &plans, &cfg.with_queue(QueueKind::Heap), policy,
+        );
+        let (wheel, wheel_t) = serve_sharded_traced(
+            &pool, Method::ReSV, &model, &plans, &cfg.with_queue(QueueKind::Wheel), policy,
+        );
+        prop_assert_eq!(&heap_t, &wheel_t, "device traces diverged between event cores");
+        prop_assert_eq!(&heap, &wheel, "sharded reports diverged between event cores");
+        // Conservation: the placement map lists every offered session
+        // exactly once, on a device that exists.
+        let mut placed: Vec<usize> = heap.placements.iter().map(|&(id, _)| id).collect();
+        placed.sort_unstable();
+        let mut offered: Vec<usize> = plans.iter().map(|p| p.id).collect();
+        offered.sort_unstable();
+        prop_assert_eq!(placed, offered);
+        prop_assert!(heap.placements.iter().all(|&(_, d)| d < devices));
+        // The per-device reports partition the fleet: device-local
+        // offered counts sum to the fleet, and every session terminates
+        // on its one device.
+        prop_assert_eq!(heap.devices.len(), devices);
+        prop_assert_eq!(heap.offered(), sessions);
+        prop_assert_eq!(heap.devices.iter().map(|r| r.offered).sum::<usize>(), sessions);
+        prop_assert_eq!(heap.admitted() + heap.rejected(), heap.offered());
+        prop_assert!(heap.real_time_sessions() <= heap.admitted());
+        // Streamed plan delivery reproduces the materialized report.
+        let sys = SystemModel::new(PlatformSpec::vrex48(), Method::ReSV);
+        let mut prices = StepPriceCache::new(&sys, &model);
+        let materialized = serve_sharded_with_cache(&mut prices, &pool, &plans, &cfg, policy);
+        let streamed = serve_sharded_stream(&mut prices, &pool, &mut traffic.stream(), &cfg, policy);
+        prop_assert_eq!(&materialized, &streamed, "streamed vs materialized sharded reports");
+        prop_assert_eq!(&materialized, &heap);
+    }
+
+    /// Weak capacity monotonicity: adding a device to the pool never
+    /// shrinks what the fleet achieves. For every placement policy,
+    /// admitted and real-time session counts at N + 1 devices are at
+    /// least those at N.
+    #[test]
+    fn adding_a_device_never_shrinks_capacity(
+        sessions in 1usize..8,
+        turns in 0usize..3,
+        spread in 0.0f64..8.0,
+        cache in 8_000usize..40_000,
+        seed in 0u64..300,
+        devices in 1usize..3,
+        policy_idx in 0usize..4,
+    ) {
+        let policy = PlacementPolicy::ALL[policy_idx];
+        let plans = TrafficConfig {
+            sessions,
+            turns,
+            arrival_spread_s: spread,
+            seed,
+        }
+        .generate();
+        let model = ModelConfig::llama3_8b();
+        let cfg = ServeConfig::real_time(cache);
+        let small = serve_sharded(
+            &DevicePool::homogeneous(PlatformSpec::agx_orin(), devices),
+            Method::ReSV, &model, &plans, &cfg, policy,
+        );
+        let large = serve_sharded(
+            &DevicePool::homogeneous(PlatformSpec::agx_orin(), devices + 1),
+            Method::ReSV, &model, &plans, &cfg, policy,
+        );
+        prop_assert!(
+            large.admitted() >= small.admitted(),
+            "admitted shrank from {} to {} going {} -> {} devices under {:?}",
+            small.admitted(), large.admitted(), devices, devices + 1, policy
+        );
+        prop_assert!(
+            large.real_time_sessions() >= small.real_time_sessions(),
+            "real-time sessions shrank from {} to {} going {} -> {} devices under {:?}",
+            small.real_time_sessions(), large.real_time_sessions(), devices, devices + 1, policy
+        );
     }
 }

@@ -305,12 +305,41 @@ impl SessionPlan {
             })
             .sum()
     }
+
+    /// First-order estimate (ps) of how long this session occupies a
+    /// server once admitted, at a camera interval of
+    /// `frame_interval_ps`: the camera paces one event slot per frame
+    /// interval, so the event count bounds the streaming span. Device
+    /// placement uses this to expire routed sessions from its
+    /// per-device load trackers; it is an estimate, not schedule truth
+    /// (decode tokens finish faster, contention stretches tails), but
+    /// it is integer, deterministic, and cheap — which is what a
+    /// placement-time proxy must be.
+    pub fn span_estimate_ps(&self, frame_interval_ps: u64) -> u64 {
+        frame_interval_ps * self.events.len() as u64
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use vrex_core::time::PS_PER_SECOND;
+
+    #[test]
+    fn span_estimate_is_events_times_interval() {
+        let plan = SessionPlan {
+            id: 0,
+            arrival_ps: 0,
+            events: vec![
+                SessionEvent::Frame,
+                SessionEvent::Frame,
+                SessionEvent::Question { tokens: 32 },
+                SessionEvent::Answer { tokens: 64 },
+            ],
+        };
+        assert_eq!(plan.span_estimate_ps(500_000_000_000), 4 * 500_000_000_000);
+        assert_eq!(plan.span_estimate_ps(0), 0);
+    }
 
     #[test]
     fn generation_is_deterministic() {

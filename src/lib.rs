@@ -134,5 +134,8 @@ pub use vrex_system as system;
 pub use vrex_tensor as tensor;
 pub use vrex_workload as workload;
 
-pub use vrex_system::{serve, AdmissionPolicy, PrefetchMode, ServeConfig, ServeReport, TierReport};
+pub use vrex_system::{
+    serve, serve_sharded, AdmissionPolicy, DevicePool, PlacementPolicy, PrefetchMode, ServeConfig,
+    ServeReport, ShardedServeReport, TierReport,
+};
 pub use vrex_workload::{SessionPlan, TrafficConfig};
