@@ -58,15 +58,26 @@ fn entries(smoke: bool) -> Vec<Entry> {
             args: &[],
             budget_s: 60.0,
         },
-        // Simulator-throughput gate: the smoke grid tops out at a
-        // 10⁵-session streaming fleet and *hard-asserts* its
-        // sessions-per-wall-second floor (a floor violation exits
-        // nonzero and fails this harness, unlike the soft budgets).
-        // Its per-row JSON lands in `fleet_scale_rows` below.
+        // Simulator-throughput gate: the smoke grid plus an explicit
+        // 10⁶-session streaming-fleet row (`--sessions 1000000`), which
+        // *hard-asserts* both the sessions-per-wall-second floor and
+        // the working-set flatness gate (event-loop peaks at 10⁶ must
+        // match the 10⁵ row — the steady state is O(λ·patience), not
+        // O(fleet)). A violation exits nonzero and fails this harness,
+        // unlike the soft budgets. The million-session serve alone is
+        // ~19 s on one dev-box core; the budget leaves headroom for a
+        // loaded shared runner. Its per-row JSON lands in
+        // `fleet_scale_rows` below.
         Entry {
             bin: "fleet_scale",
-            args: &["--smoke", "--json", FLEET_SCALE_JSON],
-            budget_s: 120.0,
+            args: &[
+                "--smoke",
+                "--sessions",
+                "1000000",
+                "--json",
+                FLEET_SCALE_JSON,
+            ],
+            budget_s: 180.0,
         },
         // Multi-device placement sweep: hard-asserts the acceptance
         // headline (2-device capacity >= 1-device capacity for every

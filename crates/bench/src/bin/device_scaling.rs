@@ -28,22 +28,30 @@
 //!   2-device capacity is at least 1-device capacity on the 32K
 //!   halved-HBM V-Rex48 + ReSV configuration.
 //! * `--json PATH` — write the summary rows as a JSON array (merged
-//!   into `BENCH_serve.json` by the `bench_serve` harness).
+//!   into `BENCH_serve.json` by the `bench_serve` harness), each
+//!   recording the serve worker count and wall-clock, plus a final
+//!   sequential-vs-parallel speedup row over the largest pool.
 //!
 //! Each device count runs on its own sweep worker ([`vrex_bench::par`])
-//! and shares one [`StepPriceCache`] across its 4 policies × fleet
-//! sizes. Tables print in grid order afterwards — stdout is
-//! byte-identical to the sequential sweep; wall-clock goes to stderr.
+//! and shares one [`StepPriceCache`] and one
+//! [`vrex_system::ShardScratch`] across its 4 policies × fleet sizes
+//! (recycled routing buffers); inside a serve the per-device loops fan
+//! out across the same scoped-thread driver, byte-identical to
+//! sequential by the placement-layer contract. Tables print in grid
+//! order afterwards — stdout is byte-identical to the sequential
+//! sweep; wall-clock goes to stderr. The full sweep on a ≥4-core host
+//! additionally gates the parallel fan-out at ≥2× wall-clock speedup
+//! over 4+ devices.
 
 use std::io::Write;
 use std::time::Instant;
 
-use vrex_bench::par::{par_map, workers};
+use vrex_bench::par::{par_map, timed, workers};
 use vrex_bench::report::{banner, f, Table};
 use vrex_model::ModelConfig;
 use vrex_system::{
-    serve_sharded_with_cache, DevicePool, Method, PlacementPolicy, ServeConfig, ShardedServeReport,
-    StepPriceCache, SystemModel,
+    serve_sharded_with_cache_in, DevicePool, Method, PlacementPolicy, ServeConfig, ShardScratch,
+    ShardedServeReport, StepPriceCache, SystemModel,
 };
 use vrex_workload::traffic::TrafficConfig;
 
@@ -76,6 +84,11 @@ struct Cell {
     migrations: usize,
     migrated_bytes: u64,
     fabric_busy_ps: u64,
+    /// Worker threads the best run's device fan-out used (clamped to
+    /// the pool size).
+    serve_workers: usize,
+    /// Summed per-device serve wall-clock of the best run, seconds.
+    wall_s: f64,
 }
 
 /// One device count's rendered table plus its per-policy cells.
@@ -104,8 +117,11 @@ fn sweep_unit(devices: usize, fleets: &[usize]) -> UnitResult {
     let sys = SystemModel::new(headline_device(), Method::ReSV);
     let pool = DevicePool::homogeneous(headline_device(), devices);
     // One price cache per unit: every policy and fleet size replays the
-    // same per-session cache trajectories on identical devices.
+    // same per-session cache trajectories on identical devices. The
+    // shard scratch is recycled the same way — after the first serve
+    // the routing pass reuses the grown per-device sub-fleet buffers.
     let mut prices = StepPriceCache::new(&sys, &model);
+    let mut scratch = ShardScratch::new();
     let cfg = ServeConfig::real_time_tiered(CACHE_TOKENS);
     let mut t = Table::new([
         "Policy",
@@ -129,7 +145,15 @@ fn sweep_unit(devices: usize, fleets: &[usize]) -> UnitResult {
                 seed: 42,
             }
             .generate();
-            let r = serve_sharded_with_cache(&mut prices, &pool, &plans, &cfg, policy);
+            let r = serve_sharded_with_cache_in(
+                &mut prices,
+                &pool,
+                &plans,
+                &cfg,
+                policy,
+                workers(),
+                &mut scratch,
+            );
             let fabric = r.interconnect;
             t.row([
                 policy.label().to_string(),
@@ -157,6 +181,8 @@ fn sweep_unit(devices: usize, fleets: &[usize]) -> UnitResult {
             migrations: r.interconnect.migrations,
             migrated_bytes: r.interconnect.migrated_bytes,
             fabric_busy_ps: r.interconnect.busy_ps,
+            serve_workers: r.workers,
+            wall_s: r.device_wall_ns.iter().sum::<u64>() as f64 / 1e9,
         });
     }
     UnitResult {
@@ -247,6 +273,82 @@ fn main() {
     }
     println!("OK: 2-device capacity >= 1-device capacity for every placement policy.");
 
+    // Parallel-execution speedup: re-serve the largest pool's biggest
+    // fleet at 1 worker and at the full fan-out (price cache warmed
+    // first so neither run pays cold pricing), pin the reports
+    // byte-identical, and record the wall-clock ratio. The ≥2× gate
+    // applies to the full sweep on a ≥4-core host driving ≥4 devices;
+    // smaller hosts still record their honest numbers.
+    let largest = *device_counts.last().expect("at least one device count");
+    let big_fleet = fleets_per_device.last().expect("at least one fleet") * largest;
+    let speedup_row = {
+        let model = ModelConfig::llama3_8b();
+        let sys = SystemModel::new(headline_device(), Method::ReSV);
+        let pool = DevicePool::homogeneous(headline_device(), largest);
+        let cfg = ServeConfig::real_time_tiered(CACHE_TOKENS);
+        let plans = TrafficConfig {
+            sessions: big_fleet,
+            turns: 2,
+            arrival_spread_s: 10.0,
+            seed: 42,
+        }
+        .generate();
+        // At least 2 so the scoped-thread path genuinely runs even on
+        // a single-core host (its honest ~1x lands in the JSON).
+        let par_workers = workers().clamp(2, largest);
+        let mut prices = StepPriceCache::new(&sys, &model);
+        let mut scratch = ShardScratch::new();
+        let serve = |prices: &mut StepPriceCache, scratch: &mut ShardScratch, w: usize| {
+            timed(|| {
+                serve_sharded_with_cache_in(
+                    prices,
+                    &pool,
+                    &plans,
+                    &cfg,
+                    PlacementPolicy::FirstFit,
+                    w,
+                    scratch,
+                )
+            })
+        };
+        let _warm = serve(&mut prices, &mut scratch, 1);
+        let (seq, seq_ns) = serve(&mut prices, &mut scratch, 1);
+        let (par, par_ns) = serve(&mut prices, &mut scratch, par_workers);
+        assert_eq!(
+            par, seq,
+            "parallel sharded report drifted from sequential at {par_workers} workers"
+        );
+        let speedup = seq_ns as f64 / par_ns as f64;
+        // Deterministic facts on stdout; measured wall-clock (which
+        // varies run to run) goes to stderr like the sweep timing.
+        println!(
+            "\nParallel fan-out over {largest} devices × {big_fleet} sessions \
+             (first-fit): parallel report byte-identical to sequential at \
+             {par_workers} worker(s)."
+        );
+        eprintln!(
+            "parallel fan-out wall-clock: {:.3} s at 1 worker, {:.3} s at \
+             {par_workers} worker(s) — {speedup:.2}x",
+            seq_ns as f64 / 1e9,
+            par_ns as f64 / 1e9,
+        );
+        if !smoke && workers() >= 4 && largest >= 4 {
+            assert!(
+                speedup >= 2.0,
+                "parallel sharded execution speedup {speedup:.2}x < 2x \
+                 at {par_workers} workers over {largest} devices"
+            );
+            eprintln!("OK: >= 2x parallel speedup at {par_workers} workers");
+        }
+        format!(
+            "  {{\"devices\": {largest}, \"policy\": \"speedup\", \
+             \"fleet\": {big_fleet}, \"workers_seq\": 1, \"workers_par\": {par_workers}, \
+             \"wall_s_seq\": {:.6}, \"wall_s_par\": {:.6}, \"speedup\": {speedup:.3}}}",
+            seq_ns as f64 / 1e9,
+            par_ns as f64 / 1e9,
+        )
+    };
+
     if let Some(path) = json_path {
         let mut records = Vec::new();
         for unit in &results {
@@ -255,7 +357,7 @@ fn main() {
                     "  {{\"devices\": {}, \"policy\": \"{}\", \"capacity\": {}, \
                      \"best_fleet\": {}, \"offered\": {}, \"admitted\": {}, \
                      \"migrations\": {}, \"migrated_bytes\": {}, \
-                     \"fabric_busy_ps\": {}}}",
+                     \"fabric_busy_ps\": {}, \"workers\": {}, \"wall_s\": {:.6}}}",
                     unit.devices,
                     c.policy.label(),
                     c.capacity,
@@ -265,9 +367,12 @@ fn main() {
                     c.migrations,
                     c.migrated_bytes,
                     c.fabric_busy_ps,
+                    c.serve_workers,
+                    c.wall_s,
                 ));
             }
         }
+        records.push(speedup_row);
         let json = format!("[\n{}\n]\n", records.join(",\n"));
         let mut out = std::fs::File::create(&path).expect("create device_scaling json");
         out.write_all(json.as_bytes())

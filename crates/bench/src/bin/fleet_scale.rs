@@ -15,18 +15,25 @@
 //! * the [`vrex_system::ServeCounters`] event-loop telemetry under
 //!   `--verbose`.
 //!
-//! Axes: fleet size (10³/10⁴/10⁵ sessions) × admission (reject-only
-//! vs. tiered+prefetch) × event core ([`QueueKind::Heap`] vs.
-//! [`QueueKind::Wheel`]), each replicated over seeds on the shared
-//! sweep pool ([`vrex_bench::par`]) with wall times averaged.
+//! Axes: fleet size (10³/10⁴/10⁵/10⁶ sessions) × admission
+//! (reject-only vs. tiered+prefetch) × event core ([`QueueKind::Heap`]
+//! vs. [`QueueKind::Wheel`]), each replicated over seeds on the shared
+//! sweep pool ([`vrex_bench::par`]) with wall times averaged. The 10⁶
+//! tier runs reject-only with a single seed (it is the scale
+//! demonstration, not a statistics point) and doubles as the
+//! working-set gate: because the open-loop steady state is
+//! O(λ · patience), its event-loop peaks (queue/active/pending) must
+//! stay flat relative to the 10⁵ tier — a peak that grows with fleet
+//! size means the working set has become O(fleet) and the gate trips.
 //!
 //! Usage: `fleet_scale [--smoke] [--verbose] [--json PATH]
-//! [--floor SESSIONS_PER_S]`
+//! [--floor SESSIONS_PER_S] [--sessions N]`
 //!
-//! * `--smoke` — the CI-sized grid: one seed, and the 10⁵-session
-//!   fleet only on the cheap reject-only×wheel corner, so the whole
-//!   run fits a CI budget while still exercising a fleet two orders
-//!   larger than any figure sweep;
+//! * `--smoke` — the CI-sized grid: one seed, the 10⁵-session fleet
+//!   only on the cheap reject-only×wheel corner, and the fleet-size
+//!   axis capped at 10⁵ unless `--sessions` raises it (the
+//!   `bench_serve` harness passes `--sessions 1000000` to keep the
+//!   million-session row in CI);
 //! * `--json PATH` — write the rows as a JSON array (merged into
 //!   `BENCH_serve.json` by the `bench_serve` harness);
 //! * `--floor N` — assert every row sustains at least N offered
@@ -34,7 +41,10 @@
 //!   magnitude under the slowest measured row — ~37K sessions/s for
 //!   the 10⁵ fleet on a single dev-box core — so the gate trips on
 //!   structural regressions, e.g. an accidental O(fleet) rescan, not
-//!   on runner noise).
+//!   on runner noise);
+//! * `--sessions N` — cap the fleet-size axis at N sessions (default
+//!   10⁶ full, 10⁵ smoke); tiers above the cap are dropped, and the
+//!   cap itself becomes a tier when it is not already one.
 
 use std::io::Write;
 use std::time::Instant;
@@ -80,21 +90,44 @@ struct Row {
 
 const FULL_SEEDS: &[u64] = &[11, 12, 13];
 const SMOKE_SEEDS: &[u64] = &[11];
+/// The 10⁶ tier is the scale demonstration, not a statistics point:
+/// one seed regardless of mode keeps it inside the bench budget.
+const SCALE_SEEDS: &[u64] = &[11];
+const SCALE_TIER: usize = 1_000_000;
 
-fn grid(smoke: bool) -> Vec<Unit> {
-    let seeds: &'static [u64] = if smoke { SMOKE_SEEDS } else { FULL_SEEDS };
+fn grid(smoke: bool, max_sessions: usize) -> Vec<Unit> {
+    let mut tiers: Vec<usize> = [1_000usize, 10_000, 100_000, SCALE_TIER]
+        .into_iter()
+        .filter(|&s| s <= max_sessions)
+        .collect();
+    if tiers.last() != Some(&max_sessions) {
+        tiers.push(max_sessions);
+    }
     let mut units = Vec::new();
-    for &sessions in &[1_000usize, 10_000, 100_000] {
+    for &sessions in &tiers {
+        let seeds: &'static [u64] = if sessions >= SCALE_TIER {
+            SCALE_SEEDS
+        } else if smoke {
+            SMOKE_SEEDS
+        } else {
+            FULL_SEEDS
+        };
         for &tiered in &[false, true] {
             for &queue in &[QueueKind::Heap, QueueKind::Wheel] {
-                // Smoke keeps the 10⁵ fleet (the point of the bench)
-                // but only on its cheapest corner; the 10⁴ tier is
-                // fully covered, the 10³ tier spans both policies.
+                // The 10⁶ tier is reject-only in every mode (tiered
+                // admission at that scale buys no new information for
+                // minutes of wall time); smoke additionally keeps the
+                // 10⁵/10⁶ fleets only on their cheapest corner, the
+                // 10⁴ tier reject-only over both cores, the 10³ tier
+                // fully covered.
+                if sessions >= SCALE_TIER && tiered {
+                    continue;
+                }
                 if smoke {
                     let keep = match sessions {
-                        100_000 => !tiered && queue == QueueKind::Wheel,
-                        10_000 => !tiered,
-                        _ => true,
+                        0..=1_000 => true,
+                        1_001..=10_000 => !tiered,
+                        _ => !tiered && queue == QueueKind::Wheel,
                     };
                     if !keep {
                         continue;
@@ -180,6 +213,12 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .map(|s| s.parse().expect("--floor takes a number"))
         .unwrap_or(2000.0);
+    let max_sessions: usize = args
+        .iter()
+        .position(|a| a == "--sessions")
+        .and_then(|i| args.get(i + 1))
+        .map(|s| s.parse().expect("--sessions takes a count"))
+        .unwrap_or(if smoke { 100_000 } else { SCALE_TIER });
 
     banner(if smoke {
         "Fleet-scale simulator throughput (smoke)"
@@ -192,7 +231,7 @@ fn main() {
         workers()
     );
 
-    let units = grid(smoke);
+    let units = grid(smoke, max_sessions);
     let clock = Instant::now();
     let rows = par_map(&units, measure);
     let sweep_wall = clock.elapsed().as_secs_f64();
@@ -273,7 +312,8 @@ fn main() {
             let c = r.report.counters;
             records.push(format!(
                 "  {{\"sessions\": {}, \"admission\": \"{}\", \"queue\": \"{}\", \
-                 \"replicas\": {}, \"wall_s\": {:.6}, \"sessions_per_wall_s\": {:.1}, \
+                 \"replicas\": {}, \"workers\": {}, \"wall_s\": {:.6}, \
+                 \"sessions_per_wall_s\": {:.1}, \
                  \"sim_vs_wall\": {:.1}, \"admitted\": {}, \"rejected\": {}, \
                  \"events_fired\": {}, \"batches_formed\": {}, \"queue_peak\": {}, \
                  \"active_peak\": {}, \"pending_peak\": {}}}",
@@ -281,6 +321,7 @@ fn main() {
                 if r.tiered { "tiered" } else { "reject" },
                 queue_label(r.queue),
                 r.replicas,
+                workers(),
                 r.wall_s,
                 r.sessions_per_wall_s,
                 r.sim_vs_wall,
@@ -329,4 +370,46 @@ fn main() {
         "fleet-scale throughput fell under the floor; see stderr"
     );
     println!("\nOK: every row >= {floor:.0} offered sessions per wall second.");
+
+    // The working-set gate: the open-loop steady state is
+    // O(λ · patience), so the event-loop peaks of a 10⁶-session row
+    // must stay flat relative to the matching 10⁵ row (2× headroom for
+    // seed noise in the transient). A peak that scales with the fleet
+    // means admission state has silently become O(fleet).
+    for big in rows.iter().filter(|r| r.sessions >= SCALE_TIER) {
+        let Some(small) = rows
+            .iter()
+            .find(|r| r.sessions == 100_000 && r.tiered == big.tiered && r.queue == big.queue)
+        else {
+            continue;
+        };
+        let (b, s) = (big.report.counters, small.report.counters);
+        for (label, bp, sp) in [
+            ("queue_peak", b.queue_peak, s.queue_peak),
+            ("active_peak", b.active_peak, s.active_peak),
+            ("pending_peak", b.pending_peak, s.pending_peak),
+        ] {
+            assert!(
+                bp <= sp.max(1) * 2,
+                "working set grew with fleet size: {label} is {bp} at {} sessions \
+                 vs {sp} at 100000 ({}, {})",
+                big.sessions,
+                if big.tiered { "tiered" } else { "reject" },
+                queue_label(big.queue),
+            );
+        }
+        println!(
+            "OK: {} sessions working set flat vs 100000 ({}, {}): \
+             queue {} vs {}, active {} vs {}, pending {} vs {}.",
+            big.sessions,
+            if big.tiered { "tiered" } else { "reject" },
+            queue_label(big.queue),
+            b.queue_peak,
+            s.queue_peak,
+            b.active_peak,
+            s.active_peak,
+            b.pending_peak,
+            s.pending_peak,
+        );
+    }
 }

@@ -22,5 +22,6 @@
 //! (sessions × cache length × method; `--smoke` for the CI-sized run),
 //! and `scaling` / `sweep_resv_params` explore parameter spaces.
 
-pub mod par;
+pub use vrex_core::par;
+
 pub mod report;

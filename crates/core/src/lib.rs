@@ -49,6 +49,7 @@
 pub mod earlyexit;
 pub mod hashbit;
 pub mod hctable;
+pub mod par;
 pub mod resv;
 pub mod time;
 pub mod wicsum;

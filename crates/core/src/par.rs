@@ -1,12 +1,18 @@
 //! Scoped-thread parallel sweep driver.
 //!
 //! The figure/table binaries sweep independent grid points (platform ×
-//! cache × policy × fleet); [`par_map`] fans them out across
+//! cache × policy × fleet), and sharded serving fans the per-device
+//! serve loops out the same way; [`par_map`] runs them across
 //! `std::thread::scope` workers — no external thread-pool dependency,
 //! no `'static` bounds — and returns results in input order so table
-//! rendering stays deterministic. Each worker claims the next unclaimed
-//! index from a shared atomic cursor, which load-balances uneven grid
-//! points (a 24-stream tiered serve costs ~10× a 2-stream one).
+//! rendering (and per-device report/trace ordering) stays
+//! deterministic. Each worker claims the next unclaimed index from a
+//! shared atomic cursor, which load-balances uneven grid points (a
+//! 24-stream tiered serve costs ~10× a 2-stream one).
+//!
+//! This module lives in `vrex-core` (the workspace's lowest crate) so
+//! both `vrex_system::placement` and the bench binaries can share one
+//! driver; `vrex_bench::par` re-exports it under its historical path.
 //!
 //! On a single-core runner (`available_parallelism() == 1`) the fan-out
 //! degenerates to an in-order sequential loop with one worker thread —
@@ -21,6 +27,20 @@ pub fn workers() -> usize {
     std::thread::available_parallelism()
         .map(NonZeroUsize::get)
         .unwrap_or(1)
+}
+
+/// Times `f` on the host monotonic clock, returning its result and the
+/// elapsed wall-clock in integer nanoseconds.
+///
+/// This is report-boundary observability over the *simulator* — it
+/// feeds `ShardedServeReport::device_wall_ns`, which is excluded from
+/// report equality exactly like the serve counters. No simulated
+/// quantity (integer picoseconds) is ever derived from it.
+pub fn timed<R>(f: impl FnOnce() -> R) -> (R, u64) {
+    // vrex-lint: allow(wall-clock-in-sim) — host wall-clock observability at the report boundary (excluded from report equality); no simulated quantity is derived from it.
+    let clock = std::time::Instant::now();
+    let r = f();
+    (r, clock.elapsed().as_nanos() as u64)
 }
 
 /// Applies `f` to every item on a scoped worker pool and returns the
@@ -79,6 +99,7 @@ where
             .collect();
         handles
             .into_iter()
+            // vrex-lint: allow(panicking-seam) — propagating a worker panic is the sweep contract (a silently dropped unit would corrupt result ordering); the payload is re-thrown, not swallowed.
             .flat_map(|h| h.join().expect("sweep worker panicked"))
             .collect()
     });

@@ -46,6 +46,7 @@
 
 use std::collections::BTreeMap;
 
+use vrex_core::par::{par_map_with_workers, timed, workers as host_workers};
 use vrex_hwsim::interconnect::Interconnect;
 use vrex_hwsim::tier::TierCapacities;
 use vrex_hwsim::{seconds_to_ps, Engine};
@@ -56,7 +57,7 @@ use crate::e2e::SystemModel;
 use crate::memory::{AdmissionPolicy, MIGRATION_CHUNK_BYTES};
 use crate::method::Method;
 use crate::platform::DevicePool;
-use crate::pricing::StepPriceCache;
+use crate::pricing::{OverflowPriceCache, StepPriceCache};
 use crate::serve::{run, ServeConfig, ServeReport, TraceEvent};
 
 /// How arriving sessions are assigned to the devices of a pool.
@@ -142,7 +143,7 @@ pub struct InterconnectReport {
 /// per-device [`ServeReport`] each (equality excludes observability
 /// counters, exactly as single-device report equality does), the
 /// session → device assignment, and the fabric accounting.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct ShardedServeReport {
     /// Per-device serve reports, indexed by device.
     pub devices: Vec<ServeReport>,
@@ -151,6 +152,27 @@ pub struct ShardedServeReport {
     pub placements: Vec<(usize, usize)>,
     /// Fabric accounting (migration count/bytes, port busy time).
     pub interconnect: InterconnectReport,
+    /// Wall-clock nanoseconds each device's serve loop took on the
+    /// host, indexed by device — the in-tree evidence behind parallel
+    /// speedup claims. Observability only: like `ServeCounters`, it is
+    /// **excluded from report equality**, because identical simulated
+    /// outcomes take different host time under different worker counts.
+    pub device_wall_ns: Vec<u64>,
+    /// Worker threads the per-device serve loops ran on (1 = the
+    /// sequential fast path sharing the mutable price cache). Excluded
+    /// from report equality alongside `device_wall_ns`.
+    pub workers: usize,
+}
+
+impl PartialEq for ShardedServeReport {
+    fn eq(&self, other: &Self) -> bool {
+        // Every field except `device_wall_ns` and `workers` (see the
+        // struct docs): parallel and sequential runs of one fleet are
+        // equal by contract, however long the host took.
+        self.devices == other.devices
+            && self.placements == other.placements
+            && self.interconnect == other.interconnect
+    }
 }
 
 impl ShardedServeReport {
@@ -325,9 +347,33 @@ impl<'a> Placer<'a> {
     }
 }
 
-/// Routes a plan stream across the pool. Returns the per-device
-/// sub-fleets (arrival-adjusted for migrated sessions), the placement
-/// record, and the fabric accounting.
+/// Reusable buffers for the placement pass: the per-device routed
+/// sub-fleet vectors, recycled across repeated sharded serves.
+///
+/// A sweep that serves many fleets over one pool (`device_scaling`
+/// drives 4 policies × up to 7 fleet sizes per unit) previously
+/// allocated fresh per-device `Vec`s on every serve; a recycled scratch
+/// keeps the grown capacities, so after the first serve of a unit the
+/// routing pass allocates nothing for its sub-fleet spines. Fresh
+/// (non-recycled) serves pre-size each sub-fleet from the source's
+/// remaining hint split across the pool, which the placer's
+/// demand-tracker-driven spreading policies fill near-exactly.
+#[derive(Debug, Default)]
+pub struct ShardScratch {
+    routed: Vec<Vec<SessionPlan>>,
+}
+
+impl ShardScratch {
+    /// An empty scratch; buffers grow on first use and are recycled
+    /// afterwards.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Routes a plan stream across the pool into `scratch.routed` (one
+/// arrival-adjusted sub-fleet per device). Returns the placement record
+/// and the fabric accounting.
 fn route(
     pool: &DevicePool,
     sys: &SystemModel,
@@ -335,17 +381,22 @@ fn route(
     source: &mut dyn PlanSource,
     cfg: &ServeConfig,
     policy: PlacementPolicy,
-) -> (
-    Vec<Vec<SessionPlan>>,
-    Vec<(usize, usize)>,
-    InterconnectReport,
-) {
+    scratch: &mut ShardScratch,
+) -> (Vec<(usize, usize)>, InterconnectReport) {
     let n = pool.devices();
+    let hint = source.remaining_hint();
+    scratch.routed.truncate(n);
+    scratch.routed.resize_with(n, Vec::new);
+    for sub in &mut scratch.routed {
+        sub.clear();
+        // Pre-size for an even split (recycled capacity from a prior
+        // serve of the same pool is usually larger and wins).
+        sub.reserve(hint.div_ceil(n.max(1)));
+    }
     let mut engine = Engine::new();
     let fabric = Interconnect::install(&mut engine, pool.interconnect.clone(), n);
     let mut placer = Placer::new(pool, sys, model, cfg, policy);
-    let mut routed: Vec<Vec<SessionPlan>> = vec![Vec::new(); n];
-    let mut placements = Vec::new();
+    let mut placements = Vec::with_capacity(hint);
     let mut report = InterconnectReport::default();
     while let Some(mut plan) = source.next_plan() {
         let target = placer.place(&plan);
@@ -366,13 +417,20 @@ fn route(
             report.migrated_bytes += m.bytes;
         }
         placements.push((plan.id, target));
-        routed[target].push(plan);
+        scratch.routed[target].push(plan);
     }
     report.busy_ps = (0..n).map(|d| engine.busy_time(fabric.port(d))).sum();
     report.makespan_ps = engine.makespan();
-    (routed, placements, report)
+    (placements, report)
 }
 
+/// Default worker count for sharded serving: every core the host
+/// offers (the per-device fan-out is clamped to the pool size).
+fn default_workers() -> usize {
+    host_workers()
+}
+
+#[allow(clippy::too_many_arguments)]
 fn run_sharded(
     prices: &mut StepPriceCache,
     pool: &DevicePool,
@@ -380,6 +438,8 @@ fn run_sharded(
     cfg: &ServeConfig,
     policy: PlacementPolicy,
     mut traces: Option<&mut Vec<Vec<TraceEvent>>>,
+    workers: usize,
+    scratch: &mut ShardScratch,
 ) -> ShardedServeReport {
     assert_eq!(
         prices.system().platform,
@@ -388,22 +448,65 @@ fn run_sharded(
     );
     let sys = prices.system().clone();
     let model = prices.model().clone();
-    let (routed, placements, interconnect) = route(pool, &sys, &model, source, cfg, policy);
-    let mut devices = Vec::with_capacity(pool.devices());
-    for sub in &routed {
-        let trace = match traces.as_deref_mut() {
-            Some(ts) => {
-                ts.push(Vec::new());
-                ts.last_mut()
+    let (placements, interconnect) = route(pool, &sys, &model, source, cfg, policy, scratch);
+    let n = pool.devices();
+    let workers = workers.clamp(1, n);
+    let want_traces = traces.is_some();
+    let mut devices = Vec::with_capacity(n);
+    let mut device_wall_ns = Vec::with_capacity(n);
+    if workers <= 1 {
+        // Sequential fast path: the per-device runs share the mutable
+        // price cache directly. Outcomes are identical to the parallel
+        // path by contract (pricing never changes a result; the
+        // property tests pin it), so this is purely the
+        // zero-thread-overhead variant.
+        for sub in &scratch.routed {
+            let trace = match traces.as_deref_mut() {
+                Some(ts) => {
+                    ts.push(Vec::new());
+                    ts.last_mut()
+                }
+                None => None,
+            };
+            let (report, wall_ns) = timed(|| run(prices, &mut SlicePlans::new(sub), cfg, trace));
+            devices.push(report);
+            device_wall_ns.push(wall_ns);
+        }
+    } else {
+        // Parallel path: the warmed cache freezes into a `&`-shared
+        // read path; each worker serves its device through a private
+        // overflow overlay, and the scoped join returns results in
+        // device order. Devices only interact through the placement
+        // pass (already complete) and the fabric timeline (already
+        // priced), so the fan-out is embarrassingly parallel and —
+        // because serve outcomes never depend on cache contents —
+        // byte-identical to the sequential path.
+        let base: &StepPriceCache = prices;
+        let outcomes = par_map_with_workers(&scratch.routed, workers, |sub| {
+            let mut overlay = OverflowPriceCache::new(base);
+            let mut trace = want_traces.then(Vec::new);
+            let (report, wall_ns) =
+                timed(|| run(&mut overlay, &mut SlicePlans::new(sub), cfg, trace.as_mut()));
+            (report, wall_ns, trace, overlay.into_fresh())
+        });
+        for (report, wall_ns, trace, fresh) in outcomes {
+            // Fresh prices merge back in device order: the parent
+            // cache's content after the join is a deterministic
+            // function of the fleet, never of thread scheduling.
+            prices.absorb(fresh);
+            devices.push(report);
+            device_wall_ns.push(wall_ns);
+            if let (Some(ts), Some(t)) = (traces.as_deref_mut(), trace) {
+                ts.push(t);
             }
-            None => None,
-        };
-        devices.push(run(prices, &mut SlicePlans::new(sub), cfg, trace));
+        }
     }
     ShardedServeReport {
         devices,
         placements,
         interconnect,
+        device_wall_ns,
+        workers,
     }
 }
 
@@ -441,7 +544,41 @@ pub fn serve_sharded_with_cache(
     cfg: &ServeConfig,
     policy: PlacementPolicy,
 ) -> ShardedServeReport {
-    run_sharded(prices, pool, &mut SlicePlans::new(plans), cfg, policy, None)
+    serve_sharded_with_cache_in(
+        prices,
+        pool,
+        plans,
+        cfg,
+        policy,
+        default_workers(),
+        &mut ShardScratch::new(),
+    )
+}
+
+/// [`serve_sharded_with_cache`] with an explicit worker count and a
+/// caller-owned [`ShardScratch`]. Sweeps that serve many fleets over
+/// one pool recycle the scratch's per-device sub-fleet buffers across
+/// serves; `workers` is clamped to `1..=pool.devices()`, and `1` takes
+/// the sequential fast path (no threads, shared mutable cache).
+pub fn serve_sharded_with_cache_in(
+    prices: &mut StepPriceCache,
+    pool: &DevicePool,
+    plans: &[SessionPlan],
+    cfg: &ServeConfig,
+    policy: PlacementPolicy,
+    workers: usize,
+    scratch: &mut ShardScratch,
+) -> ShardedServeReport {
+    run_sharded(
+        prices,
+        pool,
+        &mut SlicePlans::new(plans),
+        cfg,
+        policy,
+        None,
+        workers,
+        scratch,
+    )
 }
 
 /// [`serve_sharded_with_cache`] over a streaming [`PlanSource`]. The
@@ -456,7 +593,16 @@ pub fn serve_sharded_stream(
     cfg: &ServeConfig,
     policy: PlacementPolicy,
 ) -> ShardedServeReport {
-    run_sharded(prices, pool, source, cfg, policy, None)
+    run_sharded(
+        prices,
+        pool,
+        source,
+        cfg,
+        policy,
+        None,
+        default_workers(),
+        &mut ShardScratch::new(),
+    )
 }
 
 /// [`serve_sharded`] that also records every device's scheduler trace
@@ -470,6 +616,21 @@ pub fn serve_sharded_traced(
     cfg: &ServeConfig,
     policy: PlacementPolicy,
 ) -> (ShardedServeReport, Vec<Vec<TraceEvent>>) {
+    serve_sharded_traced_with_workers(pool, method, model, plans, cfg, policy, default_workers())
+}
+
+/// [`serve_sharded_traced`] with an explicit worker count — the seam
+/// the parallel-vs-sequential byte-identity property tests drive.
+#[allow(clippy::too_many_arguments)]
+pub fn serve_sharded_traced_with_workers(
+    pool: &DevicePool,
+    method: Method,
+    model: &ModelConfig,
+    plans: &[SessionPlan],
+    cfg: &ServeConfig,
+    policy: PlacementPolicy,
+    workers: usize,
+) -> (ShardedServeReport, Vec<Vec<TraceEvent>>) {
     let sys = SystemModel::new(pool.device().clone(), method);
     let mut traces = Vec::new();
     let report = run_sharded(
@@ -479,6 +640,8 @@ pub fn serve_sharded_traced(
         cfg,
         policy,
         Some(&mut traces),
+        workers,
+        &mut ShardScratch::new(),
     );
     (report, traces)
 }

@@ -16,6 +16,27 @@
 //! `cached_pricing_is_bit_identical_to_uncached` oracle test (and the
 //! property test in `tests/props.rs`) pin that a cached result is
 //! bit-identical to uncached pricing.
+//!
+//! ## The shared read path (parallel sharded serving)
+//!
+//! Parallel sharded serving runs N per-device serve loops on scoped
+//! worker threads, but a `&mut StepPriceCache` cannot be shared across
+//! them. The split: the parent cache — warmed by whatever ran before —
+//! becomes a **frozen snapshot** (an ordinary `&StepPriceCache`, `Sync`
+//! because nothing mutates it during the join), and each worker owns an
+//! [`OverflowPriceCache`]: a read-through overlay that consults the
+//! frozen map first and prices fresh shapes into a private overflow
+//! map. After the join, each worker's fresh entries merge back into the
+//! parent via [`StepPriceCache::absorb`] **in device order**, and each
+//! overlay records its entries in first-priced order — so the merged
+//! cache content is a deterministic function of the fleet, never of
+//! thread scheduling. Pricing is a pure function of the key, so the
+//! merge can never change a stored value, only add entries — and serve
+//! outcomes are independent of cache contents entirely (the oracle
+//! tests pin the overlay bit-identical to the mutable cache).
+//!
+//! Both cache types implement [`StepPricer`], the seam the serve loop
+//! prices through.
 
 use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hasher};
@@ -256,6 +277,234 @@ impl StepPriceCache {
             sys.decode_step(model, cache_tokens, batch)
         })
     }
+
+    /// Merges a worker overlay's fresh entries into this cache.
+    ///
+    /// Entries arrive in the overlay's first-priced order; callers
+    /// joining several workers absorb them in device order, making the
+    /// merged map a deterministic function of the fleet. Pricing is a
+    /// pure function of the key, so when two workers priced the same
+    /// shape the values are bit-identical and first-write-wins is
+    /// value-neutral. The overlay's hit/miss counters aggregate into
+    /// the parent's (observability only, never part of any report).
+    pub fn absorb(&mut self, fresh: FreshPrices) {
+        for (key, r) in fresh.entries {
+            self.map.entry(key).or_insert(r);
+        }
+        self.hits += fresh.hits;
+        self.misses += fresh.misses;
+    }
+}
+
+/// The pricing seam the serve loop consults: memoized step pricing for
+/// one platform+method+model, in either execution context.
+///
+/// Implemented by the mutable [`StepPriceCache`] (the sequential path)
+/// and by the per-worker [`OverflowPriceCache`] overlay (the parallel
+/// sharded path). Both are bit-identical to direct [`SystemModel`]
+/// pricing — the oracle tests pin it — so which implementation a serve
+/// runs through can never change its outcomes.
+pub trait StepPricer {
+    /// The system model priced for.
+    fn system(&self) -> &SystemModel;
+    /// The model configuration priced for.
+    fn model(&self) -> &ModelConfig;
+    /// Memoized [`SystemModel::frame_step`] under `ctx` semantics.
+    fn frame_step_in(&mut self, ctx: ExecContext, cache_tokens: usize, batch: usize) -> StepResult;
+    /// Memoized [`SystemModel::question_step`] under `ctx` semantics.
+    fn question_step_in(
+        &mut self,
+        ctx: ExecContext,
+        cache_tokens: usize,
+        batch: usize,
+        tokens: usize,
+    ) -> StepResult;
+    /// Memoized [`SystemModel::decode_step`] under `ctx` semantics.
+    fn decode_step_in(&mut self, ctx: ExecContext, cache_tokens: usize, batch: usize)
+        -> StepResult;
+}
+
+impl StepPricer for StepPriceCache {
+    fn system(&self) -> &SystemModel {
+        StepPriceCache::system(self)
+    }
+
+    fn model(&self) -> &ModelConfig {
+        StepPriceCache::model(self)
+    }
+
+    fn frame_step_in(&mut self, ctx: ExecContext, cache_tokens: usize, batch: usize) -> StepResult {
+        StepPriceCache::frame_step_in(self, ctx, cache_tokens, batch)
+    }
+
+    fn question_step_in(
+        &mut self,
+        ctx: ExecContext,
+        cache_tokens: usize,
+        batch: usize,
+        tokens: usize,
+    ) -> StepResult {
+        StepPriceCache::question_step_in(self, ctx, cache_tokens, batch, tokens)
+    }
+
+    fn decode_step_in(
+        &mut self,
+        ctx: ExecContext,
+        cache_tokens: usize,
+        batch: usize,
+    ) -> StepResult {
+        StepPriceCache::decode_step_in(self, ctx, cache_tokens, batch)
+    }
+}
+
+/// A per-worker read-through overlay over a frozen `&StepPriceCache`.
+///
+/// Lookups consult the frozen parent map first (the warmed, `&`-shared
+/// read path), then the private overflow map; fresh shapes price into
+/// the overflow only, so N workers can serve concurrently over one
+/// parent without synchronization. [`Self::into_fresh`] drains the
+/// overlay for a deterministic [`StepPriceCache::absorb`] merge after
+/// the join.
+#[derive(Debug)]
+pub struct OverflowPriceCache<'a> {
+    base: &'a StepPriceCache,
+    /// Shapes priced by this worker, keyed for lookup.
+    overflow: HashMap<u64, StepResult, BuildHasherDefault<PriceKeyHasher>>,
+    /// The same entries in first-priced order — the deterministic merge
+    /// order `absorb` consumes (hash-map iteration order never leaks).
+    fresh: Vec<(u64, StepResult)>,
+    hits: u64,
+    misses: u64,
+}
+
+impl<'a> OverflowPriceCache<'a> {
+    /// An empty overlay reading through `base`.
+    pub fn new(base: &'a StepPriceCache) -> Self {
+        Self {
+            base,
+            overflow: HashMap::default(),
+            fresh: Vec::new(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Lookups served from either map so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookups that ran the analytic pricing.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Shapes this overlay priced that the frozen parent lacked.
+    pub fn fresh_len(&self) -> usize {
+        self.fresh.len()
+    }
+
+    /// Drains the overlay into its mergeable fresh-entry record.
+    pub fn into_fresh(self) -> FreshPrices {
+        FreshPrices {
+            entries: self.fresh,
+            hits: self.hits,
+            misses: self.misses,
+        }
+    }
+
+    fn priced(
+        &mut self,
+        key: Option<u64>,
+        price: impl Fn(&SystemModel, &ModelConfig) -> StepResult,
+    ) -> StepResult {
+        let Some(key) = key else {
+            self.misses += 1;
+            return price(&self.base.sys, &self.base.model);
+        };
+        if let Some(r) = self.base.map.get(&key) {
+            self.hits += 1;
+            return *r;
+        }
+        if let Some(r) = self.overflow.get(&key) {
+            self.hits += 1;
+            return *r;
+        }
+        self.misses += 1;
+        let r = price(&self.base.sys, &self.base.model);
+        self.overflow.insert(key, r);
+        self.fresh.push((key, r));
+        r
+    }
+}
+
+impl StepPricer for OverflowPriceCache<'_> {
+    fn system(&self) -> &SystemModel {
+        &self.base.sys
+    }
+
+    fn model(&self) -> &ModelConfig {
+        &self.base.model
+    }
+
+    fn frame_step_in(&mut self, ctx: ExecContext, cache_tokens: usize, batch: usize) -> StepResult {
+        let key = pack_key(
+            KIND_FRAME,
+            ctx,
+            cache_tokens,
+            batch,
+            self.base.model.tokens_per_frame,
+        );
+        self.priced(key, |sys, model| sys.frame_step(model, cache_tokens, batch))
+    }
+
+    fn question_step_in(
+        &mut self,
+        ctx: ExecContext,
+        cache_tokens: usize,
+        batch: usize,
+        tokens: usize,
+    ) -> StepResult {
+        let key = pack_key(KIND_QUESTION, ctx, cache_tokens, batch, tokens);
+        self.priced(key, |sys, model| {
+            sys.question_step(model, cache_tokens, batch, tokens)
+        })
+    }
+
+    fn decode_step_in(
+        &mut self,
+        ctx: ExecContext,
+        cache_tokens: usize,
+        batch: usize,
+    ) -> StepResult {
+        let key = pack_key(KIND_DECODE, ctx, cache_tokens, batch, 1);
+        self.priced(key, |sys, model| {
+            sys.decode_step(model, cache_tokens, batch)
+        })
+    }
+}
+
+/// A worker overlay's drained fresh entries plus its lookup counters,
+/// ready for [`StepPriceCache::absorb`].
+#[derive(Debug, Clone)]
+pub struct FreshPrices {
+    entries: Vec<(u64, StepResult)>,
+    /// Lookup hits the overlay served (frozen + overflow).
+    pub hits: u64,
+    /// Lookups the overlay had to price analytically.
+    pub misses: u64,
+}
+
+impl FreshPrices {
+    /// Number of fresh entries carried to the merge.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the worker priced nothing the parent lacked.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
 }
 
 #[cfg(test)]
@@ -364,6 +613,108 @@ mod tests {
             sys.frame_step(&model, 1_000, 1 << 13)
         );
         assert_eq!(cache.len(), 0);
+    }
+
+    /// Satellite oracle: the frozen-snapshot + overflow overlay is
+    /// bit-identical to the mutable [`StepPriceCache`] on repeated
+    /// batch shapes — warmed hits, overflow misses, overflow hits, and
+    /// out-of-range fallbacks all return exactly what the mutable cache
+    /// (and the direct pricing) returns.
+    #[test]
+    fn overflow_overlay_is_bit_identical_to_the_mutable_cache() {
+        let model = ModelConfig::llama3_8b();
+        let sys = SystemModel::new(PlatformSpec::vrex48(), Method::ReSV);
+        // Warm the parent with a partial shape set, then freeze it.
+        let mut parent = StepPriceCache::new(&sys, &model);
+        for batch in [1usize, 4] {
+            parent.frame_step(16_000, batch);
+            parent.decode_step(16_000, batch);
+        }
+        let warmed = parent.len();
+        let mut mutable = parent.clone();
+        let mut overlay = OverflowPriceCache::new(&parent);
+        // Repeated shapes spanning warmed hits (16K), overflow misses
+        // then hits (40K), both contexts, and the unpackable fallback.
+        let huge = 1usize << 33;
+        for _ in 0..2 {
+            for ctx in [ExecContext::Serialized, ExecContext::Overlapped] {
+                for cache_tokens in [16_000usize, 40_000, huge] {
+                    for batch in [1usize, 4, 24] {
+                        assert_eq!(
+                            overlay.frame_step_in(ctx, cache_tokens, batch),
+                            mutable.frame_step_in(ctx, cache_tokens, batch),
+                            "frame {ctx:?} {cache_tokens}x{batch}"
+                        );
+                        assert_eq!(
+                            overlay.decode_step_in(ctx, cache_tokens, batch),
+                            mutable.decode_step_in(ctx, cache_tokens, batch),
+                            "decode {ctx:?} {cache_tokens}x{batch}"
+                        );
+                        assert_eq!(
+                            overlay.question_step_in(ctx, cache_tokens, batch, 25),
+                            mutable.question_step_in(ctx, cache_tokens, batch, 25),
+                            "question {ctx:?} {cache_tokens}x{batch}"
+                        );
+                    }
+                }
+            }
+        }
+        // Same hit/miss trajectory: the overlay's frozen+overflow split
+        // sees exactly the mutable cache's hits and misses.
+        assert_eq!(overlay.hits(), mutable.hits() - parent.hits());
+        assert_eq!(overlay.misses(), mutable.misses() - parent.misses());
+        // Fresh entries are exactly the shapes the parent lacked.
+        assert_eq!(overlay.fresh_len(), mutable.len() - warmed);
+        // The merge lands every fresh shape: the absorbed parent's map
+        // equals the mutable cache's.
+        let fresh = overlay.into_fresh();
+        assert!(!fresh.is_empty());
+        assert_eq!(fresh.len(), mutable.len() - warmed);
+        parent.absorb(fresh);
+        assert_eq!(parent.len(), mutable.len());
+        // Every shape now hits the absorbed parent without pricing.
+        let misses_before = parent.misses();
+        for ctx in [ExecContext::Serialized, ExecContext::Overlapped] {
+            for cache_tokens in [16_000usize, 40_000] {
+                for batch in [1usize, 4, 24] {
+                    assert_eq!(
+                        parent.frame_step_in(ctx, cache_tokens, batch),
+                        mutable.frame_step_in(ctx, cache_tokens, batch),
+                    );
+                }
+            }
+        }
+        assert_eq!(parent.misses(), misses_before, "absorbed shapes all hit");
+    }
+
+    /// Two workers pricing overlapping shape sets merge to the same
+    /// cache content regardless of which absorbs first — pricing is a
+    /// pure function, so duplicate fresh entries are value-identical.
+    #[test]
+    fn absorb_is_value_neutral_across_workers() {
+        let model = ModelConfig::llama3_8b();
+        let sys = SystemModel::new(PlatformSpec::vrex48(), Method::ReSV);
+        let parent = StepPriceCache::new(&sys, &model);
+        let mut a = OverflowPriceCache::new(&parent);
+        let mut b = OverflowPriceCache::new(&parent);
+        // Overlapping shapes: both workers price (8000, 4).
+        a.frame_step_in(ExecContext::Serialized, 8_000, 4);
+        a.frame_step_in(ExecContext::Serialized, 8_000, 8);
+        b.frame_step_in(ExecContext::Serialized, 8_000, 4);
+        b.frame_step_in(ExecContext::Serialized, 8_000, 16);
+        let (fa, fb) = (a.into_fresh(), b.into_fresh());
+        let mut ab = parent.clone();
+        ab.absorb(fa.clone());
+        ab.absorb(fb.clone());
+        let mut ba = parent.clone();
+        ba.absorb(fb);
+        ba.absorb(fa);
+        assert_eq!(ab.len(), 3, "duplicate shape stored once");
+        assert_eq!(ba.len(), 3);
+        for cache in [&mut ab, &mut ba] {
+            let direct = sys.frame_step(&model, 8_000, 4);
+            assert_eq!(cache.frame_step(8_000, 4), direct);
+        }
     }
 
     #[test]

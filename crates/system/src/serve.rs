@@ -120,7 +120,7 @@ use vrex_workload::SessionEvent;
 use crate::e2e::{StepResult, SystemModel};
 use crate::eventq::{EventQueue, QueueKind, TimeKeyed};
 use crate::memory::{AdmissionPolicy, MigrationTask, RestorePlan, TieredKvManager};
-use crate::pricing::{ExecContext, PriceKeyHasher, StepPriceCache};
+use crate::pricing::{ExecContext, PriceKeyHasher, StepPriceCache, StepPricer};
 use crate::queueing::{percentile_sorted, QueueLedger};
 
 /// Batches concurrently in flight under the resource-timeline model
@@ -152,10 +152,10 @@ pub struct ServeConfig {
     /// link tasks).
     pub overlap: bool,
     /// Event-queue implementation ([`QueueKind::Heap`] is the
-    /// reference; [`QueueKind::Wheel`] is the fleet-scale timer wheel).
-    /// Both produce byte-identical reports and traces — pinned by the
-    /// golden-fingerprint and property tests — so this is purely a
-    /// performance choice.
+    /// reference; [`QueueKind::Wheel`] — the default — is the
+    /// fleet-scale timer wheel). Both produce byte-identical reports
+    /// and traces — pinned by the golden-fingerprint and property
+    /// tests — so this is purely a performance choice.
     pub queue: QueueKind,
 }
 
@@ -169,7 +169,7 @@ impl ServeConfig {
             max_wait_s: 10.0,
             admission: AdmissionPolicy::RejectOnly,
             overlap: false,
-            queue: QueueKind::Heap,
+            queue: QueueKind::default(),
         }
     }
 
@@ -804,7 +804,7 @@ struct PendingSession {
 /// `by_id` map resolves event payloads (session ids) to slots without
 /// scanning the fleet.
 struct Sched<'a> {
-    prices: &'a mut StepPriceCache,
+    prices: &'a mut dyn StepPricer,
     source: &'a mut dyn PlanSource,
     cfg: &'a ServeConfig,
     sys: SystemModel,
@@ -872,7 +872,7 @@ struct Sched<'a> {
 }
 
 pub(crate) fn run(
-    prices: &mut StepPriceCache,
+    prices: &mut dyn StepPricer,
     source: &mut dyn PlanSource,
     cfg: &ServeConfig,
     trace: Option<&mut Vec<TraceEvent>>,
@@ -1615,44 +1615,62 @@ impl Sched<'_> {
         self.migrations = migrations;
     }
 
+    /// The batched same-instant drain: pops the next future event,
+    /// advances the clock to it, applies it — tracing it, while the
+    /// same-instant siblings drained right after stay untraced, exactly
+    /// the historical trace stream — then applies **every** remaining
+    /// event sharing that picosecond. The admission pass that follows
+    /// therefore runs once per *instant*, never once per event; the
+    /// closing debug assert checks the pass covers the whole instant.
+    /// Returns `false` when the queue is empty (the run is done).
+    fn advance_and_drain_instant(&mut self) -> bool {
+        let Some(e) = self.events.pop() else {
+            return false;
+        };
+        debug_assert!(e.ps > self.now, "drained queue only holds the future");
+        self.now = e.ps;
+        self.count_event(&e.kind);
+        match e.kind {
+            EventKind::Arrival(_) => {
+                self.plan_arrived();
+                self.trace_event(TraceKind::Arrival);
+            }
+            EventKind::Patience(_) => self.trace_event(TraceKind::Patience),
+            EventKind::WorkReady(id) => {
+                self.mark_ready_by_id(id);
+                self.trace_event(TraceKind::WorkReady);
+            }
+            EventKind::StepComplete(slot) => {
+                debug_assert!(self.cfg.overlap, "serialized runs never launch batches");
+                self.apply_completion(slot);
+            }
+        }
+        self.drain_past_events();
+        debug_assert!(
+            self.events.peek_ps().is_none_or(|ps| ps > self.now),
+            "batched drain left a same-instant event behind"
+        );
+        true
+    }
+
     /// The serialized driver: batch-level blocking execution,
     /// byte-identical to the pre-resource-timeline scheduler (pinned by
     /// the golden-trace regression and the `tier_capacity` stdout).
     fn run_serialized(&mut self) {
+        // Events already due at t = 0 (zero-offset arrivals) apply
+        // before the first admission pass.
+        self.drain_past_events();
         loop {
-            self.drain_past_events();
             self.maybe_admission_pass();
             self.check_ready_invariant();
 
             if self.ready_total() == 0 {
                 // Idle: advance to the next wake-up strictly after
-                // `now`; anything at or before `now` was already
-                // drained unacted.
-                match self.events.pop() {
-                    Some(e) => {
-                        debug_assert!(e.ps > self.now, "drained queue only holds the future");
-                        self.now = e.ps;
-                        self.count_event(&e.kind);
-                        let kind = match e.kind {
-                            EventKind::Arrival(_) => {
-                                self.plan_arrived();
-                                TraceKind::Arrival
-                            }
-                            EventKind::Patience(_) => TraceKind::Patience,
-                            EventKind::WorkReady(id) => {
-                                self.mark_ready_by_id(id);
-                                TraceKind::WorkReady
-                            }
-                            EventKind::StepComplete(_) => {
-                                // vrex-lint: allow(panicking-seam) — only the overlapped driver schedules StepComplete events; seeing one here is a driver mixup.
-                                unreachable!("serialized runs never launch batches")
-                            }
-                        };
-                        self.trace_event(kind);
-                        continue;
-                    }
-                    None => break, // nothing active, nothing pending: done
+                // `now` and drain its whole instant in one batch.
+                if !self.advance_and_drain_instant() {
+                    break; // nothing active, nothing pending: done
                 }
+                continue;
             }
 
             // Form the batch and execute it as one blocking unit.
@@ -1667,6 +1685,10 @@ impl Sched<'_> {
             self.trace_event(TraceKind::StepComplete);
             self.makespan_ps = self.makespan_ps.max(completion);
             self.apply_batch(completion);
+            // The jump to `completion` may have passed arrivals,
+            // patience deadlines, and wake-ups: apply them all before
+            // the next admission pass runs.
+            self.drain_past_events();
         }
     }
 
@@ -1675,38 +1697,21 @@ impl Sched<'_> {
     /// events, so up to [`MAX_IN_FLIGHT`] batches overlap and link
     /// traffic genuinely contends.
     fn run_overlapped(&mut self) {
+        self.drain_past_events();
         loop {
-            self.drain_past_events();
             self.maybe_admission_pass();
             self.check_ready_invariant();
 
             if self.ready_total() > 0 && self.inflight_count < MAX_IN_FLIGHT {
                 self.launch_batch();
+                // A completion landing at the launch instant must
+                // apply before the next admission pass.
+                self.drain_past_events();
                 continue;
             }
-            match self.events.pop() {
-                Some(e) => {
-                    debug_assert!(e.ps > self.now, "drained queue only holds the future");
-                    self.now = e.ps;
-                    self.count_event(&e.kind);
-                    match e.kind {
-                        EventKind::Arrival(_) => {
-                            self.plan_arrived();
-                            self.trace_event(TraceKind::Arrival);
-                        }
-                        EventKind::Patience(_) => self.trace_event(TraceKind::Patience),
-                        EventKind::WorkReady(id) => {
-                            self.mark_ready_by_id(id);
-                            self.trace_event(TraceKind::WorkReady);
-                        }
-                        EventKind::StepComplete(slot) => self.apply_completion(slot),
-                    }
-                    continue;
-                }
-                None => {
-                    debug_assert_eq!(self.inflight_count, 0, "in-flight batch without an event");
-                    break;
-                }
+            if !self.advance_and_drain_instant() {
+                debug_assert_eq!(self.inflight_count, 0, "in-flight batch without an event");
+                break;
             }
         }
     }

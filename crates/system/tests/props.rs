@@ -6,9 +6,10 @@ use vrex_model::ModelConfig;
 use vrex_system::pipeline::{cold_selected_tokens, layer_costs, selected_tokens, Workload};
 use vrex_system::serve::SessionOutcome;
 use vrex_system::{
-    serve, serve_sharded, serve_sharded_stream, serve_sharded_traced, serve_sharded_with_cache,
-    serve_stream, serve_traced, DevicePool, Method, PlacementPolicy, PlatformSpec, QueueKind,
-    ServeConfig, StepPriceCache, SystemModel, TraceKind,
+    serve, serve_sharded, serve_sharded_stream, serve_sharded_traced,
+    serve_sharded_traced_with_workers, serve_sharded_with_cache, serve_stream, serve_traced,
+    DevicePool, Method, PlacementPolicy, PlatformSpec, QueueKind, ServeConfig, StepPriceCache,
+    SystemModel, TraceKind,
 };
 use vrex_workload::traffic::TrafficConfig;
 
@@ -550,6 +551,67 @@ proptest! {
         let streamed = serve_sharded_stream(&mut prices, &pool, &mut traffic.stream(), &cfg, policy);
         prop_assert_eq!(&materialized, &streamed, "streamed vs materialized sharded reports");
         prop_assert_eq!(&materialized, &heap);
+    }
+
+    /// The parallel-execution contract: fanning the per-device serve
+    /// loops out across scoped worker threads is byte-identical to the
+    /// sequential path at every worker count — same per-device reports,
+    /// same placement map, same interconnect accounting, and identical
+    /// per-device scheduler traces — for every placement policy and
+    /// both event cores. Placement completes before any device runs,
+    /// pricing is a pure function (cache contents never change a
+    /// result), and the scoped join returns results in device order;
+    /// this test pins that argument against the implementation.
+    #[test]
+    fn parallel_sharded_is_byte_identical_to_sequential(
+        sessions in 1usize..7,
+        turns in 0usize..3,
+        spread in 0.0f64..10.0,
+        cache in 2_000usize..40_000,
+        seed in 0u64..300,
+        devices in 2usize..5,
+        policy_idx in 0usize..4,
+        wheel in any::<bool>(),
+    ) {
+        let policy = PlacementPolicy::ALL[policy_idx];
+        let plans = TrafficConfig {
+            sessions,
+            turns,
+            arrival_spread_s: spread,
+            seed,
+        }
+        .generate();
+        let pool = DevicePool::homogeneous(PlatformSpec::vrex48(), devices);
+        let model = ModelConfig::llama3_8b();
+        let cfg = ServeConfig::real_time(cache).with_queue(if wheel {
+            QueueKind::Wheel
+        } else {
+            QueueKind::Heap
+        });
+        let (seq, seq_t) = serve_sharded_traced_with_workers(
+            &pool, Method::ReSV, &model, &plans, &cfg, policy, 1,
+        );
+        prop_assert_eq!(seq.workers, 1);
+        for workers in [2, vrex_core::par::workers()] {
+            let (par, par_t) = serve_sharded_traced_with_workers(
+                &pool, Method::ReSV, &model, &plans, &cfg, policy, workers,
+            );
+            prop_assert_eq!(
+                &par, &seq,
+                "parallel ({workers} workers) report drifted from sequential under {:?}",
+                policy
+            );
+            prop_assert_eq!(
+                &par_t, &seq_t,
+                "parallel ({workers} workers) traces drifted from sequential under {:?}",
+                policy
+            );
+            // Wall-clock metadata is observability, excluded from the
+            // equality above, but must be well-formed: one entry per
+            // device, and the clamped worker count recorded.
+            prop_assert_eq!(par.device_wall_ns.len(), devices);
+            prop_assert_eq!(par.workers, workers.clamp(1, devices));
+        }
     }
 
     /// Weak capacity monotonicity: adding a device to the pool never
