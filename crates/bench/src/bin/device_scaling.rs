@@ -46,7 +46,7 @@
 use std::io::Write;
 use std::time::Instant;
 
-use vrex_bench::par::{par_map, timed, workers};
+use vrex_bench::par::{nested_split, par_map_with_workers, timed, workers};
 use vrex_bench::report::{banner, f, Table};
 use vrex_model::ModelConfig;
 use vrex_system::{
@@ -112,7 +112,7 @@ fn fleet_grid(devices: usize, device_counts: &[usize], fleets_per_device: &[usiz
     fleets
 }
 
-fn sweep_unit(devices: usize, fleets: &[usize]) -> UnitResult {
+fn sweep_unit(devices: usize, fleets: &[usize], serve_workers: usize) -> UnitResult {
     let model = ModelConfig::llama3_8b();
     let sys = SystemModel::new(headline_device(), Method::ReSV);
     let pool = DevicePool::homogeneous(headline_device(), devices);
@@ -151,7 +151,7 @@ fn sweep_unit(devices: usize, fleets: &[usize]) -> UnitResult {
                 &plans,
                 &cfg,
                 policy,
-                workers(),
+                serve_workers,
                 &mut scratch,
             );
             let fabric = r.interconnect;
@@ -223,7 +223,15 @@ fn main() {
         .iter()
         .map(|&d| (d, fleet_grid(d, device_counts, fleets_per_device)))
         .collect();
-    let results = par_map(&units, |(d, fleets)| sweep_unit(*d, fleets));
+    // Nested fan-out: each outer unit runs sharded serves whose
+    // per-device loops fan out up to `largest_pool` ways on the same
+    // scoped-thread driver. Split the host's workers between the two
+    // levels so outer × inner never oversubscribes a small host.
+    let largest_pool = *device_counts.last().expect("at least one device count");
+    let (outer_workers, inner_workers) = nested_split(units.len(), largest_pool);
+    let results = par_map_with_workers(&units, outer_workers, |(d, fleets)| {
+        sweep_unit(*d, fleets, inner_workers)
+    });
     let sweep_s = sweep_clock.elapsed().as_secs_f64();
 
     let mut summary = Table::new([
@@ -279,7 +287,7 @@ fn main() {
     // byte-identical, and record the wall-clock ratio. The ≥2× gate
     // applies to the full sweep on a ≥4-core host driving ≥4 devices;
     // smaller hosts still record their honest numbers.
-    let largest = *device_counts.last().expect("at least one device count");
+    let largest = largest_pool;
     let big_fleet = fleets_per_device.last().expect("at least one fleet") * largest;
     let speedup_row = {
         let model = ModelConfig::llama3_8b();
@@ -357,7 +365,9 @@ fn main() {
                     "  {{\"devices\": {}, \"policy\": \"{}\", \"capacity\": {}, \
                      \"best_fleet\": {}, \"offered\": {}, \"admitted\": {}, \
                      \"migrations\": {}, \"migrated_bytes\": {}, \
-                     \"fabric_busy_ps\": {}, \"workers\": {}, \"wall_s\": {:.6}}}",
+                     \"fabric_busy_ps\": {}, \"workers\": {}, \
+                     \"outer_workers\": {outer_workers}, \
+                     \"inner_workers\": {inner_workers}, \"wall_s\": {:.6}}}",
                     unit.devices,
                     c.policy.label(),
                     c.capacity,
@@ -381,7 +391,8 @@ fn main() {
     }
 
     eprintln!(
-        "sweep wall-clock: {sweep_s:.3} s across {} worker(s), {} device count(s)",
+        "sweep wall-clock: {sweep_s:.3} s across {} worker(s) split \
+         {outer_workers} outer x {inner_workers} inner, {} device count(s)",
         workers(),
         device_counts.len()
     );

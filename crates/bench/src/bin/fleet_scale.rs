@@ -49,7 +49,7 @@
 use std::io::Write;
 use std::time::Instant;
 
-use vrex_bench::par::{par_map, workers};
+use vrex_bench::par::{nested_split, par_map_with_workers, workers};
 use vrex_bench::report::{banner, f, Table};
 use vrex_model::ModelConfig;
 use vrex_system::{
@@ -195,6 +195,7 @@ fn queue_label(q: QueueKind) -> &'static str {
     match q {
         QueueKind::Heap => "heap",
         QueueKind::Wheel => "wheel",
+        QueueKind::Auto => "auto",
     }
 }
 
@@ -233,7 +234,11 @@ fn main() {
 
     let units = grid(smoke, max_sessions);
     let clock = Instant::now();
-    let rows = par_map(&units, measure);
+    // Each unit is a single-device serve with no inner fan-out, so the
+    // worker split is trivially (workers, 1) — recorded in the JSON so
+    // nested sweeps and this flat one report through the same fields.
+    let (outer_workers, inner_workers) = nested_split(units.len(), 1);
+    let rows = par_map_with_workers(&units, outer_workers, measure);
     let sweep_wall = clock.elapsed().as_secs_f64();
 
     let mut t = Table::new([
@@ -312,7 +317,9 @@ fn main() {
             let c = r.report.counters;
             records.push(format!(
                 "  {{\"sessions\": {}, \"admission\": \"{}\", \"queue\": \"{}\", \
-                 \"replicas\": {}, \"workers\": {}, \"wall_s\": {:.6}, \
+                 \"replicas\": {}, \"workers\": {}, \
+                 \"outer_workers\": {outer_workers}, \
+                 \"inner_workers\": {inner_workers}, \"wall_s\": {:.6}, \
                  \"sessions_per_wall_s\": {:.1}, \
                  \"sim_vs_wall\": {:.1}, \"admitted\": {}, \"rejected\": {}, \
                  \"events_fired\": {}, \"batches_formed\": {}, \"queue_peak\": {}, \

@@ -11,13 +11,18 @@
 //!
 //! Axes: fleet size × cache length × device-memory budget (full vs.
 //! halved HBM at equal hierarchy) × admission policy (reject-only /
-//! tiered demand / tiered + prefetch).
+//! tiered demand / tiered + prefetch / tiered + cluster, where the
+//! last spills and restores at **hash-cluster** granularity with
+//! WiCSum-mass victim ranking instead of whole-session LRU).
 //!
 //! Usage: `tier_capacity [--smoke] [--overlap]` — `--smoke` shrinks
-//! the sweep for CI and asserts the headline result: at equal device
+//! the sweep for CI and asserts the headline results: at equal device
 //! memory, at least one configuration admits **more real-time
-//! streams** under tiering than under reject-only admission.
-//! `--overlap` adds a fourth policy row per unit — tiered+prefetch
+//! streams** under tiering than under reject-only admission, and on
+//! the headline V-Rex48+ReSV unit the cluster-granular policy moves
+//! strictly fewer restore bytes with strictly less tier-exposed time
+//! than flat tiered+prefetch while sustaining at least its real-time
+//! capacity. `--overlap` adds a fifth policy row per unit — tiered+prefetch
 //! under the **resource-timeline** execution model
 //! (`ServeConfig::overlap`): restores, fetches, and writebacks as
 //! contended PCIe-link tasks with up to two batches in flight — and
@@ -28,7 +33,7 @@
 //!
 //! Each platform × cache-length unit runs on its own sweep worker
 //! ([`vrex_bench::par`]) and shares one [`StepPriceCache`] across its
-//! 3 policies × 6 fleet sizes, so a repeated batch shape is priced
+//! 4 policies × 6 fleet sizes, so a repeated batch shape is priced
 //! once per unit rather than once per serve. Tables print in grid
 //! order afterwards — stdout is byte-identical to the sequential
 //! sweep; the wall-clock line goes to stderr.
@@ -67,6 +72,11 @@ fn policies(overlap: bool) -> Vec<Policy> {
         Policy {
             label: "tiered+prefetch",
             admission: AdmissionPolicy::tiered_speculative(),
+            overlap: false,
+        },
+        Policy {
+            label: "tiered+cluster",
+            admission: AdmissionPolicy::tiered_cluster(),
             overlap: false,
         },
     ];
@@ -179,11 +189,15 @@ fn run(
 }
 
 /// One (platform, cache length) grid unit's rendered output and
-/// per-policy best real-time stream counts.
+/// per-policy best real-time stream counts, plus the restore traffic
+/// and tier-exposed time each policy accumulated across the fleet
+/// grid (the cluster-vs-flat smoke assertions compare these).
 struct UnitResult {
     heading: String,
     table: Table,
     rt: Vec<usize>,
+    restored_bytes: Vec<u64>,
+    exposed_s: Vec<f64>,
 }
 
 fn sweep_unit(
@@ -214,10 +228,16 @@ fn sweep_unit(
     // policy (same order as `policies()`).
     let pols = policies(overlap);
     let mut rt = vec![0usize; pols.len()];
+    let mut restored_bytes = vec![0u64; pols.len()];
+    let mut exposed_s = vec![0f64; pols.len()];
     for (pi, policy) in pols.iter().enumerate() {
         for &n in fleets {
             let r = run(&mut prices, cache, n, policy.admission, policy.overlap);
             rt[pi] = rt[pi].max(r.real_time_sessions);
+            if let Some(tr) = &r.tiering {
+                restored_bytes[pi] += tr.restored_bytes;
+                exposed_s[pi] += tr.exposed_s;
+            }
             let (spilled, restored, exposed, hidden) = match &r.tiering {
                 Some(tr) => (
                     tr.spilled_sessions.to_string(),
@@ -249,6 +269,8 @@ fn sweep_unit(
         ),
         table: t,
         rt,
+        restored_bytes,
+        exposed_s,
     }
 }
 
@@ -271,6 +293,7 @@ fn main() {
         "RT streams (reject)",
         "RT (tiered demand)",
         "RT (tiered+prefetch)",
+        "RT (tiered+cluster)",
     ];
     if overlap {
         headers.push("RT (tiered+overlap)");
@@ -312,9 +335,10 @@ fn main() {
             rt[0].to_string(),
             rt[1].to_string(),
             rt[2].to_string(),
+            rt[3].to_string(),
         ];
         if overlap {
-            row.push(rt[3].to_string());
+            row.push(rt[4].to_string());
             // The acceptance pin: on the headline halved-HBM
             // V-Rex48 + ReSV configuration at 32K tokens,
             // resource-timeline execution must sustain at least the
@@ -326,16 +350,51 @@ fn main() {
             // removes, so only the 32K row is pinned.)
             if ui < caches.len() && *cache == 32_000 {
                 assert!(
-                    rt[3] >= rt[2],
+                    rt[4] >= rt[2],
                     "{}: overlap capacity {} trails serialized {} at {}K",
                     cfg.sys.label(),
-                    rt[3],
+                    rt[4],
                     rt[2],
                     cache / 1000
                 );
             }
         }
         summary.row(row);
+        // The cluster-granularity acceptance pins, asserted on the
+        // smoke headline (halved-HBM V-Rex48 + ReSV at 32K): spilling
+        // and restoring at hash-cluster granularity must move strictly
+        // fewer restore bytes, expose strictly less tier time, and
+        // sustain at least the flat prefetch policy's real-time
+        // capacity (>= the pinned 12 streams).
+        if smoke && ui == 0 {
+            assert!(
+                unit.restored_bytes[3] < unit.restored_bytes[2],
+                "cluster restore traffic {} B is not strictly below flat prefetch {} B",
+                unit.restored_bytes[3],
+                unit.restored_bytes[2]
+            );
+            assert!(
+                unit.exposed_s[3] < unit.exposed_s[2],
+                "cluster tier-exposed {:.3} s is not strictly below flat prefetch {:.3} s",
+                unit.exposed_s[3],
+                unit.exposed_s[2]
+            );
+            assert!(
+                rt[3] >= rt[2] && rt[3] >= 12,
+                "cluster real-time capacity {} trails flat prefetch {} (pin: >= 12)",
+                rt[3],
+                rt[2]
+            );
+            println!(
+                "OK: cluster-granular tiering restores {:.2} GiB vs {:.2} GiB flat \
+                 ({:.2} s vs {:.2} s exposed) at {} real-time streams.",
+                unit.restored_bytes[3] as f64 / (1u64 << 30) as f64,
+                unit.restored_bytes[2] as f64 / (1u64 << 30) as f64,
+                unit.exposed_s[3],
+                unit.exposed_s[2],
+                rt[3]
+            );
+        }
     }
 
     banner("Real-time stream capacity by admission policy");

@@ -176,6 +176,32 @@ mod tests {
     }
 
     #[test]
+    fn monotone_rows_select_a_hotness_prefix() {
+        // The cluster-granular KV tier (`vrex_system::memory`) keys
+        // each session's clusters by coldness rank and models the
+        // spilled set as a contiguous cold prefix. That model is
+        // exactly WiCSum's behaviour on a rank-sorted row: when
+        // scores are monotone decreasing (distinct), the selection is
+        // the hottest prefix [0, k) — never a cluster skipped in
+        // favour of a colder one — so "protect the top ceil(ratio * n)
+        // ranks" and "run WiCSum over the rank-sorted masses" agree.
+        let scores = [13.0f32, 8.0, 5.0, 3.0, 2.0, 1.0, 0.5];
+        let counts = [4usize, 4, 4, 4, 4, 4, 4];
+        for ratio in [0.0, 0.2, 0.327, 0.5, 0.8, 0.95] {
+            let sel = wicsum_select_row(&scores, &counts, ratio);
+            let prefix: Vec<usize> = (0..sel.len()).collect();
+            assert_eq!(sel, prefix, "ratio {ratio}: selection is not a rank prefix");
+        }
+        // And the prefix length is monotone in the threshold ratio.
+        let mut last = 0;
+        for ratio in [0.1, 0.3, 0.5, 0.7, 0.9] {
+            let len = wicsum_select_row(&scores, &counts, ratio).len();
+            assert!(len >= last, "ratio {ratio}: prefix shrank {last} -> {len}");
+            last = len;
+        }
+    }
+
+    #[test]
     fn rows_helper_matches_row_calls() {
         let m = vrex_tensor::Matrix::from_rows(&[&[1.0, 5.0, 2.0], &[4.0, 0.5, 4.0]]);
         let counts = [1, 2, 1];

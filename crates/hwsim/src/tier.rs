@@ -182,6 +182,21 @@ impl TierPath {
             + self.migrate_ps(MemTier::Ssd, MemTier::Device, ssd_bytes, chunk_bytes)
     }
 
+    /// Duration (ps) of migrating a contiguous run of `clusters`
+    /// hash clusters of `cluster_bytes` each between two tiers. The
+    /// run streams as one transfer DMA-chunked at the cluster size —
+    /// the cluster-granular cold-data path in `vrex_system::memory`
+    /// moves coalesced cluster runs, so its chunk *is* the cluster.
+    pub fn cluster_run_ps(
+        &self,
+        from: MemTier,
+        to: MemTier,
+        clusters: u64,
+        cluster_bytes: u64,
+    ) -> u64 {
+        self.migrate_ps(from, to, clusters * cluster_bytes, cluster_bytes)
+    }
+
     /// Sustained migration bandwidth (bytes/s) between two tiers at a
     /// chunk size, measured over a 64 MiB transfer.
     pub fn bandwidth_bytes_per_s(&self, from: MemTier, to: MemTier, chunk_bytes: u64) -> f64 {
@@ -246,6 +261,35 @@ mod tests {
         assert_eq!(
             p.migrate_ps(MemTier::Host, MemTier::Device, bytes, chunk),
             expected
+        );
+    }
+
+    #[test]
+    fn cluster_run_is_pcie_bound_hand_computed_oracle() {
+        // A coalesced run of 8 × 128 KiB ReSV clusters, host → device
+        // on PCIe 4.0 ×16, DMA-chunked at the cluster size. By hand:
+        //   bytes  = 8·131_072 = 1_048_576;  chunks = 8
+        //   TLPs   = 1_048_576/256 + 8 = 4104
+        //   wire   = 1_048_576 + 4104·24 = 1_147_072 B
+        //   total  = wire/32e9·1e12 + 8·400_000 ps
+        let p = server_path();
+        let cluster: u64 = 128 << 10;
+        let bytes = 8 * cluster;
+        let tlps = bytes / 256 + 8;
+        let wire_bytes = bytes + tlps * 24;
+        let expected = seconds_to_ps(wire_bytes as f64 / 32.0e9) + 8 * 400_000;
+        assert_eq!(
+            p.cluster_run_ps(MemTier::Host, MemTier::Device, 8, cluster),
+            expected
+        );
+        // One run of n clusters is exactly one chunked migration.
+        assert_eq!(
+            p.cluster_run_ps(MemTier::Host, MemTier::Device, 8, cluster),
+            p.migrate_ps(MemTier::Host, MemTier::Device, bytes, cluster)
+        );
+        assert_eq!(
+            p.cluster_run_ps(MemTier::Ssd, MemTier::Device, 0, cluster),
+            0
         );
     }
 

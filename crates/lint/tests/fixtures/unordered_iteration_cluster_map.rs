@@ -1,0 +1,28 @@
+//! Fixture: `unordered-iteration` on a per-session *cluster residency*
+//! map — the hazard the cluster-granular KV tier avoids. Spill victim
+//! selection and restore planning iterate a session's spilled
+//! clusters; over a `HashMap` the victim order would vary run to run,
+//! so the shipped manager keys spilled clusters by coldness rank in a
+//! `BTreeMap` and iteration order *is* the ranking.
+
+use std::collections::{BTreeMap, HashMap};
+
+fn single_cluster_lookup_is_fine(spilled: HashMap<u64, u64>, rank: u64) -> u64 {
+    spilled.get(&rank).copied().unwrap_or(0)
+}
+
+fn coldest_cluster_over_hash_map_fires(spilled: HashMap<u64, u64>) -> Option<u64> {
+    spilled.iter().map(|(rank, _)| *rank).min()
+}
+
+fn spilled_bytes_over_values_fires(spilled: HashMap<u64, u64>) -> u64 {
+    let mut total = 0;
+    for bytes in spilled.values() {
+        total += bytes;
+    }
+    total
+}
+
+fn rank_ordered_cluster_map_is_fine(by_rank: BTreeMap<u64, u64>) -> u64 {
+    by_rank.iter().map(|(_, bytes)| *bytes).sum()
+}

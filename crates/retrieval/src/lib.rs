@@ -19,10 +19,11 @@
 //!
 //! The [`prefetch`] module adds the *timing* half of the retrieval
 //! story: the [`PrefetchPolicy`] seam decides whether spilled KV is
-//! demand-fetched ([`NoPrefetch`]) or speculatively streamed up ahead
-//! of the step ([`SpeculativePrefetch`], InfiniGen-style) — the hook
-//! the tiered serving scheduler in `vrex-system` prices migrations
-//! through.
+//! demand-fetched ([`NoPrefetch`]), speculatively streamed up ahead of
+//! the step as a flat byte fraction ([`SpeculativePrefetch`],
+//! InfiniGen-style), or speculated as a WiCSum-ranked hash-cluster set
+//! ([`ClusterPrefetch`]) — the hook the tiered serving scheduler in
+//! `vrex-system` prices migrations through.
 
 #![warn(missing_docs)]
 
@@ -36,5 +37,5 @@ pub mod scoring;
 pub use flexgen::FlexGenPolicy;
 pub use infinigen::{InfiniGenPPolicy, InfiniGenPolicy};
 pub use oaken::OakenModel;
-pub use prefetch::{NoPrefetch, PrefetchPolicy, SpeculativePrefetch};
+pub use prefetch::{ClusterPrefetch, NoPrefetch, PrefetchPolicy, SpeculativePrefetch};
 pub use rekv::RekvPolicy;

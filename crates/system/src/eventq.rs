@@ -86,6 +86,32 @@ pub enum QueueKind {
     /// Hierarchical timer wheel — amortized `O(1)` at fleet scale.
     #[default]
     Wheel,
+    /// Pick per run from the fleet-size hint: heap below
+    /// [`AUTO_WHEEL_THRESHOLD`] sessions, wheel at or above it. The
+    /// serving entry points resolve this against
+    /// `PlanSource::remaining_hint` before constructing the queue, so
+    /// either way the run is bit-identical to the kind it delegates to
+    /// (property-pinned).
+    Auto,
+}
+
+/// Fleet-size threshold where [`QueueKind::Auto`] switches from heap
+/// to wheel: the geometric midpoint of the measured 10⁵–10⁶ crossover
+/// in the ARCHITECTURE.md `fleet_scale` table (heap ahead up to ~15%
+/// at 10⁵ reject-only, wheel ahead ~8–10% from 10⁵ tiered through 10⁶).
+pub const AUTO_WHEEL_THRESHOLD: usize = 316_228;
+
+impl QueueKind {
+    /// Resolves `Auto` against a fleet-size hint; `Heap` and `Wheel`
+    /// return themselves unchanged.
+    #[must_use]
+    pub fn resolve(self, remaining_hint: usize) -> QueueKind {
+        match self {
+            QueueKind::Auto if remaining_hint < AUTO_WHEEL_THRESHOLD => QueueKind::Heap,
+            QueueKind::Auto => QueueKind::Wheel,
+            other => other,
+        }
+    }
 }
 
 /// log2 of the finest slot width in ps (2²⁴ ps ≈ 16.8 µs).
@@ -267,8 +293,12 @@ impl<T: Ord + TimeKeyed> EventQueue<T> {
         match kind {
             QueueKind::Heap => EventQueue::Heap(BinaryHeap::with_capacity(capacity)),
             // The wheel spreads items across buckets; its heap only
-            // ever holds one slot's worth.
-            QueueKind::Wheel => EventQueue::Wheel(TimerWheel::with_capacity(64.min(capacity))),
+            // ever holds one slot's worth. A bare `Auto` (callers
+            // should resolve it against the fleet hint first) gets the
+            // fleet-scale default.
+            QueueKind::Wheel | QueueKind::Auto => {
+                EventQueue::Wheel(TimerWheel::with_capacity(64.min(capacity)))
+            }
         }
     }
 
@@ -468,6 +498,25 @@ mod tests {
                     break;
                 }
             }
+        }
+    }
+
+    #[test]
+    fn auto_resolves_at_the_measured_crossover() {
+        assert_eq!(QueueKind::Auto.resolve(0), QueueKind::Heap);
+        assert_eq!(
+            QueueKind::Auto.resolve(AUTO_WHEEL_THRESHOLD - 1),
+            QueueKind::Heap
+        );
+        assert_eq!(
+            QueueKind::Auto.resolve(AUTO_WHEEL_THRESHOLD),
+            QueueKind::Wheel
+        );
+        assert_eq!(QueueKind::Auto.resolve(usize::MAX), QueueKind::Wheel);
+        // Concrete kinds resolve to themselves regardless of the hint.
+        for hint in [0, AUTO_WHEEL_THRESHOLD, usize::MAX] {
+            assert_eq!(QueueKind::Heap.resolve(hint), QueueKind::Heap);
+            assert_eq!(QueueKind::Wheel.resolve(hint), QueueKind::Wheel);
         }
     }
 

@@ -35,12 +35,15 @@
 //! [`TieredKvManager::take_migrations`], and both are priced in
 //! [`MIGRATION_CHUNK_BYTES`] DMA chunks.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::hash::BuildHasherDefault;
 
 use vrex_hwsim::tier::{MemTier, TierCapacities, TierPath};
 use vrex_model::ModelConfig;
-use vrex_retrieval::prefetch::{NoPrefetch, PrefetchPolicy, PrefetchRequest, SpeculativePrefetch};
+use vrex_retrieval::prefetch::{
+    ClusterPrefetch, ClusterPrefetchRequest, NoPrefetch, PrefetchPolicy, PrefetchRequest,
+    SpeculativePrefetch,
+};
 
 use crate::e2e::SystemModel;
 use crate::pricing::PriceKeyHasher;
@@ -78,6 +81,15 @@ impl AdmissionPolicy {
             prefetch: PrefetchMode::Demand,
         }
     }
+
+    /// Tiered admission with WiCSum-ranked cluster-granular
+    /// speculation: spill and restore move hash-cluster sets instead of
+    /// flat byte fractions of whole sessions.
+    pub fn tiered_cluster() -> Self {
+        AdmissionPolicy::Tiered {
+            prefetch: PrefetchMode::Cluster { accuracy: 0.9 },
+        }
+    }
 }
 
 /// When restore migrations are issued, relative to the step that needs
@@ -93,6 +105,16 @@ pub enum PrefetchMode {
         /// Fraction of speculated bytes that are the right ones.
         accuracy: f64,
     },
+    /// Restores are planned as a WiCSum-ranked hash-cluster set: the
+    /// predicted-hot cluster prefix streams up from work-visibility,
+    /// and only mispredicted tail clusters are demand-fetched at batch
+    /// formation (the [`ClusterPrefetch`] policy). The manager must
+    /// have cluster tracking enabled
+    /// ([`TieredKvManager::with_cluster_mode`]).
+    Cluster {
+        /// Fraction of predicted clusters that are the right ones.
+        accuracy: f64,
+    },
 }
 
 impl PrefetchMode {
@@ -103,7 +125,17 @@ impl PrefetchMode {
             PrefetchMode::Speculative { accuracy } => Box::new(SpeculativePrefetch {
                 accuracy: *accuracy,
             }),
+            PrefetchMode::Cluster { accuracy } => Box::new(ClusterPrefetch {
+                accuracy: *accuracy,
+            }),
         }
+    }
+
+    /// Whether this mode speculates at hash-cluster granularity (the
+    /// serving scheduler enables the manager's cluster tracking for
+    /// it).
+    pub fn is_cluster(&self) -> bool {
+        matches!(self, PrefetchMode::Cluster { .. })
     }
 }
 
@@ -142,6 +174,73 @@ pub struct RestoreOutcome {
     pub miss_ps: u64,
     /// Migration time left exposed on the critical path (ps).
     pub exposed_ps: u64,
+    /// Bytes restored speculatively (in flight from work-visibility;
+    /// cluster plans only, zero on flat plans).
+    pub spec_bytes: u64,
+    /// Bytes demand-fetched at batch formation (cluster plans only).
+    pub demand_bytes: u64,
+    /// Clusters restored speculatively.
+    pub spec_clusters: u64,
+    /// Mispredicted clusters that were spilled and had to be
+    /// demand-fetched.
+    pub demand_clusters: u64,
+    /// Total mispredicted clusters (including ones that happened to be
+    /// device-resident and cost nothing).
+    pub mispredicted_clusters: u64,
+}
+
+/// Per-session hash-cluster residency: which clusters sit below the
+/// device tier, keyed by **coldness rank** (0 = coldest cluster by the
+/// previous step's WiCSum mass). The spilled set is always a
+/// contiguous key prefix `[0, s)`: demotion appends the next-coldest
+/// rank, promotion pops the hottest spilled rank, so candidate
+/// discovery is O(1) and iteration order is the ranking itself. Bytes
+/// are frozen at demotion time; the session's device bytes are the
+/// residency total minus the map's bytes.
+#[derive(Debug, Clone, Default)]
+struct ClusterState {
+    /// Spilled clusters by coldness rank. A `BTreeMap` keeps victim
+    /// selection and restore planning in deterministic rank order.
+    spilled: BTreeMap<u64, SpilledCluster>,
+    /// Steps this session has committed — rotates which tail clusters
+    /// the misprediction model touches, so demand fetches are
+    /// deterministic without a PRNG.
+    step_seq: u64,
+}
+
+/// One spilled cluster's location and frozen size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct SpilledCluster {
+    tier: MemTier,
+    bytes: u64,
+}
+
+/// Cluster-mode knobs, fixed per manager instance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct ClusterModeCfg {
+    /// Bytes per hash cluster (the method's fetch chunk).
+    cluster_bytes: u64,
+    /// Fraction of each session's clusters (the WiCSum-hot prefix)
+    /// protected from first-pass spill.
+    protected_ratio: f64,
+}
+
+/// Ceiling on tracked clusters per session. Token-granular methods
+/// (4 KiB fetch chunks on multi-GiB sessions) would otherwise mean
+/// millions of per-cluster entries and O(clusters) restore planning
+/// every step; above the cap, adjacent fetch chunks are DMA-chained
+/// into one migration granule. Methods whose chunk already keeps a
+/// session under the cap (e.g. ReSV frame clusters) are unaffected.
+const MAX_CLUSTERS_PER_SESSION: u64 = 16384;
+
+impl ClusterModeCfg {
+    /// Effective migration granule for a session of `total` bytes:
+    /// the method's fetch chunk, chained up just enough to respect
+    /// [`MAX_CLUSTERS_PER_SESSION`].
+    fn granule(&self, total: u64) -> u64 {
+        self.cluster_bytes
+            .max(total.div_ceil(MAX_CLUSTERS_PER_SESSION))
+    }
 }
 
 /// One bulk KV migration the residency policy decided on — emitted by
@@ -181,8 +280,30 @@ pub struct RestorePlan {
     /// Link time of the SSD leg (ps).
     pub ssd_ps: u64,
     /// Fraction of the restore the prefetch policy covers ahead of the
-    /// step (already scaled by speculation accuracy).
+    /// step (already scaled by speculation accuracy). For cluster
+    /// plans this is the speculated byte share, kept for display — the
+    /// schedulers split cluster plans with exact integer byte ratios
+    /// instead.
     pub coverage: f64,
+    /// Bytes of the restore that are speculated (in flight from
+    /// work-visibility). Cluster plans only; zero on flat plans.
+    pub spec_bytes: u64,
+    /// Bytes demand-fetched at batch formation (mispredicted
+    /// clusters). Cluster plans only.
+    pub demand_bytes: u64,
+    /// Whether this is a cluster-granular plan (`spec_bytes` /
+    /// `demand_bytes` partition [`Self::bytes`] and the hidden share
+    /// must use integer byte math).
+    pub cluster: bool,
+    /// Session the plan belongs to — [`TieredKvManager::commit_restore`]
+    /// advances that session's cluster step sequence.
+    pub session: usize,
+    /// Clusters restored speculatively.
+    pub spec_clusters: u64,
+    /// Mispredicted clusters that were spilled and demand-fetched.
+    pub demand_clusters: u64,
+    /// Total mispredicted clusters (spilled or not).
+    pub mispredicted_clusters: u64,
 }
 
 impl RestorePlan {
@@ -228,6 +349,12 @@ pub struct TieredKvManager {
     /// are small, so a sorted vec beats a tree map on both lookup and
     /// the victim/promotion scans that iterate it in id order).
     sessions: Vec<(usize, Residency)>,
+    /// Cluster-granular cold-data tracking, populated only when
+    /// [`Self::with_cluster_mode`] enabled it. Sorted by session id in
+    /// lockstep with `sessions`; the per-session `Residency` summary
+    /// stays authoritative for byte totals.
+    cluster_mode: Option<ClusterModeCfg>,
+    clusters: Vec<(usize, ClusterState)>,
     /// Fleet-wide resident bytes per tier (device, host, ssd), kept
     /// incrementally so the per-step budget checks are O(1) instead of
     /// a fleet scan (the scheduler grows streams every batch).
@@ -255,6 +382,8 @@ impl TieredKvManager {
             path,
             chunk_bytes: MIGRATION_CHUNK_BYTES,
             sessions: Vec::new(),
+            cluster_mode: None,
+            clusters: Vec::new(),
             used: [0; 3],
             ever_spilled: std::collections::BTreeSet::new(),
             stats: TierStats::default(),
@@ -270,6 +399,50 @@ impl TieredKvManager {
     /// platform's host DRAM / SSD.
     pub fn for_system(sys: &SystemModel, model: &ModelConfig) -> Self {
         Self::new(sys.kv_tier_capacities(model), sys.tier_path())
+    }
+
+    /// Enables cluster-granular cold-data tracking: resident demand is
+    /// modelled as `ceil(total / cluster_bytes)` hash clusters (chained
+    /// into coarser granules past 16384 clusters per session) ranked
+    /// by the previous step's WiCSum mass, spill victims are the
+    /// coldest *clusters* of any session (the hottest
+    /// `ceil(protected_ratio · n)` clusters of each session are
+    /// protected from first-pass eviction), and restores move only the
+    /// speculated-plus-mispredicted cluster set. Must be called before
+    /// any stream is admitted; migrations are priced in cluster-sized
+    /// chunks from here on.
+    pub fn with_cluster_mode(mut self, cluster_bytes: u64, protected_ratio: f64) -> Self {
+        debug_assert!(
+            self.sessions.is_empty(),
+            "enable cluster mode before admitting streams"
+        );
+        self.cluster_mode = Some(ClusterModeCfg {
+            cluster_bytes: cluster_bytes.max(1),
+            protected_ratio: protected_ratio.clamp(0.0, 1.0),
+        });
+        self
+    }
+
+    /// Cluster-mode knobs, if enabled: `(cluster_bytes,
+    /// protected_ratio)`.
+    pub fn cluster_params(&self) -> Option<(u64, f64)> {
+        self.cluster_mode
+            .map(|c| (c.cluster_bytes, c.protected_ratio))
+    }
+
+    /// One stream's spilled clusters as `(coldness_rank, tier, bytes)`
+    /// in ascending rank order (coldest first). Empty when the stream
+    /// is fully device-resident or cluster mode is off.
+    pub fn spilled_clusters(&self, id: usize) -> Vec<(u64, MemTier, u64)> {
+        match self.cluster_slot(id) {
+            Ok(i) => self.clusters[i]
+                .1
+                .spilled
+                .iter()
+                .map(|(&k, c)| (k, c.tier, c.bytes))
+                .collect(),
+            Err(_) => Vec::new(),
+        }
     }
 
     /// The tier budgets.
@@ -324,6 +497,11 @@ impl TieredKvManager {
         self.sessions.binary_search_by_key(&id, |&(sid, _)| sid)
     }
 
+    /// Slot of `id` in the sorted cluster-state vec.
+    fn cluster_slot(&self, id: usize) -> Result<usize, usize> {
+        self.clusters.binary_search_by_key(&id, |(sid, _)| *sid)
+    }
+
     /// Statistics so far.
     pub fn stats(&self) -> TierStats {
         self.stats
@@ -375,7 +553,13 @@ impl TieredKvManager {
             return ps;
         }
         self.price_misses += 1;
-        let ps = self.path.migrate_ps(from, to, bytes, self.chunk_bytes);
+        // In cluster mode migrations stream at cluster granularity —
+        // the memo key stays (route, bytes) because the chunk size is
+        // fixed for the manager's lifetime.
+        let chunk = self
+            .cluster_mode
+            .map_or(self.chunk_bytes, |c| c.cluster_bytes);
+        let ps = self.path.migrate_ps(from, to, bytes, chunk);
         self.migration_prices.insert(key, ps);
         ps
     }
@@ -410,6 +594,14 @@ impl TieredKvManager {
         };
         let r = self.sessions[slot].1;
         let ratio = ratio.clamp(0.0, 1.0);
+        if let Some(cfg) = self.cluster_mode {
+            if let Some(plan) = self.cluster_restore_plan(id, &r, ratio, generation, cfg, prefetch)
+            {
+                return plan;
+            }
+            // A cluster-blind policy on a cluster-mode manager falls
+            // back to the flat byte math below (reference path).
+        }
         let host_bytes = (r.host_bytes as f64 * ratio).ceil() as u64;
         let ssd_bytes = (r.ssd_bytes as f64 * ratio).ceil() as u64;
         let host_ps = self.migration_price_ps(MemTier::Host, MemTier::Device, host_bytes);
@@ -428,7 +620,90 @@ impl TieredKvManager {
             host_ps,
             ssd_ps,
             coverage: plan.coverage(host_bytes + ssd_bytes),
+            ..RestorePlan::default()
         }
+    }
+
+    /// Cluster-granular restore plan: intersect the policy's predicted
+    /// hot cluster set with this session's spilled clusters
+    /// (speculated legs), plus the mispredicted tail clusters that
+    /// turn out to be spilled (demand legs). `None` when the policy is
+    /// cluster-blind.
+    fn cluster_restore_plan(
+        &mut self,
+        id: usize,
+        r: &Residency,
+        ratio: f64,
+        generation: bool,
+        cfg: ClusterModeCfg,
+        prefetch: &dyn PrefetchPolicy,
+    ) -> Option<RestorePlan> {
+        let Ok(ci) = self.cluster_slot(id) else {
+            return None;
+        };
+        let total = r.total_bytes();
+        let n = total.div_ceil(cfg.granule(total));
+        let step_seq = self.clusters[ci].1.step_seq;
+        let cp = prefetch.cluster_plan(&ClusterPrefetchRequest {
+            clusters: n,
+            selection_ratio: ratio,
+            generation,
+            step_seq,
+        })?;
+        let predicted = cp.predicted.min(n);
+        let tail = n - predicted;
+        let mispredicted = cp.mispredicted.min(tail);
+        // Predicted-hot clusters are hotness ranks [0, predicted) =
+        // coldness ranks [tail, n); the spilled ones stream up
+        // speculatively from work-visibility.
+        let spilled = &self.clusters[ci].1.spilled;
+        let mut spec = [0u64; 3];
+        let mut spec_clusters = 0u64;
+        for c in spilled.range(tail..).map(|(_, c)| c) {
+            spec[tier_index(c.tier)] += c.bytes;
+            spec_clusters += 1;
+        }
+        // Mispredictions rotate deterministically through the tail
+        // (coldness ranks [0, tail)); only the ones that are actually
+        // spilled cost a demand fetch.
+        let mut demand = [0u64; 3];
+        let mut demand_clusters = 0u64;
+        if tail > 0 {
+            for j in 0..mispredicted {
+                let cold = (step_seq + j) % tail;
+                if let Some(c) = spilled.get(&cold) {
+                    demand[tier_index(c.tier)] += c.bytes;
+                    demand_clusters += 1;
+                }
+            }
+        }
+        let host_bytes = spec[1] + demand[1];
+        let ssd_bytes = spec[2] + demand[2];
+        let host_ps = self.migration_price_ps(MemTier::Host, MemTier::Device, host_bytes);
+        let ssd_ps = self.migration_price_ps(MemTier::Ssd, MemTier::Device, ssd_bytes);
+        let spec_bytes = spec[1] + spec[2];
+        let demand_bytes = demand[1] + demand[2];
+        let bytes = spec_bytes + demand_bytes;
+        Some(RestorePlan {
+            host_bytes,
+            ssd_bytes,
+            host_ps,
+            ssd_ps,
+            // Display-only for cluster plans; the schedulers split
+            // hidden time with exact integer byte ratios instead.
+            coverage: if bytes > 0 {
+                spec_bytes as f64 / bytes as f64
+            } else {
+                0.0
+            },
+            spec_bytes,
+            demand_bytes,
+            cluster: true,
+            session: id,
+            spec_clusters,
+            demand_clusters,
+            mispredicted_clusters: mispredicted,
+        })
     }
 
     /// Records the outcome of one step's restore plan: a zero-byte plan
@@ -438,6 +713,13 @@ impl TieredKvManager {
     /// `hidden_ps + exposed_ps == plan.miss_ps()`.
     pub fn commit_restore(&mut self, plan: &RestorePlan, hidden_ps: u64, exposed_ps: u64) {
         debug_assert_eq!(hidden_ps + exposed_ps, plan.miss_ps());
+        // Cluster plans advance the session's step sequence even on a
+        // hit, so the misprediction rotation tracks executed steps.
+        if plan.cluster {
+            if let Ok(i) = self.cluster_slot(plan.session) {
+                self.clusters[i].1.step_seq += 1;
+            }
+        }
         if plan.miss_ps() == 0 {
             self.stats.tier_hit_steps += 1;
             return;
@@ -456,6 +738,11 @@ impl TieredKvManager {
             Ok(i) => i,
             Err(i) => {
                 self.sessions.insert(i, (id, Residency::default()));
+                if self.cluster_mode.is_some() {
+                    if let Err(ci) = self.cluster_slot(id) {
+                        self.clusters.insert(ci, (id, ClusterState::default()));
+                    }
+                }
                 i
             }
         };
@@ -493,6 +780,9 @@ impl TieredKvManager {
             for tier in MemTier::ALL {
                 self.used[tier_index(tier)] -= tier_bytes(&r, tier);
             }
+            if let Ok(ci) = self.cluster_slot(id) {
+                self.clusters.remove(ci);
+            }
         }
         self.promote_into_free();
     }
@@ -520,8 +810,20 @@ impl TieredKvManager {
         }
         let plan = self.plan_restore(id, ratio, generation, prefetch);
         let miss_ps = plan.miss_ps();
-        // vrex-lint: allow(float-time) — prefetch coverage is a float model knob; the hidden share is floored to integer ps here, before any deadline arithmetic sees it.
-        let hidden = ((miss_ps as f64 * plan.coverage) as u64).min(window_ps);
+        let hidden = if plan.cluster {
+            // Cluster plans partition the restore into exact byte sets:
+            // the speculated share hides in integer math, no float knob.
+            if plan.bytes() == 0 {
+                0
+            } else {
+                let spec =
+                    (miss_ps as u128 * plan.spec_bytes as u128 / plan.bytes() as u128) as u64;
+                spec.min(window_ps)
+            }
+        } else {
+            // vrex-lint: allow(float-time) — prefetch coverage is a float model knob; the hidden share is floored to integer ps here, before any deadline arithmetic sees it.
+            ((miss_ps as f64 * plan.coverage) as u64).min(window_ps)
+        };
         self.commit_restore(&plan, hidden, miss_ps - hidden);
         if miss_ps == 0 {
             return RestoreOutcome::default();
@@ -529,13 +831,25 @@ impl TieredKvManager {
         RestoreOutcome {
             miss_ps,
             exposed_ps: miss_ps - hidden,
+            spec_bytes: plan.spec_bytes,
+            demand_bytes: plan.demand_bytes,
+            spec_clusters: plan.spec_clusters,
+            demand_clusters: plan.demand_clusters,
+            mispredicted_clusters: plan.mispredicted_clusters,
         }
     }
 
-    /// Demotes coldest-stream bytes until device and host budgets hold.
+    /// Demotes coldest bytes until device and host budgets hold —
+    /// whole coldest streams in flat mode, coldest *clusters* of any
+    /// stream in cluster mode.
     fn spill_down(&mut self) {
-        self.spill_tier(MemTier::Device);
-        self.spill_tier(MemTier::Host);
+        if let Some(cfg) = self.cluster_mode {
+            self.spill_tier_clusters(MemTier::Device, cfg);
+            self.spill_tier_clusters(MemTier::Host, cfg);
+        } else {
+            self.spill_tier(MemTier::Device);
+            self.spill_tier(MemTier::Host);
+        }
     }
 
     fn spill_tier(&mut self, tier: MemTier) {
@@ -596,8 +910,247 @@ impl TieredKvManager {
         }
     }
 
+    /// Cluster-granular spill: while `tier` is over budget, demote the
+    /// coldest clusters of the coldest sessions. Pass 1 only takes
+    /// each session's unprotected cold tail; pass 2 (pressure still
+    /// unresolved) may evict protected WiCSum-hot clusters too — a hot
+    /// session's cold clusters leave before any session's hot ones.
+    fn spill_tier_clusters(&mut self, tier: MemTier, cfg: ClusterModeCfg) {
+        let src = tier_index(tier);
+        if self.used[src] <= self.caps.capacity(tier) {
+            return;
+        }
+        // Coldest sessions first; ties resolve to the smaller id.
+        let mut order: Vec<usize> = (0..self.sessions.len()).collect();
+        order.sort_by(|&a, &b| {
+            self.sessions[a]
+                .1
+                .last_active_ps
+                .cmp(&self.sessions[b].1.last_active_ps)
+                .then(self.sessions[a].0.cmp(&self.sessions[b].0))
+        });
+        for protected_pass in [false, true] {
+            for &si in &order {
+                if self.used[src] <= self.caps.capacity(tier) {
+                    return;
+                }
+                if !self.demote_session_clusters(si, tier, cfg, protected_pass) {
+                    // Hierarchy full: leave the tier over budget
+                    // (admission control prevents this in practice).
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Demotes clusters of one session out of `tier` until the tier
+    /// fits or the session has nothing (in this pass's class) left.
+    /// Returns `false` when no lower tier has room for a cluster.
+    fn demote_session_clusters(
+        &mut self,
+        si: usize,
+        tier: MemTier,
+        cfg: ClusterModeCfg,
+        protected_pass: bool,
+    ) -> bool {
+        let src = tier_index(tier);
+        let cap = self.caps.capacity(tier);
+        let id = self.sessions[si].0;
+        let Ok(ci) = self.cluster_slot(id) else {
+            return true;
+        };
+        let total = self.sessions[si].1.total_bytes();
+        if total == 0 {
+            return true;
+        }
+        let granule = cfg.granule(total);
+        let n = total.div_ceil(granule);
+        let protected = protected_clusters(n, cfg.protected_ratio);
+        // Coldness ranks this pass may demote up to: the unprotected
+        // tail first, the whole session only under residual pressure.
+        let limit = if protected_pass { n } else { n - protected };
+        // Coalesce consecutive same-route clusters into one task.
+        let mut run_to: Option<MemTier> = None;
+        let mut run_bytes = 0u64;
+        let mut demoted = false;
+        let ok = loop {
+            if self.used[src] <= cap {
+                break true;
+            }
+            // Next coldest candidate in this pass's class: for the
+            // device tier it is the next unspilled coldness rank (the
+            // spilled set is a contiguous prefix [0, s)); for a lower
+            // tier it is the coldest cluster already spilled there
+            // (cascade). `cascade_key` is `None` for a device demotion.
+            let (bytes, cascade_key) = match tier {
+                MemTier::Device => {
+                    let device = self.sessions[si].1.device_bytes;
+                    if device == 0 {
+                        break true;
+                    }
+                    // Spilled mass in current-granule units: exactly
+                    // the spilled-cluster count for a static granule,
+                    // and the current-granule equivalent of stale
+                    // finer clusters once chaining has coarsened it —
+                    // so the protected prefix keeps its byte meaning.
+                    // The protected pass demotes everything, so only
+                    // `device == 0` stops it.
+                    let s = self.sessions[si].1.spilled_bytes().div_ceil(granule);
+                    if !protected_pass && s >= limit {
+                        break true;
+                    }
+                    (granule.min(device), None)
+                }
+                _ => {
+                    let found = self.clusters[ci]
+                        .1
+                        .spilled
+                        .range(..limit)
+                        .find(|(_, c)| c.tier == tier)
+                        .map(|(&k, c)| (k, c.bytes));
+                    match found {
+                        Some((k, bytes)) => (bytes, Some(k)),
+                        None => break true,
+                    }
+                }
+            };
+            // Nearest lower tier with room for this whole cluster —
+            // clusters never straddle tiers.
+            let dest = self.caps.below(tier).find(|&t| {
+                self.caps
+                    .capacity(t)
+                    .saturating_sub(self.used[tier_index(t)])
+                    >= bytes
+            });
+            let Some(dest) = dest else {
+                break false;
+            };
+            if let Some(to) = run_to {
+                if to != dest {
+                    self.pending_migrations.push(MigrationTask {
+                        session: id,
+                        from: tier,
+                        to,
+                        bytes: run_bytes,
+                    });
+                    run_bytes = 0;
+                }
+            }
+            run_to = Some(dest);
+            run_bytes += bytes;
+            demoted = true;
+            match cascade_key {
+                None => {
+                    let s = self.clusters[ci].1.spilled.len() as u64;
+                    self.clusters[ci]
+                        .1
+                        .spilled
+                        .insert(s, SpilledCluster { tier: dest, bytes });
+                    self.sessions[si].1.device_bytes -= bytes;
+                }
+                Some(key) => {
+                    if let Some(c) = self.clusters[ci].1.spilled.get_mut(&key) {
+                        c.tier = dest;
+                    }
+                    *tier_bytes_mut(&mut self.sessions[si].1, tier) -= bytes;
+                }
+            }
+            *tier_bytes_mut(&mut self.sessions[si].1, dest) += bytes;
+            self.used[src] -= bytes;
+            self.used[tier_index(dest)] += bytes;
+            self.stats.spilled_bytes += bytes;
+        };
+        if let Some(to) = run_to {
+            self.pending_migrations.push(MigrationTask {
+                session: id,
+                from: tier,
+                to,
+                bytes: run_bytes,
+            });
+        }
+        if demoted {
+            self.ever_spilled.insert(id);
+        }
+        ok
+    }
+
+    /// Cluster-granular promotion: hottest sessions first, and within
+    /// a session the hottest spilled cluster (highest coldness rank)
+    /// first — whole clusters only.
+    fn promote_into_free_clusters(&mut self) {
+        let mut free = self
+            .caps
+            .device_bytes
+            .saturating_sub(self.used[tier_index(MemTier::Device)]);
+        if free == 0 {
+            return;
+        }
+        let mut order: Vec<usize> = (0..self.sessions.len())
+            .filter(|&i| self.sessions[i].1.spilled_bytes() > 0)
+            .collect();
+        order.sort_by(|&a, &b| {
+            self.sessions[b]
+                .1
+                .last_active_ps
+                .cmp(&self.sessions[a].1.last_active_ps)
+                .then(self.sessions[a].0.cmp(&self.sessions[b].0))
+        });
+        'sessions: for si in order {
+            let id = self.sessions[si].0;
+            let Ok(ci) = self.cluster_slot(id) else {
+                continue;
+            };
+            let mut run_from: Option<MemTier> = None;
+            let mut run_bytes = 0u64;
+            while let Some((&key, &c)) = self.clusters[ci].1.spilled.iter().next_back() {
+                if c.bytes > free {
+                    // The next whole cluster no longer fits: stop the
+                    // promotion sweep (deterministic, no best-fit
+                    // search through smaller partial clusters).
+                    flush_run(
+                        &mut self.pending_migrations,
+                        id,
+                        &mut run_from,
+                        &mut run_bytes,
+                    );
+                    break 'sessions;
+                }
+                self.clusters[ci].1.spilled.remove(&key);
+                *tier_bytes_mut(&mut self.sessions[si].1, c.tier) -= c.bytes;
+                self.sessions[si].1.device_bytes += c.bytes;
+                self.used[tier_index(c.tier)] -= c.bytes;
+                self.used[tier_index(MemTier::Device)] += c.bytes;
+                free -= c.bytes;
+                self.stats.promoted_bytes += c.bytes;
+                if run_from.is_some() && run_from != Some(c.tier) {
+                    flush_run(
+                        &mut self.pending_migrations,
+                        id,
+                        &mut run_from,
+                        &mut run_bytes,
+                    );
+                }
+                run_from = Some(c.tier);
+                run_bytes += c.bytes;
+            }
+            flush_run(
+                &mut self.pending_migrations,
+                id,
+                &mut run_from,
+                &mut run_bytes,
+            );
+            if free == 0 {
+                break;
+            }
+        }
+    }
+
     /// Promotes hottest-stream spilled bytes into free device space.
     fn promote_into_free(&mut self) {
+        if self.cluster_mode.is_some() {
+            self.promote_into_free_clusters();
+            return;
+        }
         let mut free = self
             .caps
             .device_bytes
@@ -639,6 +1192,29 @@ impl TieredKvManager {
                 }
             }
         }
+    }
+}
+
+/// Clusters of an `n`-cluster session protected from first-pass spill
+/// (the WiCSum-hot prefix).
+fn protected_clusters(n: u64, ratio: f64) -> u64 {
+    ((n as f64 * ratio).ceil() as u64).min(n)
+}
+
+/// Emits one coalesced promotion task for a finished same-tier run.
+fn flush_run(
+    pending: &mut Vec<MigrationTask>,
+    session: usize,
+    run_from: &mut Option<MemTier>,
+    run_bytes: &mut u64,
+) {
+    if let Some(from) = run_from.take() {
+        pending.push(MigrationTask {
+            session,
+            from,
+            to: MemTier::Device,
+            bytes: std::mem::take(run_bytes),
+        });
     }
 }
 
@@ -931,6 +1507,179 @@ mod tests {
         hot.commit_restore(&plan, 0, 0);
         assert_eq!(hot.stats().tier_hit_steps, 1);
         assert_eq!(hot.stats().tier_miss_steps, 0);
+    }
+
+    #[test]
+    fn cluster_spill_demotes_the_cold_tail_one_run_at_a_time() {
+        // 256 KiB clusters, half of each session WiCSum-protected.
+        let mut m =
+            server_manager(2 * GIB, 8 * GIB, 0).with_cluster_mode(MIGRATION_CHUNK_BYTES, 0.5);
+        m.admit(0, 2 * GIB, 0); // fills the device exactly
+        m.grow(0, MIGRATION_CHUNK_BYTES, 1); // one cluster over
+        let r = *m.residency(0).unwrap();
+        assert_eq!(r.device_bytes, 2 * GIB);
+        assert_eq!(r.host_bytes, MIGRATION_CHUNK_BYTES);
+        assert_eq!(
+            m.spilled_clusters(0),
+            vec![(0, MemTier::Host, MIGRATION_CHUNK_BYTES)],
+            "coldness rank 0 spilled to host"
+        );
+        assert_eq!(
+            m.take_migrations(),
+            vec![MigrationTask {
+                session: 0,
+                from: MemTier::Device,
+                to: MemTier::Host,
+                bytes: MIGRATION_CHUNK_BYTES,
+            }],
+            "one coalesced cluster-sized demotion"
+        );
+        assert_eq!(m.stats().spilled_bytes, MIGRATION_CHUNK_BYTES);
+    }
+
+    #[test]
+    fn cluster_restore_prices_only_the_mispredicted_tail() {
+        // Continues the single-cluster demotion above with a
+        // hand-computed restore. One 256 KiB cluster sits on host DRAM
+        // at coldness rank 0. n = 8193 clusters, ratio 0.5 predicts
+        // ceil(8193·0.5) = 4097 hot clusters (coldness ranks >= 4096 —
+        // none spilled, so nothing is speculated), and at 90% accuracy
+        // ceil(4097·0.1) = 410 tail clusters are mispredicted. The
+        // rotation starts at step_seq = 0, so tail rank 0 — the one
+        // spilled cluster — is demand-fetched. By hand over PCIe 4.0
+        // ×16 in one 256 KiB chunk:
+        //   TLPs = 262144/256 + 1 = 1025
+        //   wire = 262144 + 1025·24 = 286_744 B
+        //   ps   = 286_744/32e9·1e12 + 400_000
+        let mut m =
+            server_manager(2 * GIB, 8 * GIB, 0).with_cluster_mode(MIGRATION_CHUNK_BYTES, 0.5);
+        m.admit(0, 2 * GIB, 0);
+        m.grow(0, MIGRATION_CHUNK_BYTES, 1);
+
+        let bytes = MIGRATION_CHUNK_BYTES;
+        let tlps = bytes / 256 + 1;
+        let wire = bytes + tlps * 24;
+        let miss_ps = seconds_to_ps(wire as f64 / 32.0e9) + 400_000;
+
+        let policy = ClusterPrefetch { accuracy: 0.9 };
+        let out = m.step_restore(0, 0.5, false, u64::MAX, &policy);
+        assert_eq!(out.miss_ps, miss_ps);
+        assert_eq!(out.exposed_ps, miss_ps, "demand fetch hides nothing");
+        assert_eq!(out.spec_bytes, 0);
+        assert_eq!(out.demand_bytes, bytes);
+        assert_eq!(out.spec_clusters, 0);
+        assert_eq!(out.demand_clusters, 1);
+        assert_eq!(out.mispredicted_clusters, 410);
+        assert_eq!(m.stats().restored_bytes, bytes);
+
+        // The next step's misprediction rotation moves off rank 0, so
+        // the still-spilled cluster goes untouched: a tier hit.
+        let out = m.step_restore(0, 0.5, false, u64::MAX, &policy);
+        assert_eq!(out, RestoreOutcome::default());
+        assert_eq!(m.stats().tier_hit_steps, 1);
+        assert_eq!(m.stats().tier_miss_steps, 1);
+    }
+
+    #[test]
+    fn cluster_spill_takes_cold_tails_before_any_hot_prefix() {
+        // 1 GiB clusters, half protected: the 2 GiB overflow is met by
+        // the cold *tails* of the two coldest sessions — flat LRU
+        // would instead evict session 0 entirely, hot prefix included.
+        let mut m = server_manager(4 * GIB, 8 * GIB, 0).with_cluster_mode(GIB, 0.5);
+        m.admit(0, 2 * GIB, 0);
+        m.admit(1, 2 * GIB, 1);
+        m.admit(2, 2 * GIB, 2);
+        let r0 = *m.residency(0).unwrap();
+        let r1 = *m.residency(1).unwrap();
+        let r2 = *m.residency(2).unwrap();
+        assert_eq!((r0.device_bytes, r0.host_bytes), (GIB, GIB));
+        assert_eq!((r1.device_bytes, r1.host_bytes), (GIB, GIB));
+        assert_eq!(r2.spilled_bytes(), 0, "newcomer stays hot");
+        assert_eq!(m.ever_spilled_sessions(), 2);
+        // Conservation: each session's summary equals its cluster map.
+        for id in 0..3 {
+            let r = *m.residency(id).unwrap();
+            let spilled: u64 = m.spilled_clusters(id).iter().map(|&(_, _, b)| b).sum();
+            assert_eq!(r.spilled_bytes(), spilled);
+            assert_eq!(r.device_bytes, r.total_bytes() - spilled);
+        }
+    }
+
+    #[test]
+    fn cluster_promotion_returns_hottest_sessions_hottest_clusters() {
+        let mut m = server_manager(4 * GIB, 8 * GIB, 0).with_cluster_mode(GIB, 0.5);
+        m.admit(0, 2 * GIB, 0);
+        m.admit(1, 2 * GIB, 1);
+        m.admit(2, 2 * GIB, 2); // spills one cluster each of 0 and 1
+        m.take_migrations();
+        m.release(2); // frees 2 GiB: both spilled clusters promote
+        assert_eq!(m.residency(0).unwrap().spilled_bytes(), 0);
+        assert_eq!(m.residency(1).unwrap().spilled_bytes(), 0);
+        assert_eq!(
+            m.take_migrations(),
+            vec![
+                // Hotter session 1 promotes before colder session 0.
+                MigrationTask {
+                    session: 1,
+                    from: MemTier::Host,
+                    to: MemTier::Device,
+                    bytes: GIB,
+                },
+                MigrationTask {
+                    session: 0,
+                    from: MemTier::Host,
+                    to: MemTier::Device,
+                    bytes: GIB,
+                },
+            ]
+        );
+        assert_eq!(m.stats().promoted_bytes, 2 * GIB);
+    }
+
+    #[test]
+    fn cluster_host_overflow_cascades_cold_clusters_to_the_ssd() {
+        let mut m = server_manager(GIB, GIB, 64 * GIB).with_cluster_mode(GIB / 4, 0.0);
+        m.admit(0, GIB, 0);
+        m.admit(1, GIB, 1);
+        m.admit(2, GIB, 2);
+        assert_eq!(m.used_bytes(MemTier::Device), GIB);
+        assert_eq!(m.used_bytes(MemTier::Host), GIB);
+        assert_eq!(m.used_bytes(MemTier::Ssd), GIB);
+        // Every spilled cluster sits in exactly one tier and per-tier
+        // sums match the residency summaries.
+        for id in 0..3 {
+            let r = *m.residency(id).unwrap();
+            let (mut host, mut ssd) = (0u64, 0u64);
+            for (_, tier, b) in m.spilled_clusters(id) {
+                match tier {
+                    MemTier::Host => host += b,
+                    MemTier::Ssd => ssd += b,
+                    MemTier::Device => panic!("device cluster in the spilled map"),
+                }
+            }
+            assert_eq!(host, r.host_bytes);
+            assert_eq!(ssd, r.ssd_bytes);
+        }
+    }
+
+    #[test]
+    fn flat_policies_on_a_cluster_manager_fall_back_to_byte_math() {
+        let mut m = server_manager(GIB, 8 * GIB, 0).with_cluster_mode(MIGRATION_CHUNK_BYTES, 0.0);
+        m.admit(0, GIB, 0);
+        m.admit(1, GIB, 1); // spills 0 entirely
+        let out = m.step_restore(0, 1.0, false, 0, &NoPrefetch);
+        assert!(out.miss_ps > 0);
+        assert_eq!(out.exposed_ps, out.miss_ps);
+        assert_eq!(
+            (
+                out.spec_clusters,
+                out.demand_clusters,
+                out.mispredicted_clusters
+            ),
+            (0, 0, 0),
+            "flat plans carry no cluster telemetry"
+        );
+        assert_eq!(m.stats().restored_bytes, GIB);
     }
 
     #[test]

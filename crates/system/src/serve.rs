@@ -361,6 +361,20 @@ pub struct ServeCounters {
     pub active_peak: usize,
     /// Peak arrived-but-waiting admission-queue length.
     pub pending_peak: usize,
+    /// Clusters restored speculatively (in flight from
+    /// work-visibility) across all tier-miss steps. Cluster-granular
+    /// prefetch only; zero under the flat policies.
+    pub spec_clusters: u64,
+    /// Mispredicted clusters that were spilled and demand-fetched at
+    /// batch formation.
+    pub demand_clusters: u64,
+    /// Total mispredicted clusters on tier-miss steps, including ones
+    /// that happened to be device-resident and cost nothing.
+    pub mispredicted_clusters: u64,
+    /// Bytes restored speculatively across all tier-miss steps.
+    pub spec_restore_bytes: u64,
+    /// Bytes demand-fetched across all tier-miss steps.
+    pub demand_restore_bytes: u64,
 }
 
 impl ServeCounters {
@@ -884,7 +898,20 @@ pub(crate) fn run(
     // the prefetch policy that schedules restores.
     let tiers: Option<TieredKvManager> = match cfg.admission {
         AdmissionPolicy::RejectOnly => None,
-        AdmissionPolicy::Tiered { .. } => Some(TieredKvManager::for_system(&sys, &model)),
+        AdmissionPolicy::Tiered { prefetch } => {
+            let mgr = TieredKvManager::for_system(&sys, &model);
+            Some(if prefetch.is_cluster() {
+                // Cluster-granular cold-data movement: clusters are the
+                // method's contiguous fetch chunk, and the WiCSum-hot
+                // prefix protected from first-pass spill is the
+                // prefill-stage selection ratio (the share of clusters
+                // a frame step actually touches).
+                let profile = sys.method.profile();
+                mgr.with_cluster_mode(profile.fetch_chunk_bytes, sys.method.ratio(false))
+            } else {
+                mgr
+            })
+        }
     };
     let prefetch: Box<dyn PrefetchPolicy> = match cfg.admission {
         AdmissionPolicy::Tiered { prefetch } => prefetch.policy(),
@@ -912,7 +939,7 @@ pub(crate) fn run(
         next_plan: None,
         offered: 0,
         pending: Vec::new(),
-        events: EventQueue::new(cfg.queue, hint.clamp(16, 4096)),
+        events: EventQueue::new(cfg.queue.resolve(hint), hint.clamp(16, 4096)),
         slab: Vec::new(),
         free_slots: Vec::new(),
         by_id: HashMap::default(),
@@ -1422,6 +1449,11 @@ impl Sched<'_> {
                 mgr.step_restore(s.id, ratio, generation, window_ps, self.prefetch.as_ref());
             link_busy_ps += restore.miss_ps;
             penalty_ps += restore.exposed_ps;
+            self.counters.spec_clusters += restore.spec_clusters;
+            self.counters.demand_clusters += restore.demand_clusters;
+            self.counters.mispredicted_clusters += restore.mispredicted_clusters;
+            self.counters.spec_restore_bytes += restore.spec_bytes;
+            self.counters.demand_restore_bytes += restore.demand_bytes;
         }
         // The batch completes as one unit: every member's critical
         // path is stretched by the batch's total exposed restore
@@ -1773,10 +1805,24 @@ impl Sched<'_> {
                         .expect("batch member has a head item")
                         .max(s.last_completion_ps)
                         .max(s.spill_visible_ps);
-                    // vrex-lint: allow(float-time) — the speculated share of a restore is a float coverage knob, floored to integer ps here before any scheduling math.
-                    let spec_ps = (plan.miss_ps() as f64 * plan.coverage) as u64;
+                    let (spec_ps, spec_bytes) = if plan.cluster {
+                        // Cluster plans partition the restore into
+                        // exact byte sets — the speculated share is
+                        // integer byte math, no float knob.
+                        let spec_ps = if plan.bytes() == 0 {
+                            0
+                        } else {
+                            (plan.miss_ps() as u128 * plan.spec_bytes as u128
+                                / plan.bytes() as u128) as u64
+                        };
+                        (spec_ps, plan.spec_bytes)
+                    } else {
+                        // vrex-lint: allow(float-time) — the speculated share of a restore is a float coverage knob, floored to integer ps here before any scheduling math.
+                        let spec_ps = (plan.miss_ps() as f64 * plan.coverage) as u64;
+                        let spec_bytes = (plan.bytes() as f64 * plan.coverage) as u64;
+                        (spec_ps, spec_bytes)
+                    };
                     let demand_ps = plan.miss_ps() - spec_ps;
-                    let spec_bytes = (plan.bytes() as f64 * plan.coverage) as u64;
                     let demand_earliest = self.now.max(s.spill_visible_ps);
                     let mut first_start = u64::MAX;
                     let mut end = self.now;
@@ -1874,6 +1920,11 @@ impl Sched<'_> {
                 let (plan, end) = r;
                 let exposed = end.saturating_sub(horizon).min(plan.miss_ps());
                 mgr.commit_restore(plan, plan.miss_ps() - exposed, exposed);
+                self.counters.spec_clusters += plan.spec_clusters;
+                self.counters.demand_clusters += plan.demand_clusters;
+                self.counters.mispredicted_clusters += plan.mispredicted_clusters;
+                self.counters.spec_restore_bytes += plan.spec_bytes;
+                self.counters.demand_restore_bytes += plan.demand_bytes;
             }
         }
         let penalty = completion - horizon;

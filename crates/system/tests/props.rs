@@ -9,7 +9,7 @@ use vrex_system::{
     serve, serve_sharded, serve_sharded_stream, serve_sharded_traced,
     serve_sharded_traced_with_workers, serve_sharded_with_cache, serve_stream, serve_traced,
     DevicePool, Method, PlacementPolicy, PlatformSpec, QueueKind, ServeConfig, StepPriceCache,
-    SystemModel, TraceKind,
+    SystemModel, TieredKvManager, TraceKind,
 };
 use vrex_workload::traffic::TrafficConfig;
 
@@ -656,5 +656,180 @@ proptest! {
             "real-time sessions shrank from {} to {} going {} -> {} devices under {:?}",
             small.real_time_sessions(), large.real_time_sessions(), devices, devices + 1, policy
         );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Cluster-granular residency conservation over random
+    /// admit / grow / touch / release traces: every session's spilled
+    /// bytes equal the sum of its spilled clusters' bytes, the spilled
+    /// set is a contiguous coldness-rank prefix with each rank mapped
+    /// to exactly one tier (no cluster lives in two tiers), and the
+    /// fleet-wide per-tier totals agree with the per-session scan.
+    #[test]
+    fn cluster_spill_conserves_bytes_and_ranks(
+        ops in proptest::collection::vec((0usize..4, 0usize..6, 1u64..5), 1..48),
+        cluster_div in 4u64..64,
+        ratio in 0.0f64..1.0,
+    ) {
+        let sys = SystemModel::new(PlatformSpec::vrex48(), Method::ReSV);
+        let model = ModelConfig::llama3_8b();
+        let caps = TieredKvManager::for_system(&sys, &model).capacities();
+        // Clusters sized as a fraction of the device budget so a few
+        // admits overflow it, exercising both spill passes.
+        let cluster_bytes = (caps.device_bytes / cluster_div).max(1);
+        let mut mgr = TieredKvManager::for_system(&sys, &model)
+            .with_cluster_mode(cluster_bytes, ratio);
+        let mut live: Vec<usize> = Vec::new();
+        let mut now_ps = 0u64;
+        for (op, id, units) in ops {
+            now_ps += 1_000;
+            match op {
+                0 => {
+                    mgr.admit(id, units * cluster_bytes, now_ps);
+                    if !live.contains(&id) {
+                        live.push(id);
+                    }
+                }
+                1 => mgr.grow(id, units * (cluster_bytes / 2).max(1), now_ps),
+                2 => mgr.touch(id, now_ps),
+                _ => {
+                    mgr.release(id);
+                    live.retain(|&s| s != id);
+                }
+            }
+            // Migrations are decisions for the scheduler; drain them so
+            // the queue does not grow unboundedly in this test.
+            let _ = mgr.take_migrations();
+            let mut host_total = 0u64;
+            let mut ssd_total = 0u64;
+            for &s in &live {
+                let r = *mgr.residency(s).expect("live session is tracked");
+                host_total += r.host_bytes;
+                ssd_total += r.ssd_bytes;
+                let clusters = mgr.spilled_clusters(s);
+                let cluster_sum: u64 = clusters.iter().map(|&(_, _, b)| b).sum();
+                prop_assert_eq!(
+                    r.spilled_bytes(),
+                    cluster_sum,
+                    "session {}: residency says {} spilled bytes, clusters sum to {}",
+                    s,
+                    r.spilled_bytes(),
+                    cluster_sum
+                );
+                // The spilled set is the contiguous coldness prefix
+                // [0, k): ranks ascend from 0 with no gaps, and each
+                // rank appears exactly once (one tier per cluster).
+                for (i, &(rank, _, bytes)) in clusters.iter().enumerate() {
+                    prop_assert_eq!(rank, i as u64, "session {}: rank gap in spilled set", s);
+                    prop_assert!(bytes > 0, "session {}: zero-byte spilled cluster", s);
+                }
+                let per_tier: u64 = clusters
+                    .iter()
+                    .filter(|&&(_, t, _)| t == vrex_hwsim::tier::MemTier::Host)
+                    .map(|&(_, _, b)| b)
+                    .sum();
+                prop_assert_eq!(
+                    per_tier, r.host_bytes,
+                    "session {}: host-tier cluster bytes disagree with residency", s
+                );
+            }
+            // Fleet-wide totals (the accessor debug-asserts the cached
+            // counters against a full fleet scan internally).
+            prop_assert_eq!(mgr.used_bytes(vrex_hwsim::tier::MemTier::Host), host_total);
+            prop_assert_eq!(mgr.used_bytes(vrex_hwsim::tier::MemTier::Ssd), ssd_total);
+        }
+    }
+
+    /// Cluster-granular serving is deterministic across event cores and
+    /// plan delivery: under [`AdmissionPolicy::tiered_cluster`] the
+    /// Heap and Wheel queues produce identical reports, traces, and
+    /// counters, and streamed plan delivery reproduces the
+    /// materialized report — the same contract the flat policies pin.
+    #[test]
+    fn cluster_tiering_is_deterministic_across_cores_and_delivery(
+        sessions in 1usize..8,
+        turns in 0usize..3,
+        spread in 0.0f64..10.0,
+        cache in 1_000usize..40_000,
+        seed in 0u64..300,
+        overlap in any::<bool>(),
+    ) {
+        let traffic = TrafficConfig {
+            sessions,
+            turns,
+            arrival_spread_s: spread,
+            seed,
+        };
+        let plans = traffic.generate();
+        let sys = SystemModel::new(PlatformSpec::vrex48(), Method::ReSV);
+        let model = ModelConfig::llama3_8b();
+        let cfg = ServeConfig {
+            admission: vrex_system::AdmissionPolicy::tiered_cluster(),
+            overlap,
+            ..ServeConfig::real_time(cache)
+        };
+        let (heap_r, heap_t) = serve_traced(&sys, &model, &plans, &cfg.with_queue(QueueKind::Heap));
+        let (wheel_r, wheel_t) =
+            serve_traced(&sys, &model, &plans, &cfg.with_queue(QueueKind::Wheel));
+        prop_assert_eq!(&heap_t, &wheel_t, "cluster traces diverged between event cores");
+        prop_assert_eq!(&heap_r, &wheel_r, "cluster reports diverged between event cores");
+        prop_assert_eq!(heap_r.counters, wheel_r.counters);
+        prop_assert_eq!(heap_r.admitted + heap_r.rejected, heap_r.offered);
+        // Prefetch telemetry self-consistency: demand-fetched clusters
+        // are a subset of the mispredictions that produced them.
+        let c = heap_r.counters;
+        prop_assert!(c.demand_clusters <= c.mispredicted_clusters);
+        if let Some(t) = &heap_r.tiering {
+            prop_assert!(t.exposed_s >= 0.0 && t.hidden_s >= 0.0);
+        }
+        if !overlap {
+            let mut prices = StepPriceCache::new(&sys, &model);
+            let streamed = serve_stream(&mut prices, &mut traffic.stream(), &cfg);
+            prop_assert_eq!(&heap_r, &streamed, "streamed cluster fleet drifted");
+            prop_assert_eq!(heap_r.counters, streamed.counters);
+        }
+    }
+
+    /// [`QueueKind::Auto`] is pure delegation: a serve configured with
+    /// `Auto` is bit-identical — report, trace, and counters — to the
+    /// same serve configured with the concrete kind `Auto` resolves to
+    /// for that fleet size (and, by the heap/wheel equivalence above,
+    /// to the other kind as well).
+    #[test]
+    fn auto_queue_kind_delegates_bit_identically(
+        sessions in 1usize..8,
+        turns in 0usize..3,
+        spread in 0.0f64..10.0,
+        cache in 1_000usize..40_000,
+        seed in 0u64..300,
+        tiered_admission in any::<bool>(),
+    ) {
+        let plans = TrafficConfig {
+            sessions,
+            turns,
+            arrival_spread_s: spread,
+            seed,
+        }
+        .generate();
+        let sys = SystemModel::new(PlatformSpec::vrex48(), Method::ReSV);
+        let model = ModelConfig::llama3_8b();
+        let cfg = ServeConfig {
+            admission: if tiered_admission {
+                vrex_system::AdmissionPolicy::tiered_cluster()
+            } else {
+                vrex_system::AdmissionPolicy::RejectOnly
+            },
+            ..ServeConfig::real_time(cache)
+        };
+        let resolved = QueueKind::Auto.resolve(plans.len());
+        let (auto_r, auto_t) =
+            serve_traced(&sys, &model, &plans, &cfg.with_queue(QueueKind::Auto));
+        let (conc_r, conc_t) = serve_traced(&sys, &model, &plans, &cfg.with_queue(resolved));
+        prop_assert_eq!(&auto_t, &conc_t, "Auto trace diverged from resolved {:?}", resolved);
+        prop_assert_eq!(&auto_r, &conc_r, "Auto report diverged from resolved {:?}", resolved);
+        prop_assert_eq!(auto_r.counters, conc_r.counters);
     }
 }
